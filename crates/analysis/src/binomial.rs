@@ -1,0 +1,242 @@
+//! Exact binomial distribution.
+//!
+//! The load of one bin after throwing `M` balls uniformly into `n` bins is
+//! `Bin(M, 1/n)`; every per-bin concentration statement in the papers is a
+//! statement about this distribution. Exact tails come from the
+//! regularized incomplete beta function.
+
+use crate::special::{ln_gamma, reg_beta};
+
+/// A binomial distribution `Bin(n, p)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Construct `Bin(n, p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p = {p} outside [0,1]");
+        Self { n, p }
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `np`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `np(1−p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Log of the probability mass at `k`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return f64::NEG_INFINITY;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        let n = self.n as f64;
+        let k_f = k as f64;
+        ln_gamma(n + 1.0) - ln_gamma(k_f + 1.0) - ln_gamma(n - k_f + 1.0)
+            + k_f * self.p.ln()
+            + (n - k_f) * (1.0 - self.p).ln()
+    }
+
+    /// Probability mass `P[X = k]`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// CDF `P[X ≤ k]` via `I_{1−p}(n−k, k+1)`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        if self.p == 0.0 {
+            return 1.0;
+        }
+        if self.p == 1.0 {
+            return 0.0;
+        }
+        reg_beta((self.n - k) as f64, (k + 1) as f64, 1.0 - self.p)
+    }
+
+    /// Upper tail `P[X ≥ k]`.
+    pub fn sf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        if k > self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return 0.0;
+        }
+        if self.p == 1.0 {
+            return 1.0;
+        }
+        reg_beta(k as f64, (self.n - k + 1) as f64, self.p)
+    }
+
+    /// Smallest `k` with `P[X ≤ k] ≥ q` (the `q`-quantile), by bisection on
+    /// the exact CDF.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        if q <= 0.0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.n;
+        }
+        let (mut lo, mut hi) = (0u64, self.n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.cdf(mid) >= q {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+}
+
+/// Expected maximum of `n` i.i.d. `Bin(M, 1/n)` loads, estimated from the
+/// exact marginal tails with the standard first-moment/union heuristic:
+/// the max sits near the `k` where `n · P[X ≥ k] ≈ 1`.
+///
+/// This is the quantity the naive single-choice allocation realizes; the
+/// experiments compare measured maxima against it.
+pub fn expected_max_load_single_choice(m: u64, n: u32) -> f64 {
+    let bin = Binomial::new(m, 1.0 / n as f64);
+    let mean = bin.mean();
+    // Search k in [mean, mean + 20σ + 30] for n·sf(k) crossing 1.
+    let sigma = bin.variance().sqrt();
+    let lo = mean.floor() as u64;
+    let hi = (mean + 20.0 * sigma + 30.0).ceil() as u64;
+    let n_f = n as f64;
+    let mut k = lo;
+    while k < hi {
+        if n_f * bin.sf(k + 1) < 1.0 {
+            break;
+        }
+        k += 1;
+    }
+    // Linear interpolation between the crossing pair for smoothness.
+    let above = n_f * bin.sf(k);
+    let below = n_f * bin.sf(k + 1);
+    if above <= below || above <= 1.0 {
+        return k as f64;
+    }
+    let frac = ((above - 1.0) / (above - below)).clamp(0.0, 1.0);
+    k as f64 + frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn pmf_small_case_exact() {
+        // Bin(4, 0.5): pmf = [1,4,6,4,1]/16
+        let b = Binomial::new(4, 0.5);
+        close(b.pmf(0), 1.0 / 16.0, 1e-12);
+        close(b.pmf(1), 4.0 / 16.0, 1e-12);
+        close(b.pmf(2), 6.0 / 16.0, 1e-12);
+        close(b.pmf(4), 1.0 / 16.0, 1e-12);
+        assert_eq!(b.pmf(5), 0.0);
+    }
+
+    #[test]
+    fn cdf_matches_pmf_sum() {
+        let b = Binomial::new(20, 0.3);
+        let mut acc = 0.0;
+        for k in 0..=20 {
+            acc += b.pmf(k);
+            close(b.cdf(k), acc, 1e-10);
+        }
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        let b = Binomial::new(50, 0.1);
+        for k in 1..=50 {
+            close(b.sf(k), 1.0 - b.cdf(k - 1), 1e-10);
+        }
+        assert_eq!(b.sf(0), 1.0);
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let zero = Binomial::new(10, 0.0);
+        assert_eq!(zero.pmf(0), 1.0);
+        assert_eq!(zero.cdf(0), 1.0);
+        assert_eq!(zero.sf(1), 0.0);
+        let one = Binomial::new(10, 1.0);
+        assert_eq!(one.pmf(10), 1.0);
+        assert_eq!(one.sf(10), 1.0);
+        assert_eq!(one.cdf(9), 0.0);
+    }
+
+    #[test]
+    fn quantile_is_inverse_cdf() {
+        let b = Binomial::new(100, 0.4);
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let k = b.quantile(q);
+            assert!(b.cdf(k) >= q);
+            if k > 0 {
+                assert!(b.cdf(k - 1) < q);
+            }
+        }
+        assert_eq!(b.quantile(0.0), 0);
+        assert_eq!(b.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let b = Binomial::new(1000, 0.25);
+        close(b.mean(), 250.0, 1e-12);
+        close(b.variance(), 187.5, 1e-12);
+    }
+
+    #[test]
+    fn expected_max_load_grows_like_sqrt_regime() {
+        // m/n = 100, n = 1024: gap ≈ √(2·100·ln 1024) ≈ 37.
+        let max = expected_max_load_single_choice(102_400, 1024);
+        let gap = max - 100.0;
+        assert!(gap > 25.0 && gap < 50.0, "gap {gap}");
+    }
+
+    #[test]
+    fn expected_max_load_balanced_case() {
+        // m = n: classical ln n / ln ln n ≈ 4.5 for n = 1024; the
+        // first-moment estimate lands in 5..9.
+        let max = expected_max_load_single_choice(1024, 1024);
+        assert!(max > 4.0 && max < 10.0, "max {max}");
+    }
+}

@@ -1,0 +1,124 @@
+//! The multiplicative Chernoff bounds of Lemma 1, forward and inverted.
+//!
+//! For a sum `X` of independent (or negatively associated) 0–1 variables
+//! with mean `μ` and `0 < δ < 1`:
+//!
+//! * `P[X < (1−δ)μ] ≤ exp(−δ²μ/2)`
+//! * `P[X > (1+δ)μ] ≤ exp(−δ²μ/3)`
+//!
+//! These drive every threshold schedule in the reproduced protocols (the
+//! `(m̃/n)^{2/3}` undershoot makes `δ = (m̃/n)^{-1/3}` and the failure
+//! probability `exp(−(m̃/n)^{1/3}/2)`, exactly Claim 1).
+
+/// `P[X < (1−δ)μ] ≤ exp(−δ²μ/2)` — returns the bound.
+pub fn chernoff_lower_tail(mu: f64, delta: f64) -> f64 {
+    assert!(mu >= 0.0, "mu must be nonnegative");
+    assert!((0.0..=1.0).contains(&delta), "delta must be in [0,1]");
+    (-delta * delta * mu / 2.0).exp()
+}
+
+/// `P[X > (1+δ)μ] ≤ exp(−δ²μ/3)` — returns the bound.
+pub fn chernoff_upper_tail(mu: f64, delta: f64) -> f64 {
+    assert!(mu >= 0.0);
+    assert!(delta >= 0.0);
+    if delta <= 1.0 {
+        (-delta * delta * mu / 3.0).exp()
+    } else {
+        // For δ > 1 the sharper bound exp(−δμ/3) applies.
+        (-delta * mu / 3.0).exp()
+    }
+}
+
+/// Smallest deviation `t` such that `P[X < μ − t] ≤ target` per the lower
+/// Chernoff bound: `t = √(2μ ln(1/target))` (clamped to `μ`).
+///
+/// This is the `√(2μ log m)` deviation of Lemma 1's corollary and the
+/// `δ_r = c·√((m_r/n_r)·log n)` slack of the asymmetric algorithm.
+pub fn lower_deviation_for(mu: f64, target: f64) -> f64 {
+    assert!(mu >= 0.0);
+    assert!(target > 0.0 && target < 1.0);
+    (2.0 * mu * (1.0 / target).ln()).sqrt().min(mu)
+}
+
+/// Smallest deviation `t` such that `P[X > μ + t] ≤ target` per the upper
+/// Chernoff bound: `t = √(3μ ln(1/target))`.
+pub fn upper_deviation_for(mu: f64, target: f64) -> f64 {
+    assert!(mu >= 0.0);
+    assert!(target > 0.0 && target < 1.0);
+    (3.0 * mu * (1.0 / target).ln()).sqrt()
+}
+
+/// A "with high probability" target `n^{−c}`.
+pub fn whp_target(n: u64, c: f64) -> f64 {
+    assert!(n >= 2);
+    (n as f64).powf(-c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial::Binomial;
+
+    #[test]
+    fn bounds_decrease_in_mu_and_delta() {
+        assert!(chernoff_lower_tail(100.0, 0.5) < chernoff_lower_tail(10.0, 0.5));
+        assert!(chernoff_lower_tail(100.0, 0.5) < chernoff_lower_tail(100.0, 0.1));
+        assert!(chernoff_upper_tail(100.0, 0.5) < chernoff_upper_tail(100.0, 0.1));
+    }
+
+    #[test]
+    fn bounds_dominate_exact_binomial_tails() {
+        // Chernoff must upper-bound the true tails of Bin(n, p).
+        let bin = Binomial::new(10_000, 0.01); // μ = 100
+        let mu = bin.mean();
+        for delta in [0.1, 0.2, 0.5, 0.9] {
+            let lo_thresh = ((1.0 - delta) * mu).floor() as u64;
+            let exact_lower = bin.cdf(lo_thresh.saturating_sub(1));
+            assert!(
+                exact_lower <= chernoff_lower_tail(mu, delta) * 1.0001,
+                "delta {delta}: exact {exact_lower} > bound"
+            );
+            let hi_thresh = ((1.0 + delta) * mu).ceil() as u64;
+            let exact_upper = bin.sf(hi_thresh + 1);
+            assert!(
+                exact_upper <= chernoff_upper_tail(mu, delta) * 1.0001,
+                "delta {delta}: exact {exact_upper} > bound"
+            );
+        }
+    }
+
+    #[test]
+    fn claim1_instantiation() {
+        // Claim 1: with μ = m̃/n and δ = (m̃/n)^{-1/3}, the underload
+        // probability is ≤ exp(−(m̃/n)^{1/3}/2).
+        let ratio = 512.0f64; // m̃/n
+        let delta = ratio.powf(-1.0 / 3.0);
+        let bound = chernoff_lower_tail(ratio, delta);
+        let expected = (-(ratio.powf(1.0 / 3.0)) / 2.0).exp();
+        assert!((bound - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_inversion_roundtrips() {
+        let mu = 1000.0;
+        let target = 1e-6;
+        let t = lower_deviation_for(mu, target);
+        let delta = t / mu;
+        let p = chernoff_lower_tail(mu, delta);
+        assert!((p - target).abs() / target < 1e-9);
+    }
+
+    #[test]
+    fn whp_target_values() {
+        assert!((whp_target(1000, 1.0) - 1e-3).abs() < 1e-12);
+        assert!(whp_target(1000, 2.0) < whp_target(1000, 1.0));
+    }
+
+    #[test]
+    fn upper_deviation_larger_than_lower() {
+        // The 3 in the exponent makes upper deviations larger at equal
+        // target.
+        let mu = 500.0;
+        assert!(upper_deviation_for(mu, 1e-4) > lower_deviation_for(mu, 1e-4));
+    }
+}

@@ -1,0 +1,200 @@
+//! Integer histograms and distribution distances.
+//!
+//! Used to compare measured load *distributions* (not just maxima)
+//! against their theoretical marginals: e.g. the single-choice per-bin
+//! load histogram against the `Bin(m, 1/n)` pmf via total-variation
+//! distance.
+
+use std::collections::BTreeMap;
+
+/// A histogram over nonnegative integers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntHistogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl IntHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of observations.
+    pub fn from_values(values: impl IntoIterator<Item = u64>) -> Self {
+        let mut h = Self::new();
+        for v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Record one observation of `value`.
+    pub fn add(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Record `count` observations of `value`.
+    pub fn add_n(&mut self, value: u64, count: u64) {
+        if count > 0 {
+            *self.counts.entry(value).or_insert(0) += count;
+            self.total += count;
+        }
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &IntHistogram) {
+        for (&v, &c) in &other.counts {
+            self.add_n(v, c);
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of a specific value.
+    pub fn count(&self, value: u64) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Empirical probability of a value.
+    pub fn frequency(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Largest observed value (None when empty).
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Smallest observed value (None when empty).
+    pub fn min(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Empirical mean.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts
+            .iter()
+            .map(|(&v, &c)| v as f64 * c as f64)
+            .sum::<f64>()
+            / self.total as f64
+    }
+
+    /// Iterate `(value, count)` in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Total-variation distance between this histogram's empirical
+    /// distribution and a reference pmf: `½·Σ_k |p̂(k) − pmf(k)|`,
+    /// evaluated over `0..=horizon`, plus all empirical mass above the
+    /// horizon and the reference's tail mass beyond it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty histogram.
+    pub fn tv_distance_to(&self, pmf: impl Fn(u64) -> f64, horizon: u64) -> f64 {
+        assert!(self.total > 0, "empty histogram");
+        let mut acc = 0.0;
+        let mut ref_mass = 0.0;
+        for k in 0..=horizon {
+            let p = pmf(k);
+            ref_mass += p;
+            acc += (self.frequency(k) - p).abs();
+        }
+        // Mass outside the horizon, on both sides.
+        let emp_tail: u64 = self
+            .counts
+            .iter()
+            .filter(|(&v, _)| v > horizon)
+            .map(|(_, &c)| c)
+            .sum();
+        acc += emp_tail as f64 / self.total as f64;
+        acc += (1.0 - ref_mass).max(0.0);
+        acc / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial::Binomial;
+
+    #[test]
+    fn counting_and_moments() {
+        let h = IntHistogram::from_values([1u64, 2, 2, 3, 3, 3]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count(3), 3);
+        assert_eq!(h.count(9), 0);
+        assert_eq!(h.max(), Some(3));
+        assert_eq!(h.min(), Some(1));
+        assert!((h.mean() - 14.0 / 6.0).abs() < 1e-12);
+        assert!((h.frequency(2) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = IntHistogram::from_values([1u64, 1]);
+        let b = IntHistogram::from_values([1u64, 2]);
+        a.merge(&b);
+        assert_eq!(a.count(1), 3);
+        assert_eq!(a.count(2), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn tv_distance_identical_distribution_near_zero() {
+        // Sample from Bin(20, 0.3) by inverse-CDF using a simple LCG.
+        let bin = Binomial::new(20, 0.3);
+        let mut state = 1u64;
+        let mut h = IntHistogram::new();
+        for _ in 0..200_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let mut k = 0u64;
+            let mut acc = bin.pmf(0);
+            while acc < u && k < 20 {
+                k += 1;
+                acc += bin.pmf(k);
+            }
+            h.add(k);
+        }
+        let tv = h.tv_distance_to(|k| bin.pmf(k), 20);
+        assert!(tv < 0.01, "TV {tv}");
+    }
+
+    #[test]
+    fn tv_distance_disjoint_is_one() {
+        let h = IntHistogram::from_values([100u64; 10]);
+        let tv = h.tv_distance_to(|k| if k == 0 { 1.0 } else { 0.0 }, 50);
+        assert!((tv - 1.0).abs() < 1e-12, "TV {tv}");
+    }
+
+    #[test]
+    fn tv_distance_is_symmetric_scale() {
+        // Half the mass moved ⇒ TV = 0.5.
+        let h = IntHistogram::from_values([0u64, 1]);
+        let tv = h.tv_distance_to(|k| if k == 0 { 1.0 } else { 0.0 }, 5);
+        assert!((tv - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn tv_on_empty_panics() {
+        let h = IntHistogram::new();
+        let _ = h.tv_distance_to(|_| 0.0, 5);
+    }
+}

@@ -1,0 +1,48 @@
+//! # `pba-analysis` — numerics for balls-into-bins analysis
+//!
+//! Self-contained mathematical toolkit used by the experiment harness to
+//! compare measured allocations against the papers' theory:
+//!
+//! * [`special`] — `erf`, `ln Γ`, regularized incomplete gamma/beta
+//!   (continued-fraction evaluations, ~1e-12 accuracy).
+//! * [`normal`] — standard normal pdf/cdf/quantile and the Berry–Esseen
+//!   bound of Theorem 4.
+//! * [`binomial`] — exact binomial pmf/cdf (via the incomplete beta) and
+//!   tail probabilities; the load of a single bin is `Bin(m, 1/n)`.
+//! * [`chernoff`] — the multiplicative Chernoff bounds of Lemma 1, forward
+//!   and inverted.
+//! * [`summary`] — replication statistics: mean/variance/quantiles and
+//!   normal-approximation confidence intervals.
+//! * [`regression`] — least-squares line fits (used to check measured
+//!   round counts grow like `log log(m/n)` etc.).
+//! * [`predict`] — closed-form predictors for each protocol family's gap
+//!   and round count, including the paper's threshold recurrence
+//!   `m̃_{i+1} = m̃_i^{2/3} n^{1/3}`.
+//! * [`negassoc`] — empirical negative-association checks in the spirit of
+//!   Dubhashi–Ranjan (occupancy indicators are negatively associated).
+//!
+//! Everything is from scratch — no external numerics crates.
+
+pub mod binomial;
+pub mod chernoff;
+pub mod histogram;
+pub mod kolmogorov;
+pub mod negassoc;
+pub mod normal;
+pub mod poisson;
+pub mod predict;
+pub mod regression;
+pub mod special;
+pub mod summary;
+
+pub use binomial::Binomial;
+pub use chernoff::{chernoff_lower_tail, chernoff_upper_tail};
+pub use histogram::IntHistogram;
+pub use kolmogorov::{ks_distance_to, ks_distance_to_normal};
+pub use normal::{berry_esseen_bound, normal_cdf, normal_pdf, normal_quantile};
+pub use poisson::Poisson;
+pub use predict::{
+    predicted_rounds_threshold_heavy, single_choice_gap, threshold_schedule, two_choice_gap,
+};
+pub use regression::LinearFit;
+pub use summary::Summary;

@@ -1,0 +1,176 @@
+//! Empirical negative-association checks.
+//!
+//! Dubhashi–Ranjan: occupancy counts `X_1, …, X_n` of a balls-into-bins
+//! experiment are negatively associated, which is what licenses applying
+//! Chernoff bounds to sums of per-bin indicators (Claim 3 and the
+//! lower-bound concentration step). We cannot verify the full definition
+//! (all pairs of monotone functions on disjoint index sets), but we can
+//! verify its first-order consequence on samples: **pairwise negative
+//! correlation of monotone indicator functions**, i.e.
+//! `Cov(1[X_i ≥ a], 1[X_j ≥ b]) ≤ 0` for `i ≠ j` (up to sampling noise).
+//!
+//! The experiment suite uses this to sanity-check that the simulator's
+//! per-bin loads exhibit the negative dependence the proofs rely on.
+
+/// Sample covariance of two equal-length samples.
+///
+/// # Panics
+///
+/// Panics on mismatched lengths or fewer than 2 observations.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2);
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    xs.iter()
+        .zip(ys)
+        .map(|(&x, &y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / (n - 1.0)
+}
+
+/// Pearson correlation; returns 0 when either sample is constant.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let cov = covariance(xs, ys);
+    let vx = covariance(xs, xs);
+    let vy = covariance(ys, ys);
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    }
+}
+
+/// Result of an empirical negative-association check over bin pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NegAssocReport {
+    /// Number of (pair, threshold) combinations examined.
+    pub checks: usize,
+    /// Combinations whose sample covariance exceeded the tolerance.
+    pub violations: usize,
+    /// Largest (most positive) covariance observed.
+    pub worst_covariance: f64,
+}
+
+impl NegAssocReport {
+    /// True when no combination exceeded the tolerance.
+    pub fn holds(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Check pairwise negative correlation of threshold indicators over
+/// replicated load vectors.
+///
+/// `samples[s][b]` is bin `b`'s load in replication `s`. For every pair
+/// from `pairs` and every threshold in `thresholds`, computes the sample
+/// covariance of `1[X_i ≥ t]` and `1[X_j ≥ t]` and flags it when it
+/// exceeds `tolerance` (which should be a few standard errors,
+/// `O(1/√samples)`).
+pub fn check_indicator_negassoc(
+    samples: &[Vec<u32>],
+    pairs: &[(usize, usize)],
+    thresholds: &[u32],
+    tolerance: f64,
+) -> NegAssocReport {
+    assert!(samples.len() >= 2, "need at least 2 replications");
+    let mut checks = 0;
+    let mut violations = 0;
+    let mut worst = f64::NEG_INFINITY;
+    for &(i, j) in pairs {
+        assert_ne!(i, j, "pairs must be distinct bins");
+        for &t in thresholds {
+            let xs: Vec<f64> = samples
+                .iter()
+                .map(|s| f64::from(u8::from(s[i] >= t)))
+                .collect();
+            let ys: Vec<f64> = samples
+                .iter()
+                .map(|s| f64::from(u8::from(s[j] >= t)))
+                .collect();
+            let cov = covariance(&xs, &ys);
+            checks += 1;
+            worst = worst.max(cov);
+            if cov > tolerance {
+                violations += 1;
+            }
+        }
+    }
+    NegAssocReport {
+        checks,
+        violations,
+        worst_covariance: worst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covariance_of_identical_samples_is_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((covariance(&xs, &xs) - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_of_anticorrelated_is_negative() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [4.0, 3.0, 2.0, 1.0];
+        assert!(covariance(&xs, &ys) < 0.0);
+        assert!((correlation(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_constant_is_zero() {
+        let xs = [1.0, 1.0, 1.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(correlation(&xs, &ys), 0.0);
+    }
+
+    #[test]
+    fn multinomial_loads_pass_negassoc() {
+        // Simulate balls-into-bins directly: loads are multinomial, which
+        // IS negatively associated, so the check must pass with a sane
+        // tolerance.
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let n = 8usize;
+        let balls = 64u32;
+        let samples: Vec<Vec<u32>> = (0..4000)
+            .map(|_| {
+                let mut loads = vec![0u32; n];
+                for _ in 0..balls {
+                    loads[(next() % n as u32) as usize] += 1;
+                }
+                loads
+            })
+            .collect();
+        let pairs = [(0, 1), (2, 5), (3, 7)];
+        let thresholds = [6, 8, 10, 12];
+        let report = check_indicator_negassoc(&samples, &pairs, &thresholds, 0.02);
+        assert!(
+            report.holds(),
+            "worst covariance {}",
+            report.worst_covariance
+        );
+        assert_eq!(report.checks, 12);
+    }
+
+    #[test]
+    fn positively_correlated_loads_fail() {
+        // Construct a counterexample: both bins copy the same coin.
+        let samples: Vec<Vec<u32>> = (0..1000)
+            .map(|s| if s % 2 == 0 { vec![10, 10] } else { vec![0, 0] })
+            .collect();
+        let report = check_indicator_negassoc(&samples, &[(0, 1)], &[5], 0.05);
+        assert!(!report.holds());
+        assert!(report.worst_covariance > 0.2);
+    }
+}

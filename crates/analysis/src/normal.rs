@@ -1,0 +1,183 @@
+//! Standard normal distribution and the Berry–Esseen bound (Theorem 4 of
+//! the heavily loaded paper).
+
+use crate::special::erfc;
+
+/// Standard normal density `φ(x)`.
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF `Φ(x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 - 0.5 * erfc(x / std::f64::consts::SQRT_2)
+    } else {
+        0.5 * erfc(-x / std::f64::consts::SQRT_2)
+    }
+}
+
+/// Upper tail `1 − Φ(x)`, computed without cancellation.
+pub fn normal_sf(x: f64) -> f64 {
+    normal_cdf(-x)
+}
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// one Halley refinement step; |relative error| < 1e-13).
+///
+/// # Panics
+///
+/// Panics for `p` outside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+    // Acklam coefficients.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley step against the exact CDF.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// The Berry–Esseen bound of Theorem 4: for i.i.d. centered `Y_j` with
+/// variance `sigma2` and third absolute moment `rho`, the sup-distance
+/// between the CDF of the normalized sum of `m` terms and `Φ` is at most
+/// `c·ρ/(σ³·√m)`.
+///
+/// `c = 0.4748` (Shevtsova 2011), valid for all distributions.
+pub fn berry_esseen_bound(sigma2: f64, rho: f64, m: u64) -> f64 {
+    assert!(sigma2 > 0.0 && rho >= 0.0 && m > 0);
+    const C: f64 = 0.4748;
+    C * rho / (sigma2.powf(1.5) * (m as f64).sqrt())
+}
+
+/// Berry–Esseen bound specialized to Bernoulli(p) summands — the per-bin
+/// load in a single uniform round is `Bin(M, 1/n)`, i.e. a sum of
+/// Bernoulli(1/n) indicators. This is the bound Claim 5 of the heavily
+/// loaded paper instantiates.
+pub fn berry_esseen_bernoulli(p: f64, m: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p));
+    let q = 1.0 - p;
+    let sigma2 = p * q;
+    if sigma2 == 0.0 {
+        return 0.0;
+    }
+    // E|Y|³ for Y = X − p: ρ = pq(p² + q²)
+    let rho = p * q * (p * p + q * q);
+    berry_esseen_bound(sigma2, rho, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        close(normal_cdf(0.0), 0.5, 1e-14);
+        close(normal_cdf(1.0), 0.841_344_746_068_543, 1e-10);
+        close(normal_cdf(-1.0), 0.158_655_253_931_457, 1e-10);
+        close(normal_cdf(1.959_963_984_540_054), 0.975, 1e-9);
+    }
+
+    #[test]
+    fn sf_symmetry() {
+        for x in [0.0, 0.5, 1.0, 2.5, 4.0] {
+            close(normal_sf(x), normal_cdf(-x), 1e-14);
+            close(normal_cdf(x) + normal_sf(x), 1.0, 1e-13);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for p in [0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let x = normal_quantile(p);
+            close(normal_cdf(x), p, 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_median_is_zero() {
+        close(normal_quantile(0.5), 0.0, 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_rejects_zero() {
+        normal_quantile(0.0);
+    }
+
+    #[test]
+    fn pdf_peak_value() {
+        close(normal_pdf(0.0), 0.398_942_280_401_432_7, 1e-12);
+    }
+
+    #[test]
+    fn berry_esseen_shrinks_with_m() {
+        let b1 = berry_esseen_bernoulli(0.001, 10_000);
+        let b2 = berry_esseen_bernoulli(0.001, 1_000_000);
+        assert!(b2 < b1);
+        close(b1 / b2, 10.0, 1e-9); // ∝ 1/√m
+    }
+
+    #[test]
+    fn berry_esseen_bernoulli_matches_generic() {
+        let p = 0.01f64;
+        let q = 1.0 - p;
+        let generic = berry_esseen_bound(p * q, p * q * (p * p + q * q), 5000);
+        close(berry_esseen_bernoulli(p, 5000), generic, 1e-15);
+    }
+
+    #[test]
+    fn berry_esseen_degenerate_p() {
+        assert_eq!(berry_esseen_bernoulli(0.0, 100), 0.0);
+        assert_eq!(berry_esseen_bernoulli(1.0, 100), 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Poisson distribution.
+//!
+//! `Bin(m, 1/n) → Poisson(m/n)` as `n → ∞`, and the literature's
+//! heuristic "Poissonization" replaces per-bin loads with independent
+//! Poissons. Exact tails come from the regularized incomplete gamma:
+//! `P[X ≤ k] = Q(k+1, λ)`.
+
+use crate::special::{ln_gamma, reg_gamma_p, reg_gamma_q};
+
+/// A Poisson distribution with rate `λ > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Construct `Poisson(λ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `λ > 0` and finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite(), "invalid λ = {lambda}");
+        Self { lambda }
+    }
+
+    /// The rate parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Mean (= λ).
+    pub fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Variance (= λ).
+    pub fn variance(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Log probability mass at `k`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        let k_f = k as f64;
+        k_f * self.lambda.ln() - self.lambda - ln_gamma(k_f + 1.0)
+    }
+
+    /// Probability mass `P[X = k]`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// CDF `P[X ≤ k] = Q(k+1, λ)`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        reg_gamma_q((k + 1) as f64, self.lambda)
+    }
+
+    /// Upper tail `P[X ≥ k] = P(k, λ)` for `k ≥ 1`; 1 for `k = 0`.
+    pub fn sf(&self, k: u64) -> f64 {
+        if k == 0 {
+            1.0
+        } else {
+            reg_gamma_p(k as f64, self.lambda)
+        }
+    }
+
+    /// Smallest `k` with `P[X ≤ k] ≥ q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..1.0).contains(&q), "q = {q} outside [0,1)");
+        if q <= 0.0 {
+            return 0;
+        }
+        // Exponential search then bisection on the exact CDF.
+        let mut hi = (self.lambda + 10.0 * self.lambda.sqrt() + 10.0) as u64;
+        while self.cdf(hi) < q {
+            hi = hi * 2 + 1;
+        }
+        let mut lo = 0u64;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.cdf(mid) >= q {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial::Binomial;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn pmf_small_values() {
+        // Poisson(2): P[X=0] = e^{-2}, P[X=1] = 2e^{-2}, P[X=2] = 2e^{-2}.
+        let p = Poisson::new(2.0);
+        close(p.pmf(0), (-2.0f64).exp(), 1e-12);
+        close(p.pmf(1), 2.0 * (-2.0f64).exp(), 1e-12);
+        close(p.pmf(2), 2.0 * (-2.0f64).exp(), 1e-12);
+    }
+
+    #[test]
+    fn cdf_matches_pmf_sum() {
+        let p = Poisson::new(3.7);
+        let mut acc = 0.0;
+        for k in 0..30 {
+            acc += p.pmf(k);
+            close(p.cdf(k), acc, 1e-10);
+        }
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        let p = Poisson::new(5.0);
+        for k in 1..25 {
+            close(p.sf(k), 1.0 - p.cdf(k - 1), 1e-10);
+        }
+        assert_eq!(p.sf(0), 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let p = Poisson::new(10.0);
+        for q in [0.01, 0.25, 0.5, 0.9, 0.999] {
+            let k = p.quantile(q);
+            assert!(p.cdf(k) >= q);
+            if k > 0 {
+                assert!(p.cdf(k - 1) < q);
+            }
+        }
+    }
+
+    #[test]
+    fn approximates_binomial_limit() {
+        // Bin(100000, λ/100000) ≈ Poisson(λ).
+        let lambda = 4.0;
+        let n = 100_000u64;
+        let b = Binomial::new(n, lambda / n as f64);
+        let p = Poisson::new(lambda);
+        for k in 0..15 {
+            close(b.pmf(k), p.pmf(k), 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn zero_lambda_rejected() {
+        let _ = Poisson::new(0.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Special functions: error function, log-gamma, regularized incomplete
+//! gamma and beta functions.
+//!
+//! Implementations follow the classical numerical-recipes formulations
+//! (Lanczos approximation for `ln Γ`, series + continued fractions for the
+//! incomplete functions, Abramowitz–Stegun 7.1.26-style rational
+//! approximation refined to double precision for `erf`). Accuracy is
+//! ~1e-12 relative over the ranges exercised by the experiments; unit
+//! tests pin known values.
+
+/// Machine-precision guard for iterative evaluations.
+const EPS: f64 = 1e-15;
+/// Tiny number to avoid division by zero in continued fractions.
+const FPMIN: f64 = 1e-300;
+/// Iteration cap for series/continued fractions.
+const MAX_ITER: usize = 500;
+
+/// Natural log of the gamma function, `ln Γ(x)` for `x > 0`.
+///
+/// Lanczos approximation (g = 7, n = 9 coefficients), |ε| < 2e-10 over the
+/// positive reals, considerably better for `x ≥ 1`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Coefficients for g = 7.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12f64,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a,x)/Γ(a)`.
+pub fn reg_gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "invalid args a={a} x={x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+pub fn reg_gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "invalid args a={a} x={x}");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Error function `erf(x)`, via the regularized incomplete gamma
+/// (`erf(x) = P(1/2, x²)` for `x ≥ 0`), accurate to ~1e-12.
+pub fn erf(x: f64) -> f64 {
+    if x < 0.0 {
+        -erf(-x)
+    } else if x == 0.0 {
+        0.0
+    } else {
+        reg_gamma_p(0.5, x * x)
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`, computed without
+/// cancellation for large `x`.
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        2.0 - erfc(-x)
+    } else if x == 0.0 {
+        1.0
+    } else {
+        reg_gamma_q(0.5, x * x)
+    }
+}
+
+/// Regularized incomplete beta `I_x(a, b)` (continued fraction).
+///
+/// The binomial CDF is `P[X ≤ k] = I_{1−p}(n−k, k+1)` for `X ~ Bin(n, p)`.
+pub fn reg_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "invalid args a={a} b={b}");
+    assert!((0.0..=1.0).contains(&x), "x={x} outside [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * b.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn ln_gamma_integers_match_factorials() {
+        // Γ(n) = (n−1)!
+        let facts: [f64; 8] = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (i, &f) in facts.iter().enumerate() {
+            close(ln_gamma((i + 1) as f64), f.ln(), 1e-10);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π
+        close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-10);
+        // Γ(3/2) = √π/2
+        close(
+            ln_gamma(1.5),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-10,
+        );
+    }
+
+    #[test]
+    fn erf_known_values() {
+        close(erf(0.0), 0.0, 1e-15);
+        close(erf(1.0), 0.842_700_792_949_714_9, 1e-10);
+        close(erf(2.0), 0.995_322_265_018_952_7, 1e-10);
+        close(erf(-1.0), -0.842_700_792_949_714_9, 1e-10);
+    }
+
+    #[test]
+    fn erfc_large_x_no_cancellation() {
+        // erfc(5) ≈ 1.5375e-12; naive 1-erf would lose all digits.
+        let v = erfc(5.0);
+        close(v, 1.537_459_794_428_035e-12, 1e-6);
+        assert!(v > 0.0);
+    }
+
+    #[test]
+    fn erf_plus_erfc_is_one() {
+        for x in [-3.0, -1.0, -0.1, 0.0, 0.3, 1.7, 4.0] {
+            close(erf(x) + erfc(x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn reg_gamma_complementarity() {
+        for (a, x) in [(0.5, 0.3), (2.0, 1.0), (5.0, 7.0), (10.0, 3.0)] {
+            close(reg_gamma_p(a, x) + reg_gamma_q(a, x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn reg_gamma_poisson_identity() {
+        // For integer a: Q(a, x) = P[Poisson(x) < a] = Σ_{k<a} e^{-x} x^k/k!
+        let x = 2.5f64;
+        let a = 4;
+        let mut sum = 0.0;
+        let mut term = (-x).exp();
+        for k in 0..a {
+            sum += term;
+            term *= x / (k + 1) as f64;
+        }
+        close(reg_gamma_q(a as f64, x), sum, 1e-10);
+    }
+
+    #[test]
+    fn reg_beta_boundaries_and_symmetry() {
+        assert_eq!(reg_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(reg_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 − I_{1−x}(b,a)
+        for (a, b, x) in [(2.0, 3.0, 0.4), (0.5, 0.5, 0.2), (7.0, 1.5, 0.8)] {
+            close(reg_beta(a, b, x), 1.0 - reg_beta(b, a, 1.0 - x), 1e-12);
+        }
+    }
+
+    #[test]
+    fn reg_beta_uniform_case() {
+        // I_x(1, 1) = x
+        for x in [0.1, 0.5, 0.9] {
+            close(reg_beta(1.0, 1.0, x), x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn reg_beta_known_value() {
+        // I_{0.5}(2, 2) = 0.5 by symmetry
+        close(reg_beta(2.0, 2.0, 0.5), 0.5, 1e-12);
+        // I_x(1, b) = 1 − (1−x)^b
+        close(reg_beta(1.0, 3.0, 0.25), 1.0 - 0.75f64.powi(3), 1e-12);
+    }
+}

@@ -1,0 +1,89 @@
+//! Engine microbenchmarks: full-protocol throughput on both executors.
+//!
+//! The quantity of interest is balls placed per second of wall time; the
+//! parallel executor must match the sequential result bit-for-bit, so
+//! any speedup is free fidelity-wise (on this benchmarking box the pool
+//! may have a single core — see `examples/parallel_speedup.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pba_core::{ExecutorKind, ProblemSpec, RunConfig, Simulator};
+use pba_protocols::{SingleChoice, ThresholdHeavy};
+
+fn bench_single_choice_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/single_choice_one_round");
+    group.sample_size(10);
+    for shift in [16u32, 20] {
+        let m = 1u64 << shift;
+        let spec = ProblemSpec::new(m, 1 << 10).unwrap();
+        group.throughput(Throughput::Elements(m));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m=2^{shift}")),
+            &spec,
+            |b, &spec| {
+                b.iter(|| {
+                    let cfg = RunConfig::seeded(1).with_trace(false);
+                    Simulator::new(spec, cfg)
+                        .run(SingleChoice::new(spec))
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_threshold_heavy_executors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/threshold_heavy_full_run");
+    group.sample_size(10);
+    let spec = ProblemSpec::new(1 << 21, 1 << 10).unwrap();
+    group.throughput(Throughput::Elements(spec.balls()));
+    for (label, exec) in [
+        ("sequential", ExecutorKind::Sequential),
+        ("parallel", ExecutorKind::Parallel),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &exec, |b, &exec| {
+            b.iter(|| {
+                let cfg = RunConfig::seeded(1).with_executor(exec).with_trace(false);
+                Simulator::new(spec, cfg)
+                    .run(ThresholdHeavy::new(spec))
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tracking_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/tracking_overhead");
+    group.sample_size(10);
+    let spec = ProblemSpec::new(1 << 19, 1 << 9).unwrap();
+    for (label, tracking) in [
+        ("totals", pba_core::MessageTracking::Totals),
+        ("per_bin", pba_core::MessageTracking::PerBin),
+        ("full", pba_core::MessageTracking::Full),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &tracking,
+            |b, &tracking| {
+                b.iter(|| {
+                    let cfg = RunConfig::seeded(1)
+                        .with_tracking(tracking)
+                        .with_trace(false);
+                    Simulator::new(spec, cfg)
+                        .run(ThresholdHeavy::new(spec))
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_choice_round,
+    bench_threshold_heavy_executors,
+    bench_tracking_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! One bench target per reproduced experiment (E1–E13).
+//!
+//! Each target regenerates its experiment's table at smoke scale — the
+//! same code path `pba-run <id> --scale full` uses for the numbers in
+//! `EXPERIMENTS.md` — so `cargo bench` exercises every table/figure
+//! reproduction end to end and tracks its cost over time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pba_runner::{all_experiments, Scale};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    for experiment in all_experiments() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(experiment.id()),
+            &experiment,
+            |b, experiment| {
+                b.iter(|| {
+                    let report = experiment.run(Scale::Smoke);
+                    assert!(!report.tables.is_empty());
+                    report
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Per-protocol wall-time benchmarks on a common heavy instance
+//! (m = 2^18, n = 2^10) and on the balanced instance (m = n = 2^14).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pba_core::{ProblemSpec, RunConfig};
+use pba_protocols::run_by_name;
+
+fn bench_heavy_instance(c: &mut Criterion) {
+    let spec = ProblemSpec::new(1 << 18, 1 << 10).unwrap();
+    let mut group = c.benchmark_group("protocols/heavy_m2e18_n2e10");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(spec.balls()));
+    for &name in pba_protocols::protocol_names() {
+        if name == "trivial-round-robin" {
+            continue; // Θ(n) rounds; benched separately at small n
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+            b.iter(|| {
+                let cfg = RunConfig::seeded(1).with_trace(false);
+                run_by_name(name, spec, cfg).unwrap().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_balanced_instance(c: &mut Criterion) {
+    let n = 1u32 << 14;
+    let spec = ProblemSpec::new(n as u64, n).unwrap();
+    let mut group = c.benchmark_group("protocols/balanced_m_eq_n_2e14");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(spec.balls()));
+    for &name in &[
+        "single-choice",
+        "collision",
+        "a-light",
+        "adler-greedy",
+        "asymmetric",
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, name| {
+            b.iter(|| {
+                let cfg = RunConfig::seeded(1).with_trace(false);
+                run_by_name(name, spec, cfg).unwrap().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequential_baselines(c: &mut Criterion) {
+    let spec = ProblemSpec::new(1 << 18, 1 << 10).unwrap();
+    let mut group = c.benchmark_group("protocols/sequential_baselines");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(spec.balls()));
+    group.bench_function("greedy_d2", |b| {
+        b.iter(|| pba_protocols::seq::GreedyD::two_choice(spec).run(1))
+    });
+    group.bench_function("always_go_left_d2", |b| {
+        b.iter(|| pba_protocols::seq::AlwaysGoLeft::new(spec, 2).run(1))
+    });
+    group.bench_function("one_plus_beta_0_5", |b| {
+        b.iter(|| pba_protocols::seq::OnePlusBeta::new(spec, 0.5).run(1))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_heavy_instance,
+    bench_balanced_instance,
+    bench_sequential_baselines
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! `pba-par` substrate benchmarks: the data-parallel primitives the
+//! engine is built on, against their sequential equivalents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pba_par::{par_chunks_mut, par_map_indexed, par_sum_u64, ThreadPool};
+
+const N: usize = 1 << 22;
+
+fn bench_sum(c: &mut Criterion) {
+    let pool = ThreadPool::with_default_size();
+    let data: Vec<u64> = (0..N as u64).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+    let mut group = c.benchmark_group("substrate/sum_4M");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| data.iter().copied().sum::<u64>())
+    });
+    group.bench_function("par_sum_u64", |b| {
+        b.iter(|| par_sum_u64(&pool, N, 64 * 1024, |i| data[i]))
+    });
+    group.finish();
+}
+
+fn bench_map_fill(c: &mut Criterion) {
+    let pool = ThreadPool::with_default_size();
+    let mut group = c.benchmark_group("substrate/fill_4M");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("sequential_collect", |b| {
+        b.iter(|| {
+            (0..N as u64)
+                .map(|i| i.wrapping_mul(123))
+                .collect::<Vec<u64>>()
+        })
+    });
+    group.bench_function("par_map_indexed", |b| {
+        b.iter(|| par_map_indexed(&pool, N, 64 * 1024, |i| (i as u64).wrapping_mul(123)))
+    });
+    group.finish();
+}
+
+fn bench_chunks_mut(c: &mut Criterion) {
+    let pool = ThreadPool::with_default_size();
+    let mut buf = vec![0u64; N];
+    let mut group = c.benchmark_group("substrate/chunks_mut_4M");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_with_input(BenchmarkId::from_parameter("par"), &(), |b, _| {
+        b.iter(|| {
+            par_chunks_mut(&pool, &mut buf, 64 * 1024, |offset, chunk| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = (offset + k) as u64;
+                }
+            });
+        })
+    });
+    group.finish();
+}
+
+fn bench_pool_dispatch(c: &mut Criterion) {
+    let pool = ThreadPool::with_default_size();
+    let mut group = c.benchmark_group("substrate/dispatch_latency");
+    group.bench_function("run_indexed_16_tasks", |b| {
+        b.iter(|| pool.run_indexed(16, |_| std::hint::black_box(())))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sum,
+    bench_map_fill,
+    bench_chunks_mut,
+    bench_pool_dispatch
+);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Bench helpers; criterion targets live in `benches/`.

@@ -1,0 +1,198 @@
+//! Final allocation: loads, optional per-ball assignment, verification.
+
+use serde::{Deserialize, Serialize};
+
+use crate::load::LoadStats;
+use crate::model::ProblemSpec;
+
+/// A completed allocation of balls to bins.
+///
+/// The load vector is always present. The per-ball assignment is optional
+/// (it costs `O(m)` memory and is only needed when a caller wants to route
+/// actual items, e.g. the DHT example).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Allocation {
+    spec: ProblemSpec,
+    loads: Vec<u32>,
+    assignment: Option<Vec<u32>>,
+}
+
+/// A structural defect found by [`Allocation::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocationDefect {
+    /// Load vector length differs from `n`.
+    WrongBinCount { expected: u32, found: usize },
+    /// Loads do not sum to `m`.
+    WrongTotal { expected: u64, found: u64 },
+    /// Assignment length differs from `m`.
+    WrongBallCount { expected: u64, found: usize },
+    /// A ball is assigned to a bin outside `0..n`.
+    AssignmentOutOfRange { ball: u64, bin: u32 },
+    /// Assignment-derived loads disagree with the load vector.
+    InconsistentLoads {
+        bin: u32,
+        from_assignment: u32,
+        recorded: u32,
+    },
+}
+
+impl Allocation {
+    /// Build an allocation from parts. Use [`Allocation::verify`] to check
+    /// structural invariants.
+    pub fn new(spec: ProblemSpec, loads: Vec<u32>, assignment: Option<Vec<u32>>) -> Self {
+        Self {
+            spec,
+            loads,
+            assignment,
+        }
+    }
+
+    /// The problem instance this allocation solves.
+    pub fn spec(&self) -> ProblemSpec {
+        self.spec
+    }
+
+    /// Per-bin load vector (length `n`).
+    pub fn loads(&self) -> &[u32] {
+        &self.loads
+    }
+
+    /// Per-ball assignment (length `m`), if tracked.
+    pub fn assignment(&self) -> Option<&[u32]> {
+        self.assignment.as_deref()
+    }
+
+    /// Bin of `ball`, if the assignment was tracked.
+    pub fn bin_of(&self, ball: u64) -> Option<u32> {
+        self.assignment
+            .as_ref()
+            .and_then(|a| a.get(ball as usize).copied())
+    }
+
+    /// Summary statistics of the load vector.
+    pub fn load_stats(&self) -> LoadStats {
+        LoadStats::from_loads(&self.loads)
+    }
+
+    /// Check every structural invariant, returning all defects found.
+    ///
+    /// A well-formed allocation has: `n` loads summing to `m`; if the
+    /// assignment is present, `m` entries, all in range, and recomputing
+    /// loads from it reproduces the load vector exactly.
+    pub fn verify(&self) -> Vec<AllocationDefect> {
+        let mut defects = Vec::new();
+        let n = self.spec.bins();
+        let m = self.spec.balls();
+
+        if self.loads.len() != n as usize {
+            defects.push(AllocationDefect::WrongBinCount {
+                expected: n,
+                found: self.loads.len(),
+            });
+            return defects; // everything below indexes by bin
+        }
+        let total: u64 = self.loads.iter().map(|&l| l as u64).sum();
+        if total != m {
+            defects.push(AllocationDefect::WrongTotal {
+                expected: m,
+                found: total,
+            });
+        }
+        if let Some(assignment) = &self.assignment {
+            if assignment.len() != m as usize {
+                defects.push(AllocationDefect::WrongBallCount {
+                    expected: m,
+                    found: assignment.len(),
+                });
+            }
+            let mut derived = vec![0u32; n as usize];
+            for (ball, &bin) in assignment.iter().enumerate() {
+                if bin >= n {
+                    defects.push(AllocationDefect::AssignmentOutOfRange {
+                        ball: ball as u64,
+                        bin,
+                    });
+                } else {
+                    derived[bin as usize] += 1;
+                }
+            }
+            for (bin, (&d, &r)) in derived.iter().zip(&self.loads).enumerate() {
+                if d != r {
+                    defects.push(AllocationDefect::InconsistentLoads {
+                        bin: bin as u32,
+                        from_assignment: d,
+                        recorded: r,
+                    });
+                }
+            }
+        }
+        defects
+    }
+
+    /// True when [`Allocation::verify`] finds no defects.
+    pub fn is_well_formed(&self) -> bool {
+        self.verify().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(m: u64, n: u32) -> ProblemSpec {
+        ProblemSpec::new(m, n).unwrap()
+    }
+
+    #[test]
+    fn well_formed_allocation_passes() {
+        let a = Allocation::new(spec(5, 3), vec![2, 2, 1], Some(vec![0, 0, 1, 1, 2]));
+        assert!(a.is_well_formed());
+        assert_eq!(a.bin_of(2), Some(1));
+        assert_eq!(a.load_stats().max(), 2);
+    }
+
+    #[test]
+    fn wrong_total_detected() {
+        let a = Allocation::new(spec(5, 3), vec![2, 2, 2], None);
+        let d = a.verify();
+        assert!(d.contains(&AllocationDefect::WrongTotal {
+            expected: 5,
+            found: 6
+        }));
+    }
+
+    #[test]
+    fn wrong_bin_count_detected() {
+        let a = Allocation::new(spec(5, 3), vec![5], None);
+        assert!(matches!(
+            a.verify()[0],
+            AllocationDefect::WrongBinCount { .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_assignment_detected() {
+        let a = Allocation::new(spec(2, 2), vec![1, 1], Some(vec![0, 7]));
+        let d = a.verify();
+        assert!(d.iter().any(|x| matches!(
+            x,
+            AllocationDefect::AssignmentOutOfRange { ball: 1, bin: 7 }
+        )));
+    }
+
+    #[test]
+    fn inconsistent_loads_detected() {
+        let a = Allocation::new(spec(2, 2), vec![2, 0], Some(vec![0, 1]));
+        let d = a.verify();
+        assert!(d
+            .iter()
+            .any(|x| matches!(x, AllocationDefect::InconsistentLoads { .. })));
+    }
+
+    #[test]
+    fn assignment_absent_is_fine() {
+        let a = Allocation::new(spec(4, 2), vec![2, 2], None);
+        assert!(a.is_well_formed());
+        assert_eq!(a.bin_of(0), None);
+    }
+}

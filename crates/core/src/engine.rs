@@ -1,0 +1,821 @@
+//! Round execution: gather requests, count arrivals, grant, resolve,
+//! commit.
+//!
+//! Two executors share all data structures:
+//!
+//! * **Sequential** — one pass per phase, bit-for-bit deterministic given
+//!   the seed. Acceptance is resolved in *canonical request order* (balls
+//!   in id order, each ball's requests in emission order), which is a
+//!   legitimate instance of the papers' "bins accept an arbitrary subset".
+//! * **Parallel** — the same semantics as chunked data-parallel passes on
+//!   [`pba_par`], and **bit-identical to the sequential executor**. The
+//!   active set is split into fixed chunks; each chunk gathers its balls'
+//!   requests into a chunk-local buffer (per-ball RNG streams are
+//!   counter-based, so any lane regenerates the same choices), counts its
+//!   per-bin arrivals, and — after a cheap serial exclusive scan of the
+//!   per-chunk counts that assigns every request its global *arrival
+//!   rank* — resolves and commits its own balls. A request is accepted
+//!   iff its rank is below the bin's grant: exactly the sequential
+//!   executor's first-`grant`-arrivals rule, with no serial O(m) work
+//!   and no flat request buffer.
+//!
+//! The `SimState` struct owns workhorse buffers that are reused across
+//! rounds (no per-round allocation on the sequential path; the parallel
+//! path allocates only chunk-local buffers).
+
+use std::sync::atomic::Ordering;
+
+use pba_par::{as_atomic_u32, Chunking, ThreadPool};
+
+use crate::error::{CoreError, Result};
+use crate::messages::{MessageLedger, MessageStats, MessageTracking};
+use crate::model::ProblemSpec;
+use crate::protocol::{BallContext, ChoiceSink, CommitOption, RoundContext, RoundProtocol};
+use crate::rng::ball_stream;
+use crate::trace::RoundRecord;
+
+/// Minimum active balls per parallel chunk; below `PAR_CUTOFF` total the
+/// parallel executor falls back to the sequential path for the round.
+const MIN_CHUNK: usize = 16 * 1024;
+const PAR_CUTOFF: usize = 64 * 1024;
+
+/// Mutable simulation state: loads, active set, per-ball protocol state,
+/// message ledger, and reusable scratch buffers.
+pub(crate) struct SimState<P: RoundProtocol> {
+    pub spec: ProblemSpec,
+    pub seed: u64,
+    pub loads: Vec<u32>,
+    pub active: Vec<u32>,
+    pub ball_state: Vec<P::BallState>,
+    pub assignment: Option<Vec<u32>>,
+    pub ledger: MessageLedger,
+    pub placed: u64,
+    // Scratch (reused across rounds).
+    next_active: Vec<u32>,
+    req_bins: Vec<u32>,
+    req_offsets: Vec<u32>,
+    counts: Vec<u32>,
+    accept: Vec<u32>,
+    want: Vec<u32>,
+    taken: Vec<u32>,
+    /// Load snapshot at round start, populated only for protocols with
+    /// `NEEDS_COMMIT_CHOICE` (GREEDY-style height information).
+    loads_before: Vec<u32>,
+}
+
+/// One chunk's gathered requests in the parallel executor.
+struct GatherChunk {
+    /// First index into `active` covered by this chunk.
+    start: usize,
+    /// Flat per-request bin ids, ball-major within the chunk.
+    bins: Vec<u32>,
+    /// Per-ball request counts, aligned with `active[start..]`.
+    degrees: Vec<u32>,
+    /// Per-bin arrival counts of this chunk; after the exclusive scan,
+    /// the global arrival rank of the chunk's first request to each bin.
+    counts: Vec<u32>,
+    out_of_range: Option<u64>,
+}
+
+/// Output of one resolve chunk in the parallel executor.
+struct ResolveChunk {
+    still_active: Vec<u32>,
+    committed: u64,
+    wasted: u64,
+    commit_msgs: u64,
+}
+
+impl<P: RoundProtocol> SimState<P> {
+    pub fn new(
+        spec: ProblemSpec,
+        seed: u64,
+        tracking: MessageTracking,
+        track_assignment: bool,
+    ) -> Self {
+        let n = spec.bins() as usize;
+        let m = spec.balls();
+        Self {
+            spec,
+            seed,
+            loads: vec![0; n],
+            active: (0..m as u32).collect(),
+            ball_state: vec![P::BallState::default(); m as usize],
+            assignment: track_assignment.then(|| vec![u32::MAX; m as usize]),
+            ledger: MessageLedger::new(tracking, spec.bins(), m),
+            placed: 0,
+            next_active: Vec::with_capacity(m as usize),
+            req_bins: Vec::new(),
+            req_offsets: Vec::new(),
+            counts: vec![0; n],
+            accept: vec![0; n],
+            want: vec![0; n],
+            taken: vec![0; n],
+            loads_before: Vec::new(),
+        }
+    }
+
+    /// Snapshot loads for `pick_commit`'s `load_before` field.
+    fn snapshot_loads(&mut self) {
+        if P::NEEDS_COMMIT_CHOICE {
+            self.loads_before.clear();
+            self.loads_before.extend_from_slice(&self.loads);
+        }
+    }
+
+    pub fn context(&self, round: u32) -> RoundContext {
+        RoundContext {
+            spec: self.spec,
+            round,
+            active: self.active.len() as u64,
+            placed: self.placed,
+            seed: self.seed,
+        }
+    }
+
+    /// Execute one round sequentially.
+    pub fn round_seq(&mut self, protocol: &P, round: u32) -> Result<RoundRecord> {
+        let ctx = self.context(round);
+        self.gather_seq(protocol, &ctx)?;
+        self.count_arrivals_seq();
+        let (underloaded_bins, unfilled_want) = self.grants_seq(protocol, &ctx);
+        let record = self.resolve_seq(protocol, &ctx, underloaded_bins, unfilled_want);
+        Ok(record)
+    }
+
+    // ----- sequential phases -------------------------------------------
+
+    fn gather_seq(&mut self, protocol: &P, ctx: &RoundContext) -> Result<()> {
+        let n = self.spec.bins();
+        self.req_bins.clear();
+        self.req_offsets.clear();
+        self.req_offsets.push(0);
+        let mut out_of_range = None;
+        for &ball in &self.active {
+            let mut rng = ball_stream(self.seed, ctx.round, ball as u64);
+            let mut sink = ChoiceSink::new(&mut self.req_bins, n);
+            protocol.ball_choices(
+                ctx,
+                BallContext { ball },
+                &mut self.ball_state[ball as usize],
+                &mut rng,
+                &mut sink,
+            );
+            if let Some(b) = sink.out_of_range() {
+                out_of_range.get_or_insert(b);
+            }
+            self.req_offsets.push(self.req_bins.len() as u32);
+        }
+        if let Some(bin) = out_of_range {
+            return Err(CoreError::BinOutOfRange {
+                bin,
+                n: n as u64,
+                round: ctx.round,
+            });
+        }
+        Ok(())
+    }
+
+    fn count_arrivals_seq(&mut self) {
+        self.counts.fill(0);
+        for &bin in &self.req_bins {
+            self.counts[bin as usize] += 1;
+        }
+    }
+
+    fn grants_seq(&mut self, protocol: &P, ctx: &RoundContext) -> (u32, u64) {
+        let mut underloaded = 0u32;
+        let mut unfilled = 0u64;
+        for bin in 0..self.spec.bins() {
+            let i = bin as usize;
+            let arrivals = self.counts[i];
+            let g = protocol.bin_grant(ctx, bin, self.loads[i], arrivals);
+            self.accept[i] = g.accept.min(arrivals);
+            self.want[i] = g.want;
+            if arrivals < g.want {
+                underloaded += 1;
+                unfilled += (g.want - arrivals) as u64;
+            }
+        }
+        (underloaded, unfilled)
+    }
+
+    fn resolve_seq(
+        &mut self,
+        protocol: &P,
+        ctx: &RoundContext,
+        underloaded_bins: u32,
+        unfilled_want: u64,
+    ) -> RoundRecord {
+        self.snapshot_loads();
+        self.taken.fill(0);
+        self.next_active.clear();
+        let mut committed = 0u64;
+        let mut wasted = 0u64;
+        let mut commit_msgs = 0u64;
+        let mut options: Vec<CommitOption> = Vec::new();
+
+        for (i, &ball) in self.active.iter().enumerate() {
+            let start = self.req_offsets[i] as usize;
+            let end = self.req_offsets[i + 1] as usize;
+            let mut commit: Option<u32> = None;
+            let mut accepts = 0u32;
+            if P::NEEDS_COMMIT_CHOICE {
+                options.clear();
+            }
+            for &bin in &self.req_bins[start..end] {
+                let b = bin as usize;
+                let slot = self.taken[b];
+                if slot < self.accept[b] {
+                    self.taken[b] = slot + 1;
+                    accepts += 1;
+                    if P::NEEDS_COMMIT_CHOICE {
+                        options.push(CommitOption {
+                            bin,
+                            slot,
+                            load_before: self.loads_before[b],
+                        });
+                    } else if commit.is_none() {
+                        commit = Some(protocol.redirect(ctx, bin, slot));
+                    } else {
+                        wasted += 1;
+                    }
+                }
+            }
+            if P::NEEDS_COMMIT_CHOICE && !options.is_empty() {
+                let pick = protocol
+                    .pick_commit(ctx, BallContext { ball }, &options)
+                    .min(options.len() - 1);
+                let chosen = options[pick];
+                commit = Some(protocol.redirect(ctx, chosen.bin, chosen.slot));
+                wasted += (options.len() - 1) as u64;
+            }
+            commit_msgs += accepts as u64;
+            let degree = (end - start) as u32;
+            if let Some(sent) = self.ledger.per_ball_sent.as_mut() {
+                sent[ball as usize] += degree + accepts;
+            }
+            if let Some(target) = commit {
+                self.loads[target as usize] += 1;
+                committed += 1;
+                if let Some(a) = self.assignment.as_mut() {
+                    a[ball as usize] = target;
+                }
+            } else {
+                self.next_active.push(ball);
+            }
+        }
+
+        let requests = self.req_bins.len() as u64;
+        self.finish_round(
+            ctx,
+            requests,
+            committed,
+            wasted,
+            commit_msgs,
+            underloaded_bins,
+            unfilled_want,
+        )
+    }
+
+    // ----- parallel round ------------------------------------------------
+
+    /// Execute one round on the pool (falls back to the sequential path
+    /// for small active sets).
+    ///
+    /// Five phases; only the exclusive scan over per-chunk bin counts
+    /// (`O(chunks·n)`) and the final bookkeeping (`O(n)`) are serial.
+    pub fn round_par(
+        &mut self,
+        protocol: &P,
+        round: u32,
+        pool: &ThreadPool,
+    ) -> Result<RoundRecord> {
+        if self.active.len() < PAR_CUTOFF || pool.lanes() <= 1 {
+            return self.round_seq(protocol, round);
+        }
+        let ctx = self.context(round);
+        self.snapshot_loads();
+        let n = self.spec.bins() as usize;
+        let chunking = Chunking::new(self.active.len(), MIN_CHUNK, pool.lanes() * 2);
+
+        // --- Phase 1+2 (parallel): gather chunk requests and count the
+        // chunk's per-bin arrivals.
+        let active = &self.active;
+        let state_ptr = self.ball_state.as_mut_ptr() as usize;
+        let seed = self.seed;
+        let mut chunks: Vec<GatherChunk> =
+            pba_par::par_map_indexed(pool, chunking.chunks(), 1, |ci| {
+                let r = chunking.range(ci);
+                let start = r.start;
+                let mut bins = Vec::with_capacity(r.len() + r.len() / 2);
+                let mut degrees = Vec::with_capacity(r.len());
+                let mut out_of_range = None;
+                for &ball in &active[r] {
+                    let mut rng = ball_stream(seed, ctx.round, ball as u64);
+                    let before = bins.len();
+                    let mut sink = ChoiceSink::new(&mut bins, self.spec.bins());
+                    // SAFETY: each ball id appears in exactly one chunk, so
+                    // state slots are touched by exactly one task.
+                    let state =
+                        unsafe { &mut *(state_ptr as *mut P::BallState).add(ball as usize) };
+                    protocol.ball_choices(&ctx, BallContext { ball }, state, &mut rng, &mut sink);
+                    if let Some(b) = sink.out_of_range() {
+                        out_of_range.get_or_insert(b);
+                    }
+                    degrees.push((bins.len() - before) as u32);
+                }
+                let mut counts = vec![0u32; n];
+                for &b in &bins {
+                    counts[b as usize] += 1;
+                }
+                GatherChunk {
+                    start,
+                    bins,
+                    degrees,
+                    counts,
+                    out_of_range,
+                }
+            });
+
+        let mut requests = 0u64;
+        for c in &chunks {
+            if let Some(bin) = c.out_of_range {
+                return Err(CoreError::BinOutOfRange {
+                    bin,
+                    n: n as u64,
+                    round: ctx.round,
+                });
+            }
+            requests += c.bins.len() as u64;
+        }
+
+        // --- Exclusive scan (serial, O(chunks·n)): total arrivals land in
+        // `self.counts`; each chunk's `counts` becomes its per-bin rank
+        // base (the number of arrivals to that bin in earlier chunks).
+        self.counts.fill(0);
+        for chunk in chunks.iter_mut() {
+            for (base, total) in chunk.counts.iter_mut().zip(self.counts.iter_mut()) {
+                let c = *base;
+                *base = *total;
+                *total += c;
+            }
+        }
+
+        // --- Phase 3: grants.
+        let (underloaded_bins, unfilled_want) = self.grants_par(protocol, &ctx, pool);
+        // Granted = first min(arrivals, grant) arrivals per bin.
+        for ((t, &a), &c) in self.taken.iter_mut().zip(&self.accept).zip(&self.counts) {
+            *t = a.min(c);
+        }
+
+        // --- Phase 4 (parallel): fused rank assignment + resolve +
+        // commit, chunk-local. A request's global arrival rank is its
+        // chunk's base for that bin plus the running chunk-local count;
+        // acceptance iff rank < grant — identical to the sequential
+        // first-`grant`-arrivals rule.
+        let active = &self.active;
+        let accept = &self.accept;
+        let loads_before = &self.loads_before;
+        let loads_atomic = as_atomic_u32(&mut self.loads);
+        let assignment_ptr = self
+            .assignment
+            .as_mut()
+            .map(|a| a.as_mut_ptr() as usize)
+            .unwrap_or(0);
+        let has_assignment = assignment_ptr != 0;
+        let sent_ptr = self
+            .ledger
+            .per_ball_sent
+            .as_mut()
+            .map(|s| s.as_mut_ptr() as usize)
+            .unwrap_or(0);
+        let has_sent = sent_ptr != 0;
+        let chunks_ref = &mut chunks;
+
+        let results: Vec<ResolveChunk> = {
+            // Hand each task exclusive access to its chunk through a raw
+            // pointer (disjoint indices).
+            let chunks_ptr = chunks_ref.as_mut_ptr() as usize;
+            let total = chunks_ref.len();
+            pba_par::par_map_indexed(pool, total, 1, |ci| {
+                // SAFETY: one task per chunk index.
+                let chunk = unsafe { &mut *(chunks_ptr as *mut GatherChunk).add(ci) };
+                let mut still_active = Vec::new();
+                let mut committed = 0u64;
+                let mut wasted = 0u64;
+                let mut commit_msgs = 0u64;
+                let mut options: Vec<CommitOption> = Vec::new();
+                let mut req_idx = 0usize;
+                for (k, &degree) in chunk.degrees.iter().enumerate() {
+                    let ball = active[chunk.start + k];
+                    let mut commit: Option<u32> = None;
+                    let mut accepts = 0u32;
+                    if P::NEEDS_COMMIT_CHOICE {
+                        options.clear();
+                    }
+                    for _ in 0..degree {
+                        let bin = chunk.bins[req_idx];
+                        req_idx += 1;
+                        let b = bin as usize;
+                        let rank = chunk.counts[b];
+                        chunk.counts[b] = rank + 1;
+                        if rank < accept[b] {
+                            accepts += 1;
+                            if P::NEEDS_COMMIT_CHOICE {
+                                options.push(CommitOption {
+                                    bin,
+                                    slot: rank,
+                                    load_before: loads_before[b],
+                                });
+                            } else if commit.is_none() {
+                                commit = Some(protocol.redirect(&ctx, bin, rank));
+                            } else {
+                                wasted += 1;
+                            }
+                        }
+                    }
+                    if P::NEEDS_COMMIT_CHOICE && !options.is_empty() {
+                        let pick = protocol
+                            .pick_commit(&ctx, BallContext { ball }, &options)
+                            .min(options.len() - 1);
+                        let chosen = options[pick];
+                        commit = Some(protocol.redirect(&ctx, chosen.bin, chosen.slot));
+                        wasted += (options.len() - 1) as u64;
+                    }
+                    commit_msgs += accepts as u64;
+                    if has_sent {
+                        // SAFETY: one task per ball id (disjoint chunks).
+                        unsafe {
+                            *(sent_ptr as *mut u32).add(ball as usize) += degree + accepts;
+                        }
+                    }
+                    if let Some(target) = commit {
+                        loads_atomic[target as usize].fetch_add(1, Ordering::Relaxed);
+                        committed += 1;
+                        if has_assignment {
+                            // SAFETY: one task per ball id.
+                            unsafe {
+                                *(assignment_ptr as *mut u32).add(ball as usize) = target;
+                            }
+                        }
+                    } else {
+                        still_active.push(ball);
+                    }
+                }
+                ResolveChunk {
+                    still_active,
+                    committed,
+                    wasted,
+                    commit_msgs,
+                }
+            })
+        };
+
+        self.next_active.clear();
+        let mut committed = 0u64;
+        let mut wasted = 0u64;
+        let mut commit_msgs = 0u64;
+        for c in &results {
+            self.next_active.extend_from_slice(&c.still_active);
+            committed += c.committed;
+            wasted += c.wasted;
+            commit_msgs += c.commit_msgs;
+        }
+
+        Ok(self.finish_round(
+            &ctx,
+            requests,
+            committed,
+            wasted,
+            commit_msgs,
+            underloaded_bins,
+            unfilled_want,
+        ))
+    }
+
+    fn grants_par(&mut self, protocol: &P, ctx: &RoundContext, pool: &ThreadPool) -> (u32, u64) {
+        let n = self.spec.bins() as usize;
+        if n < PAR_CUTOFF {
+            return self.grants_seq(protocol, ctx);
+        }
+        let counts = &self.counts;
+        let loads = &self.loads;
+        let accept_ptr = self.accept.as_mut_ptr() as usize;
+        let want_ptr = self.want.as_mut_ptr() as usize;
+        let (underloaded, unfilled) = pba_par::par_reduce(
+            pool,
+            n,
+            MIN_CHUNK,
+            || (0u32, 0u64),
+            |acc, r| {
+                let (mut ub, mut uw) = acc;
+                for i in r {
+                    let arrivals = counts[i];
+                    let g = protocol.bin_grant(ctx, i as u32, loads[i], arrivals);
+                    // SAFETY: disjoint chunk indices; the caller holds
+                    // exclusive access to both arrays for the round.
+                    unsafe {
+                        *(accept_ptr as *mut u32).add(i) = g.accept.min(arrivals);
+                        *(want_ptr as *mut u32).add(i) = g.want;
+                    }
+                    if arrivals < g.want {
+                        ub += 1;
+                        uw += (g.want - arrivals) as u64;
+                    }
+                }
+                (ub, uw)
+            },
+            |a, b| (a.0 + b.0, a.1 + b.1),
+        );
+        (underloaded, unfilled)
+    }
+
+    /// Shared bookkeeping after resolution: ledger updates, active-set
+    /// swap, round record.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_round(
+        &mut self,
+        ctx: &RoundContext,
+        requests: u64,
+        committed: u64,
+        wasted: u64,
+        commit_msgs: u64,
+        underloaded_bins: u32,
+        unfilled_want: u64,
+    ) -> RoundRecord {
+        let granted: u64 = self.taken.iter().map(|&t| t as u64).sum();
+        if let Some(recv) = self.ledger.per_bin_received.as_mut() {
+            for (bin, r) in recv.iter_mut().enumerate() {
+                // Requests arriving + commit notifications from every ball
+                // this bin accepted.
+                *r += self.counts[bin] as u64 + self.taken[bin] as u64;
+            }
+        }
+        self.placed += committed;
+        std::mem::swap(&mut self.active, &mut self.next_active);
+        let max_load = self.loads.iter().copied().max().unwrap_or(0);
+
+        RoundRecord {
+            round: ctx.round,
+            active_before: ctx.active,
+            requests,
+            granted,
+            committed,
+            wasted_grants: wasted,
+            underloaded_bins,
+            unfilled_want,
+            max_load,
+            messages: MessageStats {
+                requests,
+                responses: requests,
+                commits: commit_msgs,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{BinGrant, Flow, NoBallState, RoundProtocol};
+    use crate::rng::{Rand64, SplitMix64};
+
+    /// Degree-1 uniform choice, threshold = ceil(m/n) forever.
+    struct Uniform1;
+
+    impl RoundProtocol for Uniform1 {
+        type BallState = NoBallState;
+        fn name(&self) -> &'static str {
+            "uniform1"
+        }
+        fn round_budget(&self, _spec: &ProblemSpec) -> u32 {
+            10_000
+        }
+        fn ball_choices(
+            &self,
+            ctx: &RoundContext,
+            _ball: BallContext,
+            _state: &mut NoBallState,
+            rng: &mut SplitMix64,
+            out: &mut ChoiceSink<'_>,
+        ) {
+            out.push(rng.below(ctx.spec.bins()));
+        }
+        fn bin_grant(&self, ctx: &RoundContext, _bin: u32, load: u32, _arrivals: u32) -> BinGrant {
+            BinGrant::up_to(ctx.spec.ceil_avg().saturating_sub(load))
+        }
+        fn after_round(&mut self, _ctx: &RoundContext, _r: &RoundRecord) -> Flow {
+            Flow::Continue
+        }
+    }
+
+    /// Degree-2 uniform choice with tight thresholds — exercises the
+    /// multi-request commit path.
+    struct Uniform2;
+
+    impl RoundProtocol for Uniform2 {
+        type BallState = NoBallState;
+        fn name(&self) -> &'static str {
+            "uniform2"
+        }
+        fn round_budget(&self, _spec: &ProblemSpec) -> u32 {
+            10_000
+        }
+        fn ball_choices(
+            &self,
+            ctx: &RoundContext,
+            _ball: BallContext,
+            _state: &mut NoBallState,
+            rng: &mut SplitMix64,
+            out: &mut ChoiceSink<'_>,
+        ) {
+            out.push(rng.below(ctx.spec.bins()));
+            out.push(rng.below(ctx.spec.bins()));
+        }
+        fn bin_grant(&self, ctx: &RoundContext, _bin: u32, load: u32, _arrivals: u32) -> BinGrant {
+            BinGrant::up_to(ctx.spec.ceil_avg().saturating_sub(load))
+        }
+    }
+
+    fn run_generic<Q: RoundProtocol + Default>(
+        spec: ProblemSpec,
+        seed: u64,
+        parallel: bool,
+    ) -> (Vec<u32>, u32) {
+        let pool = ThreadPool::new(3);
+        let mut state = SimState::<Q>::new(spec, seed, MessageTracking::PerBin, true);
+        let mut protocol = Q::default();
+        let mut round = 0;
+        while !state.active.is_empty() {
+            let ctx = state.context(round);
+            protocol.begin_round(&ctx);
+            let rec = if parallel {
+                state.round_par(&protocol, round, &pool).unwrap()
+            } else {
+                state.round_seq(&protocol, round).unwrap()
+            };
+            let _ = protocol.after_round(&ctx, &rec);
+            round += 1;
+            assert!(round < 10_000, "did not converge");
+        }
+        (state.loads.clone(), round)
+    }
+
+    impl Default for Uniform1 {
+        fn default() -> Self {
+            Uniform1
+        }
+    }
+    impl Default for Uniform2 {
+        fn default() -> Self {
+            Uniform2
+        }
+    }
+
+    fn run_to_completion(spec: ProblemSpec, seed: u64, parallel: bool) -> (Vec<u32>, u32) {
+        run_generic::<Uniform1>(spec, seed, parallel)
+    }
+
+    #[test]
+    fn sequential_places_every_ball() {
+        let spec = ProblemSpec::new(1000, 16).unwrap();
+        let (loads, _rounds) = run_to_completion(spec, 7, false);
+        assert_eq!(loads.iter().map(|&l| l as u64).sum::<u64>(), 1000);
+        // threshold protocol: no bin exceeds ceil(m/n)
+        assert!(loads.iter().all(|&l| l <= spec.ceil_avg()));
+    }
+
+    #[test]
+    fn parallel_small_input_falls_back_and_places_every_ball() {
+        let spec = ProblemSpec::new(1000, 16).unwrap();
+        let (loads, _) = run_to_completion(spec, 7, true);
+        assert_eq!(loads.iter().map(|&l| l as u64).sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit_degree_one() {
+        let spec = ProblemSpec::new(300_000, 64).unwrap();
+        let (seq_loads, seq_rounds) = run_to_completion(spec, 99, false);
+        let (par_loads, par_rounds) = run_to_completion(spec, 99, true);
+        assert_eq!(seq_loads, par_loads);
+        assert_eq!(seq_rounds, par_rounds);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit_degree_two() {
+        let spec = ProblemSpec::new(300_000, 64).unwrap();
+        let seq = run_generic::<Uniform2>(spec, 42, false);
+        let par = run_generic::<Uniform2>(spec, 42, true);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn determinism_across_identical_runs() {
+        let spec = ProblemSpec::new(50_000, 128).unwrap();
+        let a = run_to_completion(spec, 5, false);
+        let b = run_to_completion(spec, 5, false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = ProblemSpec::new(50_000, 128).unwrap();
+        let a = run_to_completion(spec, 5, false);
+        let b = run_to_completion(spec, 6, false);
+        assert_ne!(a.0, b.0);
+    }
+
+    /// Protocol that emits an out-of-range bin.
+    struct BadBins;
+    impl RoundProtocol for BadBins {
+        type BallState = NoBallState;
+        fn name(&self) -> &'static str {
+            "bad"
+        }
+        fn round_budget(&self, _spec: &ProblemSpec) -> u32 {
+            10
+        }
+        fn ball_choices(
+            &self,
+            ctx: &RoundContext,
+            _ball: BallContext,
+            _state: &mut NoBallState,
+            _rng: &mut SplitMix64,
+            out: &mut ChoiceSink<'_>,
+        ) {
+            out.push(ctx.spec.bins() + 5);
+        }
+        fn bin_grant(
+            &self,
+            _ctx: &RoundContext,
+            _bin: u32,
+            _load: u32,
+            _arrivals: u32,
+        ) -> BinGrant {
+            BinGrant::up_to(1)
+        }
+    }
+
+    #[test]
+    fn out_of_range_bin_is_an_error() {
+        let spec = ProblemSpec::new(100, 8).unwrap();
+        let mut state = SimState::<BadBins>::new(spec, 1, MessageTracking::Totals, false);
+        let err = state.round_seq(&BadBins, 0).unwrap_err();
+        assert!(matches!(err, CoreError::BinOutOfRange { bin: 13, .. }));
+    }
+
+    #[test]
+    fn out_of_range_bin_is_an_error_parallel() {
+        let spec = ProblemSpec::new(100_000, 8).unwrap();
+        let pool = ThreadPool::new(2);
+        let mut state = SimState::<BadBins>::new(spec, 1, MessageTracking::Totals, false);
+        let err = state.round_par(&BadBins, 0, &pool).unwrap_err();
+        assert!(matches!(err, CoreError::BinOutOfRange { bin: 13, .. }));
+    }
+
+    #[test]
+    fn message_accounting_counts_requests_and_commits() {
+        let spec = ProblemSpec::new(64, 8).unwrap();
+        let mut state = SimState::<Uniform1>::new(spec, 3, MessageTracking::Full, false);
+        let rec = state.round_seq(&Uniform1, 0).unwrap();
+        // Every active ball sent exactly one request; every request got a
+        // response.
+        assert_eq!(rec.messages.requests, 64);
+        assert_eq!(rec.messages.responses, 64);
+        // Commit notifications = accepted requests = committed (degree 1).
+        assert_eq!(rec.messages.commits, rec.committed);
+        // Ledger: per-ball sent counts are request + commit for committed
+        // balls, request only for rejected ones.
+        let sent = state.ledger.per_ball_sent.as_ref().unwrap();
+        let total_sent: u64 = sent.iter().map(|&s| s as u64).sum();
+        assert_eq!(total_sent, rec.messages.requests + rec.messages.commits);
+        // Per-bin received = arrivals + accepted.
+        let recv = state.ledger.per_bin_received.as_ref().unwrap();
+        let total_recv: u64 = recv.iter().sum();
+        assert_eq!(total_recv, rec.messages.requests + rec.messages.commits);
+    }
+
+    #[test]
+    fn parallel_message_accounting_matches_sequential() {
+        let spec = ProblemSpec::new(200_000, 32).unwrap();
+        let pool = ThreadPool::new(3);
+        let mut seq = SimState::<Uniform1>::new(spec, 3, MessageTracking::Full, false);
+        let mut par = SimState::<Uniform1>::new(spec, 3, MessageTracking::Full, false);
+        let rec_seq = seq.round_seq(&Uniform1, 0).unwrap();
+        let rec_par = par.round_par(&Uniform1, 0, &pool).unwrap();
+        assert_eq!(rec_seq, rec_par);
+        assert_eq!(seq.ledger.per_ball_sent, par.ledger.per_ball_sent);
+        assert_eq!(seq.ledger.per_bin_received, par.ledger.per_bin_received);
+    }
+
+    #[test]
+    fn granted_equals_min_of_arrivals_and_capacity() {
+        // 100 balls, 1 bin, capacity ceil(100/1)=100: all granted round 0.
+        let spec = ProblemSpec::new(100, 1).unwrap();
+        let mut state = SimState::<Uniform1>::new(spec, 3, MessageTracking::Totals, false);
+        let rec = state.round_seq(&Uniform1, 0).unwrap();
+        assert_eq!(rec.granted, 100);
+        assert_eq!(rec.committed, 100);
+        assert!(state.active.is_empty());
+    }
+}

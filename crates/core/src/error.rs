@@ -1,0 +1,100 @@
+//! Error types for model validation and engine execution.
+
+use std::fmt;
+
+/// Result alias used throughout `pba-core`.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised by model validation and the simulation engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The problem specification is invalid (zero balls or bins, or sizes
+    /// exceeding the engine's index width).
+    InvalidSpec {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A protocol emitted a bin index outside `0..n`.
+    BinOutOfRange {
+        /// Offending bin index.
+        bin: u64,
+        /// Number of bins in the spec.
+        n: u64,
+        /// Round in which it happened.
+        round: u32,
+    },
+    /// The protocol hit its round budget with balls still unallocated.
+    ///
+    /// Randomized protocols carry a safety cap (well above their w.h.p.
+    /// round bound); exceeding it is reported rather than looping forever.
+    RoundBudgetExhausted {
+        /// Rounds executed.
+        rounds: u32,
+        /// Balls still unallocated.
+        unallocated: u64,
+    },
+    /// A protocol declared failure via [`crate::protocol::Flow::Abort`].
+    ProtocolAborted {
+        /// Protocol-provided reason.
+        reason: String,
+        /// Round at which the protocol aborted.
+        round: u32,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidSpec { reason } => write!(f, "invalid problem spec: {reason}"),
+            CoreError::BinOutOfRange { bin, n, round } => {
+                write!(
+                    f,
+                    "protocol chose bin {bin} outside 0..{n} in round {round}"
+                )
+            }
+            CoreError::RoundBudgetExhausted {
+                rounds,
+                unallocated,
+            } => write!(
+                f,
+                "round budget exhausted after {rounds} rounds with {unallocated} balls unallocated"
+            ),
+            CoreError::ProtocolAborted { reason, round } => {
+                write!(f, "protocol aborted in round {round}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::BinOutOfRange {
+            bin: 9,
+            n: 4,
+            round: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("bin 9"));
+        assert!(s.contains("0..4"));
+        assert!(s.contains("round 2"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = CoreError::RoundBudgetExhausted {
+            rounds: 5,
+            unallocated: 3,
+        };
+        let b = CoreError::RoundBudgetExhausted {
+            rounds: 5,
+            unallocated: 3,
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,54 @@
+//! # `pba-core` — model, RNG, engine, and statistics
+//!
+//! This crate is the substrate every protocol in the workspace runs on. It
+//! implements the synchronous message-passing model of the parallel
+//! balls-into-bins papers:
+//!
+//! 1. balls perform local computation and send allocation requests to bins;
+//! 2. bins receive the requests, decide how many to accept, and respond;
+//! 3. balls receive responses and may commit to a bin (and terminate).
+//!
+//! A protocol implements [`RoundProtocol`] (which bins a ball contacts, how
+//! many requests a bin grants, optional redirects and adaptive state); the
+//! [`Simulator`] executes it round by round, with either a bit-for-bit
+//! deterministic sequential executor or a parallel executor built on
+//! [`pba_par`]. Message counts (ball→bin requests, bin→ball responses,
+//! commit notifications) are accounted exactly as the papers count them.
+//!
+//! ## Layout
+//!
+//! * [`model`] — problem specification (`m` balls, `n` bins).
+//! * [`rng`] — deterministic splittable randomness (SplitMix64,
+//!   Xoshiro256++, counter-based per-(seed, round, ball) streams).
+//! * [`protocol`] — the [`RoundProtocol`] trait and its vocabulary types.
+//! * [`engine`] — request gathering, per-bin counting, acceptance
+//!   resolution, commits; sequential and parallel executors.
+//! * [`sim`] — the user-facing [`Simulator`] / [`RunConfig`] /
+//!   [`RunOutcome`] API.
+//! * [`load`], [`messages`], [`allocation`], [`trace`] — statistics and
+//!   run records.
+//! * [`mathutil`] — `log* n`, iterated logarithms, and friends.
+
+pub mod allocation;
+pub mod engine;
+pub mod error;
+pub mod load;
+pub mod mathutil;
+pub mod messages;
+pub mod model;
+pub mod protocol;
+pub mod rng;
+pub mod sim;
+pub mod trace;
+
+pub use allocation::Allocation;
+pub use error::{CoreError, Result};
+pub use load::LoadStats;
+pub use messages::{MessageStats, MessageTracking};
+pub use model::ProblemSpec;
+pub use protocol::{
+    BallContext, BinGrant, ChoiceSink, CommitOption, Flow, NoBallState, RoundContext, RoundProtocol,
+};
+pub use rng::{ball_stream, SplitMix64, Xoshiro256pp};
+pub use sim::{ExecutorKind, RunConfig, RunOutcome, Simulator};
+pub use trace::{RoundRecord, RunTrace};

@@ -1,0 +1,245 @@
+//! Chunked data-parallel iteration, mapping, and mutable slice access.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+
+use crate::chunk::Chunking;
+use crate::pool::ThreadPool;
+use crate::DEFAULT_MIN_CHUNK;
+
+/// How many chunks to aim for: a few per lane so dynamic index claiming can
+/// load-balance uneven chunks.
+fn target_chunks(pool: &ThreadPool) -> usize {
+    pool.lanes() * 4
+}
+
+/// Run `f(range)` for each chunk of `0..len`, in parallel.
+///
+/// Chunk boundaries are deterministic (see [`crate::chunk`]); chunks run in
+/// unspecified order and concurrently.
+///
+/// # Examples
+///
+/// ```
+/// use pba_par::{for_each_chunk, ThreadPool};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = ThreadPool::new(2);
+/// let touched = AtomicUsize::new(0);
+/// for_each_chunk(&pool, 100_000, 1024, |r| {
+///     touched.fetch_add(r.len(), Ordering::Relaxed);
+/// });
+/// assert_eq!(touched.into_inner(), 100_000);
+/// ```
+pub fn for_each_chunk<F>(pool: &ThreadPool, len: usize, min_chunk: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let chunking = Chunking::new(len, min_chunk, target_chunks(pool));
+    if chunking.chunks() <= 1 {
+        if len > 0 {
+            f(0..len);
+        }
+        return;
+    }
+    pool.run_indexed(chunking.chunks(), |i| f(chunking.range(i)));
+}
+
+/// Shared, write-once output buffer: each task writes a *disjoint* set of
+/// slots, which makes concurrent `&self` writes sound.
+struct DisjointOut<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+// SAFETY: tasks write disjoint indices and the buffer is only read after all
+// tasks have completed (enforced by `ThreadPool::run_indexed` joining).
+unsafe impl<T: Send> Sync for DisjointOut<T> {}
+
+impl<T> DisjointOut<T> {
+    fn new(len: usize) -> Self {
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(UnsafeCell::new(MaybeUninit::uninit()));
+        }
+        Self {
+            slots: v.into_boxed_slice(),
+        }
+    }
+
+    /// # Safety
+    /// Each index must be written exactly once, by exactly one task.
+    unsafe fn write(&self, i: usize, value: T) {
+        unsafe { (*self.slots[i].get()).write(value) };
+    }
+
+    /// # Safety
+    /// Every index must have been written.
+    unsafe fn into_vec(self) -> Vec<T> {
+        let slots = Vec::from(self.slots);
+        slots
+            .into_iter()
+            .map(|cell| unsafe { cell.into_inner().assume_init() })
+            .collect()
+    }
+}
+
+/// Map `0..len` through `f` in parallel, returning results in index order.
+///
+/// Equivalent to `(0..len).map(f).collect()` but parallel and allocation-
+/// deterministic.
+pub fn par_map_indexed<T, F>(pool: &ThreadPool, len: usize, min_chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let out = DisjointOut::<T>::new(len);
+    for_each_chunk(pool, len, min_chunk, |r| {
+        for i in r {
+            // SAFETY: chunks are disjoint, each index written once.
+            unsafe { out.write(i, f(i)) };
+        }
+    });
+    // SAFETY: chunks tile 0..len exactly, so every slot was written.
+    unsafe { out.into_vec() }
+}
+
+/// Fill `dst[i] = f(i)` for all `i`, in parallel.
+///
+/// Unlike [`par_map_indexed`] this reuses an existing buffer (the "workhorse
+/// collection" pattern), avoiding a fresh allocation per round.
+pub fn par_fill_with<T, F>(pool: &ThreadPool, dst: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let len = dst.len();
+    let base = dst.as_mut_ptr() as usize;
+    for_each_chunk(pool, len, DEFAULT_MIN_CHUNK, |r| {
+        // SAFETY: chunks are disjoint subranges of `dst`, each written by
+        // exactly one task while the caller's &mut borrow pins the buffer.
+        let ptr = base as *mut T;
+        for i in r {
+            unsafe { ptr.add(i).write(f(i)) };
+        }
+    });
+}
+
+/// Run `f(offset, chunk)` over disjoint mutable chunks of `data`.
+///
+/// `offset` is the index of the chunk's first element within `data`. Chunks
+/// have the deterministic geometry of [`crate::chunk`].
+///
+/// # Examples
+///
+/// ```
+/// use pba_par::{par_chunks_mut, ThreadPool};
+///
+/// let pool = ThreadPool::new(2);
+/// let mut v = vec![0u64; 100_000];
+/// par_chunks_mut(&pool, &mut v, 1024, |offset, chunk| {
+///     for (k, slot) in chunk.iter_mut().enumerate() {
+///         *slot = (offset + k) as u64;
+///     }
+/// });
+/// assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64));
+/// ```
+pub fn par_chunks_mut<T, F>(pool: &ThreadPool, data: &mut [T], min_chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    let chunking = Chunking::new(len, min_chunk, target_chunks(pool));
+    if chunking.chunks() <= 1 {
+        if len > 0 {
+            f(0, data);
+        }
+        return;
+    }
+    let base = data.as_mut_ptr() as usize;
+    pool.run_indexed(chunking.chunks(), |i| {
+        let r = chunking.range(i);
+        // SAFETY: ranges are pairwise disjoint and within `data`, which the
+        // caller's &mut borrow keeps alive and exclusive for the duration.
+        let chunk =
+            unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(r.start), r.len()) };
+        f(r.start, chunk);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(3)
+    }
+
+    #[test]
+    fn for_each_chunk_covers_all_indices_once() {
+        let p = pool();
+        let n = 100_001;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        for_each_chunk(&p, n, 128, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_chunk_empty() {
+        let p = pool();
+        for_each_chunk(&p, 0, 128, |_| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn par_map_indexed_matches_sequential() {
+        let p = pool();
+        let got = par_map_indexed(&p, 50_000, 64, |i| (i as u64).wrapping_mul(2654435761));
+        let want: Vec<u64> = (0..50_000u64).map(|i| i.wrapping_mul(2654435761)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_map_indexed_with_non_copy_type() {
+        let p = pool();
+        let got = par_map_indexed(&p, 1000, 16, |i| vec![i; 3]);
+        assert_eq!(got[17], vec![17, 17, 17]);
+        assert_eq!(got.len(), 1000);
+    }
+
+    #[test]
+    fn par_fill_with_overwrites_in_place() {
+        let p = pool();
+        let mut buf = vec![u64::MAX; 70_000];
+        par_fill_with(&p, &mut buf, |i| i as u64 + 1);
+        assert!(buf.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_disjoint_writes() {
+        let p = pool();
+        let mut v = vec![0u32; 123_457];
+        par_chunks_mut(&p, &mut v, 1000, |offset, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot = (offset + k) as u32;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn par_chunks_mut_small_input_single_chunk() {
+        let p = pool();
+        let mut v = vec![1u8; 10];
+        par_chunks_mut(&p, &mut v, 1024, |offset, chunk| {
+            assert_eq!(offset, 0);
+            assert_eq!(chunk.len(), 10);
+            chunk.fill(7);
+        });
+        assert_eq!(v, vec![7u8; 10]);
+    }
+}

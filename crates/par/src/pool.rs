@@ -1,0 +1,334 @@
+//! Fixed worker pool with a scope-like, panic-propagating batch entry point.
+//!
+//! The pool intentionally exposes a *single* execution primitive,
+//! [`ThreadPool::run_indexed`]: run a `Sync` closure once for each index in
+//! `0..tasks`, distributing indices over the workers *and* the calling
+//! thread, and return only when every index has completed. All higher-level
+//! primitives (chunked iteration, map, reduce) are built on top of it in
+//! sibling modules. Keeping the unsafe lifetime-erasure confined to this one
+//! entry point makes the soundness argument short: the caller blocks until
+//! the job's completion latch fires, so every borrow smuggled to a worker is
+//! dead before `run_indexed` returns.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A job broadcast to the workers: grab indices from `next` until exhausted,
+/// call the erased closure for each, and count down `remaining`.
+struct Job {
+    /// Type-erased pointer to the caller's closure (`&F`).
+    ctx: *const (),
+    /// Monomorphized trampoline that invokes `*ctx` with an index.
+    call: unsafe fn(*const (), usize),
+    /// Total number of task indices.
+    tasks: usize,
+    /// Next index to claim.
+    next: AtomicUsize,
+    /// Number of task indices not yet completed.
+    remaining: AtomicUsize,
+    /// Set when any task panicked.
+    panicked: AtomicBool,
+    /// Latch the caller waits on.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `ctx` points to a closure that is `Sync` (enforced by the bounds
+// on `run_indexed`), and the pointer is only dereferenced while the caller
+// is blocked inside `run_indexed`, keeping the referent alive.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claim and run indices until the job is drained.
+    ///
+    /// Returns once no indices remain. Panics inside the user closure are
+    /// captured (so a worker thread never dies) and re-raised on the caller.
+    fn participate(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.tasks {
+                return;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                // SAFETY: see `unsafe impl Send/Sync for Job`.
+                unsafe { (self.call)(self.ctx, i) }
+            }));
+            if result.is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut done = self.done.lock();
+                *done = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.done_cv.wait(&mut done);
+        }
+    }
+}
+
+/// A fixed pool of worker threads for bulk-synchronous array passes.
+///
+/// The pool is cheap to share (`&ThreadPool` is all the API needs) and
+/// long-lived: workers park on a channel between jobs. Dropping the pool
+/// shuts the workers down and joins them.
+///
+/// # Examples
+///
+/// ```
+/// use pba_par::ThreadPool;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let pool = ThreadPool::new(4);
+/// let sum = AtomicU64::new(0);
+/// pool.run_indexed(100, |i| {
+///     sum.fetch_add(i as u64, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.into_inner(), 4950);
+/// ```
+pub struct ThreadPool {
+    sender: Option<Sender<Arc<Job>>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool with `threads` worker threads.
+    ///
+    /// `threads == 0` is allowed and yields a pool that executes everything
+    /// on the calling thread (useful for tests and for forcing sequential
+    /// execution through the same code path).
+    pub fn new(threads: usize) -> Self {
+        let (sender, receiver) = channel::<Arc<Job>>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|idx| {
+                let rx = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("pba-par-{idx}"))
+                    .spawn(move || worker_loop(rx))
+                    .expect("failed to spawn pba-par worker")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+            threads,
+        }
+    }
+
+    /// Create a pool sized to the machine: `available_parallelism() - 1`
+    /// workers (the calling thread is the final lane), overridable with the
+    /// `PBA_THREADS` environment variable (total lanes, minimum 1).
+    pub fn with_default_size() -> Self {
+        Self::new(default_lanes().saturating_sub(1))
+    }
+
+    /// Number of execution lanes: worker threads plus the calling thread.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.threads + 1
+    }
+
+    /// Run `f(i)` for every `i in 0..tasks`, in parallel, returning when all
+    /// have completed. The calling thread participates in the work.
+    ///
+    /// Indices are claimed dynamically from a shared counter, so uneven task
+    /// costs are load-balanced automatically.
+    ///
+    /// # Panics
+    ///
+    /// If any invocation of `f` panics, the panic is re-raised here (after
+    /// all other indices have finished or been claimed).
+    pub fn run_indexed<F>(&self, tasks: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if tasks == 0 {
+            return;
+        }
+        if tasks == 1 || self.threads == 0 {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+
+        unsafe fn call_impl<F: Fn(usize) + Sync>(ctx: *const (), i: usize) {
+            // SAFETY: `ctx` was created from `&f` below and `f` outlives the
+            // job (the caller blocks on the latch before returning).
+            let f = unsafe { &*(ctx as *const F) };
+            f(i);
+        }
+
+        let job = Arc::new(Job {
+            ctx: &f as *const F as *const (),
+            call: call_impl::<F>,
+            tasks,
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(tasks),
+            panicked: AtomicBool::new(false),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+
+        // Wake every worker; extras that find the job drained return
+        // immediately.
+        let sender = self.sender.as_ref().expect("pool already shut down");
+        for _ in 0..self.threads.min(tasks) {
+            // A send failure means the workers are gone, which only happens
+            // during shutdown; the caller participating below still drains
+            // the job correctly.
+            let _ = sender.send(Arc::clone(&job));
+        }
+
+        job.participate();
+        job.wait();
+
+        if job.panicked.load(Ordering::Relaxed) {
+            resume_unwind(Box::new("a pba-par task panicked"));
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel makes `recv` fail, terminating the workers.
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<Arc<Job>>>>) {
+    loop {
+        let job = {
+            let guard = rx.lock();
+            match guard.recv() {
+                Ok(job) => job,
+                Err(_) => return, // pool dropped
+            }
+        };
+        job.participate();
+    }
+}
+
+fn default_lanes() -> usize {
+    if let Ok(value) = std::env::var("PBA_THREADS") {
+        if let Ok(parsed) = value.trim().parse::<usize>() {
+            return parsed.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// A process-wide default pool, created lazily on first use.
+///
+/// Sized by `PBA_THREADS` or `available_parallelism()`. Library code that
+/// does not want to thread a pool through its API can use this.
+pub fn global_pool() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(ThreadPool::with_default_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn zero_tasks_is_noop() {
+        let pool = ThreadPool::new(2);
+        pool.run_indexed(0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn zero_threads_runs_inline() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.lanes(), 1);
+        let count = AtomicUsize::new(0);
+        pool.run_indexed(17, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 17);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_indexed(n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_jobs() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicU64::new(0);
+        for round in 0..20 {
+            pool.run_indexed(100, |i| {
+                total.fetch_add((round * i) as u64, Ordering::Relaxed);
+            });
+        }
+        let expected: u64 = (0..20u64).map(|r| r * 4950).sum();
+        assert_eq!(total.into_inner(), expected);
+    }
+
+    #[test]
+    fn borrows_from_caller_stack_are_visible() {
+        let pool = ThreadPool::new(2);
+        let data: Vec<u64> = (0..1000).collect();
+        let sum = AtomicU64::new(0);
+        pool.run_indexed(1000, |i| {
+            sum.fetch_add(data[i], Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 499_500);
+    }
+
+    #[test]
+    fn panic_in_task_propagates() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_indexed(8, |i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool must still be usable afterwards.
+        let count = AtomicUsize::new(0);
+        pool.run_indexed(5, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 5);
+    }
+
+    #[test]
+    fn global_pool_works() {
+        let sum = AtomicU64::new(0);
+        global_pool().run_indexed(64, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 2016);
+    }
+}

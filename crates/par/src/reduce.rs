@@ -1,0 +1,159 @@
+//! Parallel reductions over index ranges.
+
+use parking_lot::Mutex;
+
+use crate::iter::for_each_chunk;
+use crate::pool::ThreadPool;
+
+/// Reduce `0..len` in parallel: each chunk is folded with `fold`, and chunk
+/// results are combined with `combine`. `identity` must be a neutral
+/// element for `combine`.
+///
+/// The reduction tree shape is unspecified, so `combine` should be
+/// associative and commutative for deterministic results (all uses in this
+/// workspace are sums, maxima, or element-wise vector merges, which are
+/// both).
+///
+/// # Examples
+///
+/// ```
+/// use pba_par::{par_reduce, ThreadPool};
+///
+/// let pool = ThreadPool::new(2);
+/// let data: Vec<u64> = (0..100_000).collect();
+/// let sum = par_reduce(
+///     &pool,
+///     data.len(),
+///     1024,
+///     || 0u64,
+///     |acc, r| acc + r.map(|i| data[i]).sum::<u64>(),
+///     |a, b| a + b,
+/// );
+/// assert_eq!(sum, 100_000 * 99_999 / 2);
+/// ```
+pub fn par_reduce<T, Id, Fold, Combine>(
+    pool: &ThreadPool,
+    len: usize,
+    min_chunk: usize,
+    identity: Id,
+    fold: Fold,
+    combine: Combine,
+) -> T
+where
+    T: Send,
+    Id: Fn() -> T + Sync,
+    Fold: Fn(T, std::ops::Range<usize>) -> T + Sync,
+    Combine: Fn(T, T) -> T + Sync,
+{
+    let acc = Mutex::new(identity());
+    for_each_chunk(pool, len, min_chunk, |r| {
+        let local = fold(identity(), r);
+        let mut guard = acc.lock();
+        // Take-and-combine under the lock; combine is cheap relative to the
+        // chunk fold for all workspace uses.
+        let current = std::mem::replace(&mut *guard, identity());
+        *guard = combine(current, local);
+    });
+    acc.into_inner()
+}
+
+/// Parallel sum of `f(i)` over `0..len`.
+pub fn par_sum_u64<F>(pool: &ThreadPool, len: usize, min_chunk: usize, f: F) -> u64
+where
+    F: Fn(usize) -> u64 + Sync,
+{
+    par_reduce(
+        pool,
+        len,
+        min_chunk,
+        || 0u64,
+        |acc, r| acc + r.map(&f).sum::<u64>(),
+        |a, b| a + b,
+    )
+}
+
+/// Parallel maximum of `f(i)` over `0..len`; returns `None` for empty input.
+pub fn par_max_u64<F>(pool: &ThreadPool, len: usize, min_chunk: usize, f: F) -> Option<u64>
+where
+    F: Fn(usize) -> u64 + Sync,
+{
+    if len == 0 {
+        return None;
+    }
+    Some(par_reduce(
+        pool,
+        len,
+        min_chunk,
+        || 0u64,
+        |acc, r| r.map(&f).fold(acc, u64::max),
+        u64::max,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        let n = 1_000_003;
+        let got = par_sum_u64(&pool, n, 4096, |i| i as u64);
+        let want: u64 = (0..n as u64).sum();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sum_of_empty_is_zero() {
+        let pool = ThreadPool::new(2);
+        assert_eq!(par_sum_u64(&pool, 0, 64, |_| 1), 0);
+    }
+
+    #[test]
+    fn max_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        let data: Vec<u64> = (0..200_000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B9) % 777_777)
+            .collect();
+        let got = par_max_u64(&pool, data.len(), 1024, |i| data[i]);
+        assert_eq!(got, data.iter().copied().max());
+    }
+
+    #[test]
+    fn max_of_empty_is_none() {
+        let pool = ThreadPool::new(2);
+        assert_eq!(par_max_u64(&pool, 0, 64, |_| 1), None);
+    }
+
+    #[test]
+    fn vector_merge_reduction() {
+        // Element-wise histogram merge: the pattern the engine uses for
+        // per-bin request counting.
+        let pool = ThreadPool::new(4);
+        let bins = 97usize;
+        let items = 100_000usize;
+        let hist = par_reduce(
+            &pool,
+            items,
+            512,
+            || vec![0u32; bins],
+            |mut acc, r| {
+                for i in r {
+                    acc[i % bins] += 1;
+                }
+                acc
+            },
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+        assert_eq!(hist.iter().map(|&c| c as usize).sum::<usize>(), items);
+        for (b, &c) in hist.iter().enumerate() {
+            let want = items / bins + usize::from(b < items % bins);
+            assert_eq!(c as usize, want);
+        }
+    }
+}

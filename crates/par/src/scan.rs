@@ -1,0 +1,110 @@
+//! Parallel exclusive prefix sums (scans).
+//!
+//! The engine's acceptance resolution assigns each request its global
+//! arrival rank — an exclusive scan of per-chunk bin counts. This module
+//! provides the general primitive: the classic two-pass chunked scan
+//! (per-chunk sums, serial scan of the tiny sum vector, per-chunk
+//! rewrite), which is work-efficient and deterministic.
+
+use crate::chunk::Chunking;
+use crate::pool::ThreadPool;
+
+/// In-place exclusive prefix sum: `data[i] ← Σ_{j<i} data[j]` (wrapping
+/// on overflow, matching the sequential semantics of `wrapping_add`).
+/// Returns the total sum of the original values.
+pub fn exclusive_scan_u64(pool: &ThreadPool, data: &mut [u64], min_chunk: usize) -> u64 {
+    let len = data.len();
+    let chunking = Chunking::new(len, min_chunk.max(1), pool.lanes() * 4);
+    if chunking.chunks() <= 1 {
+        return exclusive_scan_serial(data);
+    }
+
+    // Pass 1 (parallel): per-chunk totals.
+    let base = data.as_mut_ptr() as usize;
+    let totals: Vec<u64> = crate::iter::par_map_indexed(pool, chunking.chunks(), 1, |ci| {
+        let r = chunking.range(ci);
+        // SAFETY: disjoint read-only access within this pass.
+        let slice =
+            unsafe { std::slice::from_raw_parts((base as *const u64).add(r.start), r.len()) };
+        slice.iter().fold(0u64, |a, &x| a.wrapping_add(x))
+    });
+
+    // Serial scan of the chunk totals.
+    let mut offsets = totals.clone();
+    let grand_total = exclusive_scan_serial(&mut offsets);
+
+    // Pass 2 (parallel): rewrite each chunk with its running prefix.
+    pool.run_indexed(chunking.chunks(), |ci| {
+        let r = chunking.range(ci);
+        // SAFETY: disjoint mutable chunks; caller's &mut pins the buffer.
+        let slice =
+            unsafe { std::slice::from_raw_parts_mut((base as *mut u64).add(r.start), r.len()) };
+        let mut acc = offsets[ci];
+        for x in slice {
+            let v = *x;
+            *x = acc;
+            acc = acc.wrapping_add(v);
+        }
+    });
+    grand_total
+}
+
+/// Serial exclusive scan; returns the total.
+pub fn exclusive_scan_serial(data: &mut [u64]) -> u64 {
+    let mut acc = 0u64;
+    for x in data {
+        let v = *x;
+        *x = acc;
+        acc = acc.wrapping_add(v);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_scan_small() {
+        let mut v = vec![3u64, 1, 4, 1, 5];
+        let total = exclusive_scan_serial(&mut v);
+        assert_eq!(v, vec![0, 3, 4, 8, 9]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let pool = ThreadPool::new(3);
+        let data: Vec<u64> = (0..100_003u64)
+            .map(|i| i.wrapping_mul(0x9E3779B9) % 1000)
+            .collect();
+        let mut par = data.clone();
+        let mut ser = data;
+        let t_par = exclusive_scan_u64(&pool, &mut par, 1024);
+        let t_ser = exclusive_scan_serial(&mut ser);
+        assert_eq!(par, ser);
+        assert_eq!(t_par, t_ser);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let pool = ThreadPool::new(2);
+        let mut empty: Vec<u64> = vec![];
+        assert_eq!(exclusive_scan_u64(&pool, &mut empty, 64), 0);
+        let mut one = vec![7u64];
+        assert_eq!(exclusive_scan_u64(&pool, &mut one, 64), 7);
+        assert_eq!(one, vec![0]);
+    }
+
+    #[test]
+    fn wrapping_behaviour_matches() {
+        let pool = ThreadPool::new(2);
+        let data: Vec<u64> = vec![u64::MAX, 2, u64::MAX, 5];
+        let mut par = data.clone();
+        let mut ser = data;
+        let tp = exclusive_scan_u64(&pool, &mut par, 1);
+        let ts = exclusive_scan_serial(&mut ser);
+        assert_eq!(par, ser);
+        assert_eq!(tp, ts);
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-ball persistent choice state for non-adaptive protocols.
+//!
+//! Non-adaptive protocols (Stemann's collision protocol, ACMR98 GREEDY)
+//! fix each ball's `d` random bins once and communicate only with those
+//! bins for the rest of the run. The engine stores one `BallState` per
+//! ball; this module provides a compact fixed-capacity representation.
+
+use pba_core::rng::{Rand64, SplitMix64};
+
+/// Maximum supported non-adaptive degree.
+pub const MAX_DEGREE: usize = 8;
+
+/// A ball's fixed set of bin choices (capacity [`MAX_DEGREE`]).
+///
+/// Starts uninitialized; [`FixedChoices::ensure`] draws the choices on
+/// first use from the ball's round-0 stream, making them identical no
+/// matter which round or executor first touches the ball.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedChoices {
+    bins: [u32; MAX_DEGREE],
+    len: u8,
+    init: bool,
+}
+
+impl Default for FixedChoices {
+    fn default() -> Self {
+        Self {
+            bins: [0; MAX_DEGREE],
+            len: 0,
+            init: false,
+        }
+    }
+}
+
+impl FixedChoices {
+    /// Draw `d` choices uniformly (independently, with replacement *across
+    /// retries*, but distinct within the set when `n ≥ d`) if not already
+    /// drawn. Distinctness matches the standard presentation where a
+    /// ball's `d` bins are distinct; for `n < d` duplicates are allowed.
+    pub fn ensure(&mut self, d: usize, n: u32, rng: &mut SplitMix64) -> &[u32] {
+        assert!(
+            d <= MAX_DEGREE,
+            "degree {d} exceeds MAX_DEGREE {MAX_DEGREE}"
+        );
+        assert!(d >= 1);
+        if !self.init {
+            let distinct_possible = (n as usize) >= d;
+            let mut k = 0;
+            let mut guard = 0;
+            while k < d {
+                let candidate = rng.below(n);
+                let duplicate = self.bins[..k].contains(&candidate);
+                guard += 1;
+                if duplicate && distinct_possible && guard < 1000 {
+                    continue;
+                }
+                self.bins[k] = candidate;
+                k += 1;
+            }
+            self.len = d as u8;
+            self.init = true;
+        }
+        &self.bins[..self.len as usize]
+    }
+
+    /// The drawn choices, if initialized.
+    pub fn get(&self) -> Option<&[u32]> {
+        self.init.then(|| &self.bins[..self.len as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pba_core::rng::ball_stream;
+
+    #[test]
+    fn draws_once_and_is_stable() {
+        let mut c = FixedChoices::default();
+        let mut rng1 = ball_stream(1, 0, 42);
+        let first: Vec<u32> = c.ensure(3, 100, &mut rng1).to_vec();
+        // Second call with a different rng must not redraw.
+        let mut rng2 = ball_stream(9, 7, 7);
+        let second: Vec<u32> = c.ensure(3, 100, &mut rng2).to_vec();
+        assert_eq!(first, second);
+        assert_eq!(c.get().unwrap(), &first[..]);
+    }
+
+    #[test]
+    fn choices_are_distinct_when_possible() {
+        for ball in 0..200u64 {
+            let mut c = FixedChoices::default();
+            let mut rng = ball_stream(3, 0, ball);
+            let ch = c.ensure(4, 16, &mut rng).to_vec();
+            let mut sorted = ch.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "duplicates in {ch:?}");
+            assert!(ch.iter().all(|&b| b < 16));
+        }
+    }
+
+    #[test]
+    fn tiny_n_allows_duplicates() {
+        let mut c = FixedChoices::default();
+        let mut rng = ball_stream(1, 0, 0);
+        let ch = c.ensure(4, 2, &mut rng);
+        assert_eq!(ch.len(), 4);
+        assert!(ch.iter().all(|&b| b < 2));
+    }
+
+    #[test]
+    fn uninitialized_get_is_none() {
+        let c = FixedChoices::default();
+        assert!(c.get().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_DEGREE")]
+    fn oversized_degree_panics() {
+        let mut c = FixedChoices::default();
+        let mut rng = ball_stream(1, 0, 0);
+        c.ensure(9, 100, &mut rng);
+    }
+}

@@ -1,0 +1,14 @@
+//! Parallel round-synchronous protocols (implementations of
+//! [`pba_core::RoundProtocol`]).
+
+pub mod a_light;
+pub mod adler_greedy;
+pub mod asymmetric;
+pub mod batched;
+pub mod collision;
+pub mod fixed_threshold;
+pub mod parallel_two_choice;
+pub mod single_choice;
+pub mod stemann_heavy;
+pub mod threshold_heavy;
+pub mod trivial;

@@ -1,0 +1,77 @@
+//! Name-based protocol dispatch for the CLI and harness.
+
+use pba_core::{ProblemSpec, Result, RunConfig, RunOutcome, Simulator};
+
+use crate::{
+    ALight, AdlerGreedy, Asymmetric, BatchedTwoChoice, Collision, FixedThreshold,
+    ParallelTwoChoice, SingleChoice, StemannHeavy, ThresholdHeavy, TrivialRoundRobin,
+};
+
+/// All parallel protocol names accepted by [`run_by_name`].
+pub fn protocol_names() -> &'static [&'static str] {
+    &[
+        "single-choice",
+        "fixed-threshold",
+        "parallel-two-choice",
+        "threshold-heavy",
+        "a-light",
+        "collision",
+        "stemann-heavy",
+        "adler-greedy",
+        "asymmetric",
+        "trivial-round-robin",
+        "batched-two-choice",
+    ]
+}
+
+/// Run the named parallel protocol with default parameters.
+///
+/// Returns `None` for unknown names (callers print
+/// [`protocol_names`]).
+pub fn run_by_name(name: &str, spec: ProblemSpec, config: RunConfig) -> Option<Result<RunOutcome>> {
+    let sim = Simulator::new(spec, config);
+    Some(match name {
+        "single-choice" => sim.run(SingleChoice::new(spec)),
+        "fixed-threshold" => sim.run(FixedThreshold::new(spec, 2)),
+        "parallel-two-choice" => sim.run(ParallelTwoChoice::new(spec, 2)),
+        "threshold-heavy" => sim.run(ThresholdHeavy::new(spec)),
+        "a-light" => sim.run(ALight::new(spec, 2)),
+        "collision" => sim.run(Collision::with_params(
+            spec,
+            2,
+            // Arrivals scale with d·m/n, so the collision bound must sit
+            // above that for round one to make progress; 2⌈m/n⌉+4 keeps
+            // the structural load cap at O(m/n).
+            2 * spec.ceil_avg().saturating_add(2).min(u32::MAX / 2),
+        )),
+        "stemann-heavy" => sim.run(StemannHeavy::new(spec)),
+        "adler-greedy" => sim.run(AdlerGreedy::new(spec, 2, 4)),
+        "asymmetric" => sim.run(Asymmetric::new(spec)),
+        "trivial-round-robin" => sim.run(TrivialRoundRobin::new(spec)),
+        "batched-two-choice" => sim.run(BatchedTwoChoice::new(spec, (spec.bins() as u64).max(1))),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_protocol_runs() {
+        let spec = ProblemSpec::new(1 << 12, 1 << 6).unwrap();
+        for &name in protocol_names() {
+            let out = run_by_name(name, spec, RunConfig::seeded(1))
+                .unwrap_or_else(|| panic!("{name} not dispatched"))
+                .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+            assert!(out.is_complete(), "{name} left {} balls", out.unallocated);
+            assert_eq!(out.protocol, name, "name mismatch for {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_name_returns_none() {
+        let spec = ProblemSpec::new(16, 4).unwrap();
+        assert!(run_by_name("nope", spec, RunConfig::seeded(0)).is_none());
+    }
+}

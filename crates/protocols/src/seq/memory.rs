@@ -1,0 +1,90 @@
+//! Load balancing with memory (\[MPS02\], \[SP02\]).
+//!
+//! Each arriving ball samples **one** fresh uniform bin but also
+//! remembers the least-loaded bin left over from the previous step; it
+//! joins the lesser-loaded of the two and remembers the loser. Shah &
+//! Prabhakar / Mitzenmacher, Prabhakar & Shah showed a memory slot is
+//! asymptotically *better* than an extra fresh choice — included here as
+//! the "memory beats randomness" comparator from the related-work
+//! section.
+
+use pba_core::rng::{ball_stream, Rand64};
+use pba_core::ProblemSpec;
+
+/// The 1-sample + 1-memory process.
+#[derive(Debug, Clone, Copy)]
+pub struct WithMemory {
+    spec: ProblemSpec,
+}
+
+impl WithMemory {
+    /// Create for `spec`.
+    pub fn new(spec: ProblemSpec) -> Self {
+        Self { spec }
+    }
+
+    /// Run the process; returns final loads.
+    pub fn run(&self, seed: u64) -> Vec<u32> {
+        let n = self.spec.bins();
+        let mut loads = vec![0u32; n as usize];
+        let mut remembered: Option<u32> = None;
+        for ball in 0..self.spec.balls() {
+            let mut rng = ball_stream(seed, 0, ball);
+            let fresh = rng.below(n);
+            let (target, loser) = match remembered {
+                Some(mem) if loads[mem as usize] < loads[fresh as usize] => (mem, fresh),
+                Some(mem) => (fresh, mem),
+                None => (fresh, fresh),
+            };
+            loads[target as usize] += 1;
+            // Remember the less useful bin of the pair — after the
+            // placement, whichever of the two now has the smaller load.
+            remembered = Some(if loads[target as usize] <= loads[loser as usize] {
+                target
+            } else {
+                loser
+            });
+        }
+        loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pba_core::LoadStats;
+
+    #[test]
+    fn places_all_balls() {
+        let spec = ProblemSpec::new(20_000, 128).unwrap();
+        let loads = WithMemory::new(spec).run(1);
+        assert_eq!(loads.iter().map(|&l| l as u64).sum::<u64>(), 20_000);
+    }
+
+    #[test]
+    fn memory_beats_single_choice() {
+        let n = 1u32 << 10;
+        let spec = ProblemSpec::new((n as u64) << 7, n).unwrap();
+        let mem = LoadStats::from_loads(&WithMemory::new(spec).run(5)).gap();
+        let single = LoadStats::from_loads(&crate::seq::single_choice_loads(spec, 5)).gap();
+        assert!(mem < single, "memory {mem} vs single {single}");
+    }
+
+    #[test]
+    fn memory_competitive_with_two_choice() {
+        // [MPS02]: memory is asymptotically at least as good; at finite
+        // size allow a small constant slack.
+        let n = 1u32 << 10;
+        let spec = ProblemSpec::new((n as u64) << 7, n).unwrap();
+        let mem = LoadStats::from_loads(&WithMemory::new(spec).run(7)).gap();
+        let two = LoadStats::from_loads(&crate::seq::GreedyD::two_choice(spec).run(7)).gap();
+        assert!(mem <= two + 3, "memory {mem} vs two-choice {two}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = ProblemSpec::new(5000, 50).unwrap();
+        assert_eq!(WithMemory::new(spec).run(3), WithMemory::new(spec).run(3));
+        assert_ne!(WithMemory::new(spec).run(3), WithMemory::new(spec).run(4));
+    }
+}

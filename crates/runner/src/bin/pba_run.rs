@@ -1,0 +1,181 @@
+//! `pba-run` — run the reproduction experiments and ad-hoc protocol
+//! simulations from the command line.
+//!
+//! ```text
+//! pba-run list
+//! pba-run all [--scale smoke|default|full] [--out DIR]
+//! pba-run <experiment-id> [--scale ...] [--out DIR]
+//! pba-run protocol <name> --m M --n N [--seed S] [--parallel]
+//! pba-run protocols            # list protocol names
+//! ```
+
+use std::process::ExitCode;
+
+use pba_core::{ExecutorKind, ProblemSpec, RunConfig};
+use pba_protocols::{protocol_names, run_by_name};
+use pba_runner::{all_experiments, experiment_by_id, Scale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  pba-run list
+  pba-run all [--scale smoke|default|full] [--out DIR]
+  pba-run <experiment-id e01..e13> [--scale ...] [--out DIR]
+  pba-run protocol <name> --m M --n N [--seed S] [--parallel]
+  pba-run protocols";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing command".into());
+    };
+    match cmd.as_str() {
+        "list" => {
+            for e in all_experiments() {
+                println!("{}  {}", e.id(), e.title());
+            }
+            Ok(())
+        }
+        "protocols" => {
+            for name in protocol_names() {
+                println!("{name}");
+            }
+            Ok(())
+        }
+        "all" => {
+            let (scale, out_dir) = parse_scale_out(&args[1..])?;
+            for e in all_experiments() {
+                run_experiment(e.as_ref(), scale, out_dir.as_deref())?;
+            }
+            Ok(())
+        }
+        "protocol" => run_protocol(&args[1..]),
+        id => {
+            let e = experiment_by_id(id).ok_or_else(|| format!("unknown experiment '{id}'"))?;
+            let (scale, out_dir) = parse_scale_out(&args[1..])?;
+            run_experiment(e.as_ref(), scale, out_dir.as_deref())
+        }
+    }
+}
+
+fn run_experiment(
+    e: &dyn pba_runner::Experiment,
+    scale: Scale,
+    out_dir: Option<&str>,
+) -> Result<(), String> {
+    eprintln!("running {} ({})…", e.id(), e.title());
+    let started = std::time::Instant::now();
+    let report = e.run(scale);
+    eprintln!("  done in {:.1?}", started.elapsed());
+    let md = report.to_markdown();
+    println!("{md}");
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).map_err(|err| err.to_string())?;
+        let path = format!("{dir}/{}.md", report.id);
+        std::fs::write(&path, &md).map_err(|err| err.to_string())?;
+        for (i, t) in report.tables.iter().enumerate() {
+            let csv_path = format!("{dir}/{}_{}.csv", report.id, i);
+            std::fs::write(&csv_path, t.to_csv()).map_err(|err| err.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn parse_scale_out(args: &[String]) -> Result<(Scale, Option<String>), String> {
+    let mut scale = Scale::Default;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                scale = Scale::parse(v).ok_or_else(|| format!("bad scale '{v}'"))?;
+            }
+            "--out" => {
+                out = Some(it.next().ok_or("--out needs a value")?.clone());
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok((scale, out))
+}
+
+fn run_protocol(args: &[String]) -> Result<(), String> {
+    let Some(name) = args.first() else {
+        return Err("protocol: missing name".into());
+    };
+    let mut m = 1u64 << 20;
+    let mut n = 1u32 << 10;
+    let mut seed = 0u64;
+    let mut parallel = false;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--m" => {
+                m = it
+                    .next()
+                    .ok_or("--m needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --m")?
+            }
+            "--n" => {
+                n = it
+                    .next()
+                    .ok_or("--n needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --n")?
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --seed")?
+            }
+            "--parallel" => parallel = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let spec = ProblemSpec::new(m, n).map_err(|e| e.to_string())?;
+    let mut cfg = RunConfig::seeded(seed);
+    if parallel {
+        cfg.executor = ExecutorKind::Parallel;
+    }
+    let started = std::time::Instant::now();
+    let out = run_by_name(name, spec, cfg)
+        .ok_or_else(|| format!("unknown protocol '{name}' (try `pba-run protocols`)"))?
+        .map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+    let stats = out.load_stats();
+    println!("protocol:   {}", out.protocol);
+    println!("spec:       {spec}");
+    println!("rounds:     {}", out.rounds);
+    println!(
+        "placed:     {} ({} unallocated)",
+        out.placed, out.unallocated
+    );
+    println!("max load:   {} (gap {})", stats.max(), out.gap());
+    println!("load stats: {stats}");
+    println!(
+        "messages:   {} total ({} requests, {} responses, {} commits)",
+        out.messages.total(),
+        out.messages.requests,
+        out.messages.responses,
+        out.messages.commits
+    );
+    if let Some(max_bin) = out.max_bin_received() {
+        println!("max bin rx: {max_bin}");
+    }
+    println!("wall time:  {elapsed:.2?}");
+    Ok(())
+}

@@ -1,0 +1,142 @@
+//! The [`Experiment`] trait and registry.
+
+use crate::experiments;
+use crate::table::Table;
+
+/// How large and how replicated an experiment run is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny sizes, 2 seeds — used by the integration tests.
+    Smoke,
+    /// Moderate sizes, ~5 seeds — seconds per experiment.
+    Default,
+    /// Paper-style sizes, ~15 seeds — the numbers in `EXPERIMENTS.md`.
+    Full,
+}
+
+impl Scale {
+    /// Parse from a CLI string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "smoke" => Some(Scale::Smoke),
+            "default" => Some(Scale::Default),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Standard replication count at this scale.
+    pub fn reps(&self) -> usize {
+        match self {
+            Scale::Smoke => 2,
+            Scale::Default => 5,
+            Scale::Full => 15,
+        }
+    }
+}
+
+/// The output of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Experiment id, e.g. `"e03"`.
+    pub id: &'static str,
+    /// Short title.
+    pub title: &'static str,
+    /// The paper claim being reproduced (one paragraph).
+    pub claim: &'static str,
+    /// Result tables (usually one).
+    pub tables: Vec<Table>,
+    /// Free-form observations (shape checks, caveats).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Render the whole report as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "## {} — {}\n\n*Claim.* {}\n\n",
+            self.id.to_uppercase(),
+            self.title,
+            self.claim
+        );
+        for t in &self.tables {
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            out.push_str("*Notes.*\n");
+            for n in &self.notes {
+                out.push_str(&format!("- {n}\n"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A reproducible experiment: a workload, a sweep, and a
+/// theory-vs-measured table.
+pub trait Experiment: Sync {
+    /// Stable id (`"e01"`…`"e13"`).
+    fn id(&self) -> &'static str;
+    /// Short title for listings.
+    fn title(&self) -> &'static str;
+    /// Run at the given scale.
+    fn run(&self, scale: Scale) -> ExperimentReport;
+}
+
+/// All experiments, in id order.
+pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(experiments::e01_naive::E01),
+        Box::new(experiments::e02_two_choice::E02),
+        Box::new(experiments::e03_threshold_heavy::E03),
+        Box::new(experiments::e04_underload::E04),
+        Box::new(experiments::e05_lower_bound::E05),
+        Box::new(experiments::e06_asymmetric::E06),
+        Box::new(experiments::e07_collision::E07),
+        Box::new(experiments::e08_stemann_heavy::E08),
+        Box::new(experiments::e09_adler::E09),
+        Box::new(experiments::e10_messages::E10),
+        Box::new(experiments::e11_fixed_threshold::E11),
+        Box::new(experiments::e12_batched::E12),
+        Box::new(experiments::e13_ablation::E13),
+        Box::new(experiments::e14_preliminaries::E14),
+    ]
+}
+
+/// Find one experiment by id (case-insensitive).
+pub fn experiment_by_id(id: &str) -> Option<Box<dyn Experiment>> {
+    let id = id.to_lowercase();
+    all_experiments().into_iter().find(|e| e.id() == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_ordered() {
+        let all = all_experiments();
+        assert_eq!(all.len(), 14);
+        for (i, e) in all.iter().enumerate() {
+            assert_eq!(e.id(), format!("e{:02}", i + 1));
+            assert!(!e.title().is_empty());
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(experiment_by_id("e07").is_some());
+        assert!(experiment_by_id("E07").is_some());
+        assert!(experiment_by_id("e99").is_none());
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("nope"), None);
+        assert!(Scale::Full.reps() > Scale::Smoke.reps());
+    }
+}

@@ -1,0 +1,97 @@
+//! E6 — Theorem 3 / Claims 7–10: the asymmetric superbin protocol places
+//! everything in O(1) rounds with gap O(1) and near-average per-bin
+//! message counts.
+
+use pba_protocols::Asymmetric;
+
+use crate::experiment::{Experiment, ExperimentReport, Scale};
+use crate::experiments::{gap_summary, round_summary, spec};
+use crate::replicate::replicate_outcomes;
+use crate::table::{fnum, Table};
+
+/// E6 runner.
+pub struct E06;
+
+impl Experiment for E06 {
+    fn id(&self) -> &'static str {
+        "e06"
+    }
+
+    fn title(&self) -> &'static str {
+        "Asymmetric superbins: O(1) rounds, gap O(1)"
+    }
+
+    fn run(&self, scale: Scale) -> ExperimentReport {
+        let (n, shifts): (u32, Vec<u32>) = match scale {
+            Scale::Smoke => (1 << 8, vec![0, 6]),
+            Scale::Default => (1 << 10, vec![0, 4, 8, 12]),
+            Scale::Full => (1 << 12, vec![0, 4, 8, 12, 14]),
+        };
+        let reps = scale.reps();
+        let mut table = Table::new(
+            format!("Asymmetric protocol at n = {n}"),
+            &[
+                "m/n",
+                "rounds (max over seeds)",
+                "gap (mean)",
+                "gap (max)",
+                "max bin msgs / (2·m/n + log n)",
+            ],
+        );
+        for &shift in &shifts {
+            let m = (n as u64) << shift;
+            let s = spec(m, n);
+            let outcomes = replicate_outcomes(s, 6000, reps, || Asymmetric::new(s));
+            let rounds = round_summary(&outcomes);
+            let gaps = gap_summary(&outcomes);
+            let denom = 2.0 * s.average_load() + (n as f64).ln();
+            let msg_ratio = outcomes
+                .iter()
+                .map(|o| o.max_bin_received().unwrap_or(0) as f64 / denom)
+                .fold(f64::MIN, f64::max);
+            table.push_row(vec![
+                format!("2^{shift}"),
+                fnum(rounds.max()),
+                fnum(gaps.mean()),
+                fnum(gaps.max()),
+                fnum(msg_ratio),
+            ]);
+        }
+        ExperimentReport {
+            id: self.id(),
+            title: self.title(),
+            claim: "With globally known bin IDs, m/n + O(1) load is achievable in O(1) rounds \
+                    w.h.p. (≤ 3 superbin rounds + 1 symmetric pre-round), with bins receiving \
+                    (1+o(1))·m/n + O(log n) ball messages (Theorem 3, Claims 7-10).",
+            tables: vec![table],
+            notes: vec![
+                "Rounds must not grow with m/n across four orders of magnitude — contrast with \
+                 E3's log log growth and E11's log n growth."
+                    .to_string(),
+                "The message column normalizes by 2·m/n + log n (requests + commit \
+                 notifications); the (1+o(1)) claim appears as the ratio decreasing toward ~1 \
+                 as m/n grows."
+                    .to_string(),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke() {
+        crate::experiments::smoke::check(&E06);
+    }
+
+    #[test]
+    fn rounds_are_constant() {
+        let report = E06.run(Scale::Smoke);
+        for row in report.tables[0].rows() {
+            let rounds: f64 = row[1].parse().unwrap();
+            assert!(rounds <= 6.0, "m/n = {}: {rounds} rounds", row[0]);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! The reproduced experiments E1–E13 (see `DESIGN.md` §5 for the index).
+
+pub mod e01_naive;
+pub mod e02_two_choice;
+pub mod e03_threshold_heavy;
+pub mod e04_underload;
+pub mod e05_lower_bound;
+pub mod e06_asymmetric;
+pub mod e07_collision;
+pub mod e08_stemann_heavy;
+pub mod e09_adler;
+pub mod e10_messages;
+pub mod e11_fixed_threshold;
+pub mod e12_batched;
+pub mod e13_ablation;
+pub mod e14_preliminaries;
+
+use pba_analysis::Summary;
+use pba_core::ProblemSpec;
+
+/// `ProblemSpec` constructor that panics with context (experiment sizes
+/// are static and always valid).
+pub(crate) fn spec(m: u64, n: u32) -> ProblemSpec {
+    ProblemSpec::new(m, n).unwrap_or_else(|e| panic!("bad experiment spec m={m} n={n}: {e}"))
+}
+
+/// Summarize the gaps of a batch of outcomes.
+pub(crate) fn gap_summary(outcomes: &[pba_core::RunOutcome]) -> Summary {
+    Summary::from_u64(outcomes.iter().map(|o| o.gap() as u64))
+}
+
+/// Summarize the round counts of a batch of outcomes.
+pub(crate) fn round_summary(outcomes: &[pba_core::RunOutcome]) -> Summary {
+    Summary::from_u64(outcomes.iter().map(|o| o.rounds as u64))
+}
+
+#[cfg(test)]
+pub(crate) mod smoke {
+    //! Shared smoke-test: every experiment must run at `Scale::Smoke` and
+    //! produce at least one nonempty table.
+    use crate::experiment::{Experiment, Scale};
+
+    pub fn check(e: &dyn Experiment) {
+        let report = e.run(Scale::Smoke);
+        assert_eq!(report.id, e.id());
+        assert!(!report.tables.is_empty(), "{} produced no tables", e.id());
+        for t in &report.tables {
+            assert!(!t.is_empty(), "{}: table '{}' empty", e.id(), t.title());
+        }
+        // Markdown rendering must not panic and must mention the id.
+        let md = report.to_markdown();
+        assert!(md.contains(&e.id().to_uppercase()));
+    }
+}

@@ -1,0 +1,27 @@
+//! # `pba-runner` — experiment harness
+//!
+//! Regenerates every reproduced result (experiments E1–E13 of
+//! `DESIGN.md`): workload construction, parameter sweeps, seed
+//! replication, theory-vs-measured tables, and the `pba-run` CLI.
+//!
+//! ```text
+//! pba-run list                 # all experiments with one-line claims
+//! pba-run all --scale default  # run everything, print markdown tables
+//! pba-run e03 --scale full     # one experiment at full scale
+//! pba-run protocol collision --m 65536 --n 65536
+//! ```
+//!
+//! Every experiment implements [`Experiment`]: it owns its workload
+//! definition and returns an [`ExperimentReport`] whose table contains a
+//! `paper` column (the theory prediction / scale) next to each `measured`
+//! column, so the claim-vs-measurement comparison that `EXPERIMENTS.md`
+//! records is produced mechanically.
+
+pub mod experiment;
+pub mod experiments;
+pub mod replicate;
+pub mod table;
+
+pub use experiment::{all_experiments, experiment_by_id, Experiment, ExperimentReport, Scale};
+pub use replicate::{replicate, replicate_outcomes};
+pub use table::Table;

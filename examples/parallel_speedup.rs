@@ -1,0 +1,54 @@
+//! Engine scalability: the same deterministic simulation, one thread vs
+//! the data-parallel executor.
+//!
+//! Both executors produce bit-identical results (same loads, same round
+//! count); the parallel one splits the gather / count / grant / resolve
+//! passes across the pool. Expect useful speedups once rounds move
+//! millions of balls.
+//!
+//! ```text
+//! cargo run --release --example parallel_speedup
+//! ```
+
+use std::time::Instant;
+
+use pba::prelude::*;
+
+fn time_run(spec: ProblemSpec, exec: ExecutorKind) -> (RunOutcome, f64) {
+    let cfg = RunConfig::seeded(123).with_executor(exec).with_trace(false);
+    let started = Instant::now();
+    let out = Simulator::new(spec, cfg)
+        .run(ThresholdHeavy::new(spec))
+        .unwrap();
+    (out, started.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let spec = ProblemSpec::new(1 << 24, 1 << 12).expect("valid spec"); // 16M balls
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!("workload: {spec}, protocol threshold-heavy");
+    println!("machine:  {cores} hardware thread(s) — speedups require > 1\n");
+
+    let (seq, t_seq) = time_run(spec, ExecutorKind::Sequential);
+    println!(
+        "sequential:       {t_seq:>7.3}s  ({} rounds, gap {})",
+        seq.rounds,
+        seq.gap()
+    );
+
+    for lanes in [2usize, 4, 8] {
+        let (par, t_par) = time_run(spec, ExecutorKind::ParallelWith(lanes));
+        assert_eq!(par.loads, seq.loads, "executors must agree bit-for-bit");
+        assert_eq!(par.rounds, seq.rounds);
+        println!(
+            "parallel {lanes:>2} lanes: {t_par:>7.3}s  (speedup {:.2}x, identical result)",
+            t_seq / t_par
+        );
+    }
+
+    println!("\nthe parallel executor reproduces the sequential result exactly:");
+    println!("gather uses counter-based per-ball RNG streams, and acceptance is");
+    println!("resolved by deterministic arrival ranks (two-pass parallel counting).");
+}

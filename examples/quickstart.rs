@@ -1,0 +1,52 @@
+//! Quickstart: allocate a million balls into a thousand bins with the
+//! heavily loaded threshold protocol and inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pba::prelude::*;
+
+fn main() {
+    // 2^20 balls into 2^10 bins: average load 1024.
+    let spec = ProblemSpec::new(1 << 20, 1 << 10).expect("valid spec");
+
+    // The paper's A_heavy: rising thresholds m/n − (m̃/n)^{2/3}, then an
+    // adaptive light phase. Deterministic given the seed.
+    let outcome = Simulator::new(spec, RunConfig::seeded(42))
+        .run(ThresholdHeavy::new(spec))
+        .expect("simulation succeeds");
+
+    let stats = outcome.load_stats();
+    println!("spec:       {spec}");
+    println!("protocol:   {}", outcome.protocol);
+    println!("rounds:     {}", outcome.rounds);
+    println!(
+        "max load:   {} (optimum {}, gap {})",
+        stats.max(),
+        spec.ceil_avg(),
+        outcome.gap()
+    );
+    println!("load stats: {stats}");
+    println!(
+        "messages:   {} total, {:.2} sent per ball",
+        outcome.messages.total(),
+        outcome.messages.sent_by_balls() as f64 / spec.balls() as f64
+    );
+
+    // Compare with the naive baseline: same spec, one round of random
+    // placement.
+    let naive = Simulator::new(spec, RunConfig::seeded(42))
+        .run(SingleChoice::new(spec))
+        .expect("simulation succeeds");
+    println!();
+    println!(
+        "single-choice baseline: gap {} — {}x worse than A_heavy in {} round",
+        naive.gap(),
+        naive.gap() / outcome.gap().max(1),
+        naive.rounds
+    );
+
+    assert!(outcome.is_complete());
+    assert!(outcome.gap() <= 2, "A_heavy guarantees m/n + O(1)");
+}

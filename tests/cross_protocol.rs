@@ -1,0 +1,127 @@
+//! Integration: the papers' comparative claims, checked across crates at
+//! moderate scale with fixed seeds.
+
+use pba::prelude::*;
+use pba::protocols::seq::{single_choice_loads, GreedyD};
+
+fn gap_of(name: &str, spec: ProblemSpec, seed: u64) -> u32 {
+    pba::protocols::run_by_name(name, spec, RunConfig::seeded(seed))
+        .expect("known protocol")
+        .expect("run succeeds")
+        .gap()
+}
+
+fn rounds_of(name: &str, spec: ProblemSpec, seed: u64) -> u32 {
+    pba::protocols::run_by_name(name, spec, RunConfig::seeded(seed))
+        .expect("known protocol")
+        .expect("run succeeds")
+        .rounds
+}
+
+/// The headline of the heavily loaded paper: parallel threshold protocol
+/// matches the sequential two-choice quality (both m/n + O(1)-ish) and
+/// crushes the naive baseline.
+#[test]
+fn heavy_regime_quality_ordering() {
+    let n = 1u32 << 10;
+    let spec = ProblemSpec::new((n as u64) << 9, n).unwrap(); // m/n = 512
+    let naive = gap_of("single-choice", spec, 1);
+    let heavy = gap_of("threshold-heavy", spec, 1);
+    let asym = gap_of("asymmetric", spec, 1);
+    let two_choice = {
+        let loads = GreedyD::two_choice(spec).run(1);
+        pba::core::LoadStats::from_loads(&loads).gap()
+    };
+    assert!(heavy <= 2, "threshold-heavy gap {heavy}");
+    assert!(asym <= 8, "asymmetric gap {asym}");
+    assert!(naive >= 10 * heavy.max(1), "naive {naive} vs heavy {heavy}");
+    // Sequential two-choice is O(log log n): small but not necessarily
+    // better than the parallel O(1) algorithms.
+    assert!(two_choice <= 8, "two-choice gap {two_choice}");
+}
+
+/// Round-count ordering in the heavy regime:
+/// asymmetric O(1) < threshold-heavy O(log log + log*) < fixed threshold
+/// Ω(log n) < trivial Θ(n).
+#[test]
+fn heavy_regime_round_ordering() {
+    let n = 1u32 << 9;
+    let spec = ProblemSpec::new((n as u64) << 8, n).unwrap();
+    let asym = rounds_of("asymmetric", spec, 2);
+    let heavy = rounds_of("threshold-heavy", spec, 2);
+    let fixed = rounds_of("fixed-threshold", spec, 2);
+    let trivial = rounds_of("trivial-round-robin", spec, 2);
+    assert!(asym <= heavy, "asym {asym} vs heavy {heavy}");
+    assert!(heavy < fixed, "heavy {heavy} vs fixed {fixed}");
+    assert!(
+        fixed < trivial.max(fixed + 1),
+        "fixed {fixed} vs trivial {trivial}"
+    );
+    assert!(trivial <= n, "trivial exceeded n rounds");
+}
+
+/// Balanced case: the collision protocol's double-log rounds beat the
+/// naive log-scale retries, with load ≤ c.
+#[test]
+fn balanced_collision_beats_naive_retry() {
+    let n = 1u32 << 13;
+    let spec = ProblemSpec::new(n as u64, n).unwrap();
+    let sim = Simulator::new(spec, RunConfig::seeded(3));
+    let collision = sim.run(Collision::new(spec)).unwrap();
+    assert!(collision.is_complete());
+    assert!(collision.max_load() <= 2);
+    assert!(collision.rounds <= 10, "rounds {}", collision.rounds);
+    let naive_gap = {
+        let loads = single_choice_loads(spec, 3);
+        pba::core::LoadStats::from_loads(&loads).gap()
+    };
+    assert!(naive_gap >= 3, "naive balanced gap {naive_gap}");
+}
+
+/// Two-choice quality is preserved by batching (BCE+12) but not by
+/// removing the second choice.
+#[test]
+fn batching_preserves_two_choice_quality() {
+    let n = 1u32 << 9;
+    let spec = ProblemSpec::new((n as u64) << 5, n).unwrap();
+    let batched = Simulator::new(spec, RunConfig::seeded(4))
+        .run(BatchedTwoChoice::new(spec, n as u64))
+        .unwrap();
+    let naive = gap_of("single-choice", spec, 4);
+    assert!(
+        batched.gap() * 3 <= naive,
+        "batched {} vs naive {naive}",
+        batched.gap()
+    );
+}
+
+/// Every registered protocol completes and produces a well-formed
+/// allocation with assignment tracking on.
+#[test]
+fn all_protocols_produce_well_formed_allocations() {
+    let spec = ProblemSpec::new(1 << 13, 1 << 7).unwrap();
+    for &name in pba::protocols::protocol_names() {
+        let cfg = RunConfig::seeded(5).with_assignment(true);
+        let out = pba::protocols::run_by_name(name, spec, cfg)
+            .unwrap()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(out.is_complete(), "{name} incomplete");
+        let alloc = out.allocation();
+        assert!(alloc.is_well_formed(), "{name}: {:?}", alloc.verify());
+    }
+}
+
+/// The gap hierarchy of the sequential family: 1-choice ≫ (1+β) > 2-choice
+/// ≥ always-go-left (up to noise).
+#[test]
+fn sequential_family_hierarchy() {
+    let n = 1u32 << 10;
+    let spec = ProblemSpec::new((n as u64) << 8, n).unwrap();
+    let g1 = pba::core::LoadStats::from_loads(&GreedyD::new(spec, 1).run(6)).gap();
+    let g_beta =
+        pba::core::LoadStats::from_loads(&pba::protocols::seq::OnePlusBeta::new(spec, 0.5).run(6))
+            .gap();
+    let g2 = pba::core::LoadStats::from_loads(&GreedyD::new(spec, 2).run(6)).gap();
+    assert!(g_beta < g1, "β=0.5 {g_beta} vs 1-choice {g1}");
+    assert!(g2 <= g_beta, "2-choice {g2} vs β=0.5 {g_beta}");
+}

@@ -1,0 +1,29 @@
+//! Integration: every experiment runs end-to-end at smoke scale through
+//! the public harness API and produces renderable reports.
+
+use pba::runner::{all_experiments, experiment_by_id, Scale};
+
+#[test]
+fn all_experiments_run_at_smoke_scale() {
+    for e in all_experiments() {
+        let report = e.run(Scale::Smoke);
+        assert_eq!(report.id, e.id());
+        assert!(!report.tables.is_empty(), "{} produced no tables", e.id());
+        for t in &report.tables {
+            assert!(!t.is_empty(), "{}: empty table '{}'", e.id(), t.title());
+            // CSV and markdown render without panicking and contain data.
+            assert!(t.to_csv().lines().count() > 1);
+            assert!(t.to_markdown().contains('|'));
+        }
+        assert!(!report.claim.is_empty());
+    }
+}
+
+#[test]
+fn reports_render_combined_markdown() {
+    let e = experiment_by_id("e03").unwrap();
+    let md = e.run(Scale::Smoke).to_markdown();
+    assert!(md.contains("## E03"));
+    assert!(md.contains("*Claim.*"));
+    assert!(md.contains("| "));
+}

@@ -1,0 +1,108 @@
+//! Integration: message-accounting invariants across the public API.
+//!
+//! The papers count three message kinds (requests, responses, commit
+//! notifications); these tests pin the conservation laws and the
+//! per-protocol bounds at moderate scale.
+
+use pba::core::MessageTracking;
+use pba::prelude::*;
+
+fn run_full_tracking(name: &str, spec: ProblemSpec, seed: u64) -> RunOutcome {
+    let cfg = RunConfig::seeded(seed).with_tracking(MessageTracking::Full);
+    pba::protocols::run_by_name(name, spec, cfg)
+        .expect("known")
+        .expect("ok")
+}
+
+/// Requests and responses are always 1:1 (bins answer every contact).
+#[test]
+fn responses_match_requests_everywhere() {
+    let spec = ProblemSpec::new(1 << 13, 1 << 7).unwrap();
+    for &name in pba::protocols::protocol_names() {
+        let out = run_full_tracking(name, spec, 1);
+        assert_eq!(out.messages.requests, out.messages.responses, "{name}");
+    }
+}
+
+/// Ledger cross-check: Σ per-ball sent = requests + commits, and
+/// Σ per-bin received = requests + commits (each ball→bin message has
+/// exactly one sender and one receiver).
+#[test]
+fn ledger_totals_are_conserved() {
+    let spec = ProblemSpec::new(1 << 13, 1 << 7).unwrap();
+    for &name in pba::protocols::protocol_names() {
+        let out = run_full_tracking(name, spec, 2);
+        let expected = out.messages.requests + out.messages.commits;
+        let recv: u64 = out.per_bin_received.as_ref().unwrap().iter().sum();
+        assert_eq!(recv, expected, "{name}: per-bin receive total");
+    }
+}
+
+/// Per-round totals in the trace sum to the outcome totals.
+#[test]
+fn trace_messages_sum_to_totals() {
+    let spec = ProblemSpec::new(1 << 14, 1 << 8).unwrap();
+    for &name in &[
+        "threshold-heavy",
+        "collision",
+        "asymmetric",
+        "batched-two-choice",
+    ] {
+        let out = run_full_tracking(name, spec, 3);
+        let trace_total = out.trace.as_ref().unwrap().total_messages();
+        assert_eq!(trace_total, out.messages, "{name}");
+    }
+}
+
+/// Theorem 6's per-ball bounds for A_heavy at a real size: expectation
+/// O(1), maximum O(log n).
+#[test]
+fn threshold_heavy_per_ball_bounds() {
+    let n = 1u32 << 10;
+    let spec = ProblemSpec::new((n as u64) << 8, n).unwrap();
+    let out = run_full_tracking("threshold-heavy", spec, 4);
+    let mean = out.messages.sent_by_balls() as f64 / spec.balls() as f64;
+    assert!(mean <= 4.0, "mean per-ball messages {mean}");
+    let max = out.max_ball_sent.unwrap();
+    assert!(
+        max as f64 <= 4.0 * (n as f64).log2(),
+        "max per-ball messages {max} vs O(log n)"
+    );
+}
+
+/// Non-adaptive protocols send exactly d·(active) requests per round;
+/// adaptive degree-1 protocols exactly (active).
+#[test]
+fn per_round_request_counts_match_degrees() {
+    let spec = ProblemSpec::new(1 << 13, 1 << 13).unwrap();
+    let collision = run_full_tracking("collision", spec, 5);
+    for rec in collision.trace.as_ref().unwrap().records() {
+        assert_eq!(rec.requests, 2 * rec.active_before, "collision degree 2");
+    }
+    let fixed = run_full_tracking("fixed-threshold", spec, 5);
+    for rec in fixed.trace.as_ref().unwrap().records() {
+        assert_eq!(rec.requests, rec.active_before, "fixed-threshold degree 1");
+    }
+}
+
+/// Wasted grants only exist for multi-request protocols, and are exactly
+/// accepts − commits.
+#[test]
+fn wasted_grants_accounting() {
+    let spec = ProblemSpec::new(1 << 13, 1 << 13).unwrap();
+    let out = run_full_tracking("collision", spec, 6);
+    for rec in out.trace.as_ref().unwrap().records() {
+        // commits message count = accepted requests; committed = balls
+        // placed; the difference is the wasted (declined) grants.
+        assert_eq!(
+            rec.messages.commits - rec.committed,
+            rec.wasted_grants,
+            "round {}",
+            rec.round
+        );
+    }
+    let single = run_full_tracking("fixed-threshold", spec, 6);
+    for rec in single.trace.as_ref().unwrap().records() {
+        assert_eq!(rec.wasted_grants, 0);
+    }
+}
