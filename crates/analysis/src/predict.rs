@@ -6,7 +6,6 @@
 //! predictors are *scales*, not point predictions; experiments assert
 //! shape (monotonicity, ratios, linear fits), not equality.
 
-use serde::{Deserialize, Serialize};
 
 /// `log₂* x` (iterated logarithm), the additive term in Theorem 1's round
 /// bound.
@@ -106,7 +105,8 @@ pub fn adler_load_scale(n: u32, r: u32) -> f64 {
 }
 
 /// Everything the harness prints for one spec, bundled.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy)]
 pub struct Predictions {
     /// Single-choice gap scale.
     pub single_choice_gap: f64,

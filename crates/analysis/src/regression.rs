@@ -5,10 +5,10 @@
 //! a strong linear fit (R² close to 1) with a positive slope, while a fit
 //! against `m/n` itself should be poor. This module provides the fit.
 
-use serde::{Deserialize, Serialize};
 
 /// Result of fitting `y ≈ intercept + slope · x` by least squares.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
     /// Fitted intercept.
     pub intercept: f64,

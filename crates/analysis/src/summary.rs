@@ -1,10 +1,10 @@
 //! Replication statistics: summaries of repeated measurements.
 
-use serde::{Deserialize, Serialize};
 
 /// Summary of a sample of `f64` measurements (e.g. the gap over 30 seeded
 /// runs).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     values: Vec<f64>, // kept sorted
     mean: f64,

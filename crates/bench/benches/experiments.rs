@@ -1,4 +1,4 @@
-//! One bench target per reproduced experiment (E1–E13).
+//! One bench target per reproduced experiment (E1–E14).
 //!
 //! Each target regenerates its experiment's table at smoke scale — the
 //! same code path `pba-run <id> --scale full` uses for the numbers in

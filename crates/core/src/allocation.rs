@@ -1,6 +1,5 @@
 //! Final allocation: loads, optional per-ball assignment, verification.
 
-use serde::{Deserialize, Serialize};
 
 use crate::load::LoadStats;
 use crate::model::ProblemSpec;
@@ -10,7 +9,8 @@ use crate::model::ProblemSpec;
 /// The load vector is always present. The per-ball assignment is optional
 /// (it costs `O(m)` memory and is only needed when a caller wants to route
 /// actual items, e.g. the DHT example).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
 pub struct Allocation {
     spec: ProblemSpec,
     loads: Vec<u32>,

@@ -29,10 +29,17 @@ use pba_par::{as_atomic_u32, Chunking, ThreadPool};
 
 use crate::error::{CoreError, Result};
 use crate::messages::{MessageLedger, MessageStats, MessageTracking};
+use crate::metrics::{MetricsSink, Phase, RoundTimer, RunMeta};
 use crate::model::ProblemSpec;
 use crate::protocol::{BallContext, ChoiceSink, CommitOption, RoundContext, RoundProtocol};
 use crate::rng::ball_stream;
 use crate::trace::RoundRecord;
+
+/// A per-run observer handed into the round executors: the metrics sink
+/// plus the run identity it reports under. `None` is the zero-cost
+/// disabled path — the executors then construct no [`RoundTimer`] and
+/// perform no clock reads.
+pub(crate) type Observer<'a> = Option<(&'a dyn MetricsSink, &'a RunMeta)>;
 
 /// Minimum active balls per parallel chunk; below `PAR_CUTOFF` total the
 /// parallel executor falls back to the sequential path for the round.
@@ -133,12 +140,26 @@ impl<P: RoundProtocol> SimState<P> {
     }
 
     /// Execute one round sequentially.
-    pub fn round_seq(&mut self, protocol: &P, round: u32) -> Result<RoundRecord> {
+    pub fn round_seq(&mut self, protocol: &P, round: u32, obs: Observer<'_>) -> Result<RoundRecord> {
         let ctx = self.context(round);
+        let mut timer = obs.map(|_| RoundTimer::start());
         self.gather_seq(protocol, &ctx)?;
+        if let Some(t) = timer.as_mut() {
+            t.lap(Phase::Gather);
+        }
         self.count_arrivals_seq();
+        if let Some(t) = timer.as_mut() {
+            t.lap(Phase::CountScan);
+        }
         let (underloaded_bins, unfilled_want) = self.grants_seq(protocol, &ctx);
+        if let Some(t) = timer.as_mut() {
+            t.lap(Phase::Grant);
+        }
         let record = self.resolve_seq(protocol, &ctx, underloaded_bins, unfilled_want);
+        if let (Some((sink, meta)), Some(mut t)) = (obs, timer) {
+            t.lap(Phase::ResolveCommit);
+            sink.on_round(meta, &record, &t.finish());
+        }
         Ok(record)
     }
 
@@ -289,11 +310,13 @@ impl<P: RoundProtocol> SimState<P> {
         protocol: &P,
         round: u32,
         pool: &ThreadPool,
+        obs: Observer<'_>,
     ) -> Result<RoundRecord> {
         if self.active.len() < PAR_CUTOFF || pool.lanes() <= 1 {
-            return self.round_seq(protocol, round);
+            return self.round_seq(protocol, round, obs);
         }
         let ctx = self.context(round);
+        let mut timer = obs.map(|_| RoundTimer::start());
         self.snapshot_loads();
         let n = self.spec.bins() as usize;
         let chunking = Chunking::new(self.active.len(), MIN_CHUNK, pool.lanes() * 2);
@@ -348,6 +371,9 @@ impl<P: RoundProtocol> SimState<P> {
             }
             requests += c.bins.len() as u64;
         }
+        if let Some(t) = timer.as_mut() {
+            t.lap(Phase::Gather);
+        }
 
         // --- Exclusive scan (serial, O(chunks·n)): total arrivals land in
         // `self.counts`; each chunk's `counts` becomes its per-bin rank
@@ -360,12 +386,18 @@ impl<P: RoundProtocol> SimState<P> {
                 *total += c;
             }
         }
+        if let Some(t) = timer.as_mut() {
+            t.lap(Phase::CountScan);
+        }
 
         // --- Phase 3: grants.
         let (underloaded_bins, unfilled_want) = self.grants_par(protocol, &ctx, pool);
         // Granted = first min(arrivals, grant) arrivals per bin.
         for ((t, &a), &c) in self.taken.iter_mut().zip(&self.accept).zip(&self.counts) {
             *t = a.min(c);
+        }
+        if let Some(t) = timer.as_mut() {
+            t.lap(Phase::Grant);
         }
 
         // --- Phase 4 (parallel): fused rank assignment + resolve +
@@ -482,7 +514,7 @@ impl<P: RoundProtocol> SimState<P> {
             commit_msgs += c.commit_msgs;
         }
 
-        Ok(self.finish_round(
+        let record = self.finish_round(
             &ctx,
             requests,
             committed,
@@ -490,7 +522,12 @@ impl<P: RoundProtocol> SimState<P> {
             commit_msgs,
             underloaded_bins,
             unfilled_want,
-        ))
+        );
+        if let (Some((sink, meta)), Some(mut t)) = (obs, timer) {
+            t.lap(Phase::ResolveCommit);
+            sink.on_round(meta, &record, &t.finish());
+        }
+        Ok(record)
     }
 
     fn grants_par(&mut self, protocol: &P, ctx: &RoundContext, pool: &ThreadPool) -> (u32, u64) {
@@ -650,9 +687,9 @@ mod tests {
             let ctx = state.context(round);
             protocol.begin_round(&ctx);
             let rec = if parallel {
-                state.round_par(&protocol, round, &pool).unwrap()
+                state.round_par(&protocol, round, &pool, None).unwrap()
             } else {
-                state.round_seq(&protocol, round).unwrap()
+                state.round_seq(&protocol, round, None).unwrap()
             };
             let _ = protocol.after_round(&ctx, &rec);
             round += 1;
@@ -760,7 +797,7 @@ mod tests {
     fn out_of_range_bin_is_an_error() {
         let spec = ProblemSpec::new(100, 8).unwrap();
         let mut state = SimState::<BadBins>::new(spec, 1, MessageTracking::Totals, false);
-        let err = state.round_seq(&BadBins, 0).unwrap_err();
+        let err = state.round_seq(&BadBins, 0, None).unwrap_err();
         assert!(matches!(err, CoreError::BinOutOfRange { bin: 13, .. }));
     }
 
@@ -769,7 +806,7 @@ mod tests {
         let spec = ProblemSpec::new(100_000, 8).unwrap();
         let pool = ThreadPool::new(2);
         let mut state = SimState::<BadBins>::new(spec, 1, MessageTracking::Totals, false);
-        let err = state.round_par(&BadBins, 0, &pool).unwrap_err();
+        let err = state.round_par(&BadBins, 0, &pool, None).unwrap_err();
         assert!(matches!(err, CoreError::BinOutOfRange { bin: 13, .. }));
     }
 
@@ -777,7 +814,7 @@ mod tests {
     fn message_accounting_counts_requests_and_commits() {
         let spec = ProblemSpec::new(64, 8).unwrap();
         let mut state = SimState::<Uniform1>::new(spec, 3, MessageTracking::Full, false);
-        let rec = state.round_seq(&Uniform1, 0).unwrap();
+        let rec = state.round_seq(&Uniform1, 0, None).unwrap();
         // Every active ball sent exactly one request; every request got a
         // response.
         assert_eq!(rec.messages.requests, 64);
@@ -801,8 +838,8 @@ mod tests {
         let pool = ThreadPool::new(3);
         let mut seq = SimState::<Uniform1>::new(spec, 3, MessageTracking::Full, false);
         let mut par = SimState::<Uniform1>::new(spec, 3, MessageTracking::Full, false);
-        let rec_seq = seq.round_seq(&Uniform1, 0).unwrap();
-        let rec_par = par.round_par(&Uniform1, 0, &pool).unwrap();
+        let rec_seq = seq.round_seq(&Uniform1, 0, None).unwrap();
+        let rec_par = par.round_par(&Uniform1, 0, &pool, None).unwrap();
         assert_eq!(rec_seq, rec_par);
         assert_eq!(seq.ledger.per_ball_sent, par.ledger.per_ball_sent);
         assert_eq!(seq.ledger.per_bin_received, par.ledger.per_bin_received);
@@ -813,7 +850,7 @@ mod tests {
         // 100 balls, 1 bin, capacity ceil(100/1)=100: all granted round 0.
         let spec = ProblemSpec::new(100, 1).unwrap();
         let mut state = SimState::<Uniform1>::new(spec, 3, MessageTracking::Totals, false);
-        let rec = state.round_seq(&Uniform1, 0).unwrap();
+        let rec = state.round_seq(&Uniform1, 0, None).unwrap();
         assert_eq!(rec.granted, 100);
         assert_eq!(rec.committed, 100);
         assert!(state.active.is_empty());

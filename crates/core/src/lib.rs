@@ -25,6 +25,8 @@
 //!   resolution, commits; sequential and parallel executors.
 //! * [`sim`] — the user-facing [`Simulator`] / [`RunConfig`] /
 //!   [`RunOutcome`] API.
+//! * [`metrics`] — the observability layer: [`MetricsSink`], per-round
+//!   phase timings, run summaries, pool utilization.
 //! * [`load`], [`messages`], [`allocation`], [`trace`] — statistics and
 //!   run records.
 //! * [`mathutil`] — `log* n`, iterated logarithms, and friends.
@@ -35,6 +37,7 @@ pub mod error;
 pub mod load;
 pub mod mathutil;
 pub mod messages;
+pub mod metrics;
 pub mod model;
 pub mod protocol;
 pub mod rng;
@@ -45,6 +48,9 @@ pub use allocation::Allocation;
 pub use error::{CoreError, Result};
 pub use load::LoadStats;
 pub use messages::{MessageStats, MessageTracking};
+pub use metrics::{
+    EngineMetrics, FanoutSink, MetricsReport, MetricsSink, Phase, RoundTiming, RunMeta, RunSummary,
+};
 pub use model::ProblemSpec;
 pub use protocol::{
     BallContext, BinGrant, ChoiceSink, CommitOption, Flow, NoBallState, RoundContext, RoundProtocol,

@@ -2,7 +2,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics of a final (or intermediate) load vector.
 ///
@@ -10,7 +9,8 @@ use serde::{Deserialize, Serialize};
 /// between the maximum load and the optimum `⌈m/n⌉`. The naive single-choice
 /// allocation has gap `Θ(√((m/n)·log n))` for `m ≥ n log n`; the protocols
 /// reproduced here push it to `O(1)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadStats {
     max: u32,
     min: u32,

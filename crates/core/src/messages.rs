@@ -13,10 +13,10 @@
 //! memory) and tracked by default; per-ball sent counts cost `O(m)` memory
 //! and are opt-in via [`MessageTracking::Full`].
 
-use serde::{Deserialize, Serialize};
 
 /// Granularity of message accounting.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum MessageTracking {
     /// Only workspace-wide totals.
     Totals,
@@ -28,7 +28,8 @@ pub enum MessageTracking {
 }
 
 /// Aggregate message totals for a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MessageStats {
     /// Ball → bin allocation requests.
     pub requests: u64,

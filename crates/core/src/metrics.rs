@@ -1,0 +1,476 @@
+//! Engine observability: per-round phase timings, run summaries, and pool
+//! utilization, delivered through the [`MetricsSink`] trait.
+//!
+//! The papers' claims (Stemann's collision rounds, the heavily loaded
+//! paper's Claims 1–3 underload accounting, Lenzen–Wattenhofer's
+//! rounds-vs-messages trade-off) are all *per-round* quantities. The
+//! engine already records a [`RoundRecord`] per round; this module adds
+//! the *mechanical* side of the measurement: how long each executor phase
+//! took, how the thread pool was utilized, and end-of-run throughput —
+//! reported live through a sink instead of post-hoc.
+//!
+//! ## Design
+//!
+//! * A sink is attached per run via
+//!   [`RunConfig::with_metrics`](crate::RunConfig::with_metrics). The
+//!   engine aggregates one round's phase clocks locally and delivers them
+//!   in a **single** [`MetricsSink::on_round`] call together with the
+//!   [`RoundRecord`] and a [`RunMeta`] describing the run — so each call
+//!   is self-contained and a sink shared by concurrent runs (e.g. seed
+//!   replication) never sees torn per-round state.
+//! * **Zero-cost when disabled**: with no sink configured the engine's
+//!   round loop performs *no clock reads at all* — the [`RoundTimer`] is
+//!   simply never constructed (verified by the cross-executor determinism
+//!   tests and the `None`-sink branch shape in `engine.rs`).
+//! * Pool counters ([`PoolStats`]) are snapshotted before and after the
+//!   run and the delta is reported through [`MetricsSink::on_pool`]
+//!   (parallel executors only).
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use pba_par::PoolStats;
+
+use crate::model::ProblemSpec;
+use crate::sim::ExecutorKind;
+use crate::trace::RoundRecord;
+
+/// Number of executor phases per round.
+pub const PHASES: usize = 4;
+
+/// The four phases of one synchronous round, shared by both executors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Balls draw their bin choices (RNG + protocol `ball_choices`).
+    Gather = 0,
+    /// Per-bin arrival counting, plus (parallel executor) the serial
+    /// exclusive scan that assigns global arrival ranks.
+    CountScan = 1,
+    /// Bins decide grants (`bin_grant` over all bins).
+    Grant = 2,
+    /// Acceptance resolution, commits, and round bookkeeping.
+    ResolveCommit = 3,
+}
+
+impl Phase {
+    /// All phases, in execution order.
+    pub const ALL: [Phase; PHASES] = [
+        Phase::Gather,
+        Phase::CountScan,
+        Phase::Grant,
+        Phase::ResolveCommit,
+    ];
+
+    /// Stable snake-case name (used for JSONL keys and table headers).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Gather => "gather",
+            Phase::CountScan => "count_scan",
+            Phase::Grant => "grant",
+            Phase::ResolveCommit => "resolve_commit",
+        }
+    }
+
+    /// Index into a `[u64; PHASES]` timing array.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Wall-clock breakdown of one round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundTiming {
+    /// Nanoseconds per phase, indexed by [`Phase::index`].
+    pub phase_nanos: [u64; PHASES],
+    /// Total nanoseconds for the round (≥ the phase sum: it also covers
+    /// inter-phase bookkeeping).
+    pub total_nanos: u64,
+}
+
+impl RoundTiming {
+    /// Nanoseconds spent in `phase`.
+    #[inline]
+    pub fn phase(&self, phase: Phase) -> u64 {
+        self.phase_nanos[phase.index()]
+    }
+
+    /// Sum of the per-phase nanoseconds.
+    pub fn phase_sum(&self) -> u64 {
+        self.phase_nanos.iter().sum()
+    }
+}
+
+/// Identity of the run a metrics callback belongs to.
+///
+/// Sinks shared across concurrent runs (seed replication fans out on the
+/// pool) key their state on `(seed, protocol)` or simply emit
+/// self-contained records carrying these fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunMeta {
+    /// The problem instance.
+    pub spec: ProblemSpec,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Which executor ran the rounds.
+    pub executor: ExecutorKind,
+    /// Execution lanes available to the run (1 for sequential).
+    pub lanes: usize,
+}
+
+/// End-of-run totals delivered to [`MetricsSink::on_run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Rounds executed.
+    pub rounds: u32,
+    /// Balls placed.
+    pub placed: u64,
+    /// Balls left unallocated (0 unless the protocol stopped early).
+    pub unallocated: u64,
+    /// Wall-clock nanoseconds for the whole run (round loop inclusive).
+    pub wall_nanos: u64,
+}
+
+/// Receiver for engine observability events.
+///
+/// Implementations must be `Send + Sync`: seed replication attaches one
+/// sink to many concurrent runs. Every callback carries the [`RunMeta`],
+/// so events from interleaved runs are attributable.
+///
+/// Only [`on_round`](MetricsSink::on_round) is required; the run- and
+/// pool-level callbacks default to no-ops.
+pub trait MetricsSink: Send + Sync {
+    /// One round completed: its record plus the phase wall-clock split.
+    fn on_round(&self, meta: &RunMeta, record: &RoundRecord, timing: &RoundTiming);
+
+    /// The run completed (or stopped early).
+    fn on_run(&self, meta: &RunMeta, summary: &RunSummary) {
+        let _ = (meta, summary);
+    }
+
+    /// Pool utilization accumulated by this run (parallel executors only;
+    /// the delta of [`pba_par::ThreadPool::stats`] across the run).
+    fn on_pool(&self, meta: &RunMeta, stats: &PoolStats) {
+        let _ = (meta, stats);
+    }
+}
+
+/// Measures one round's phases; constructed **only** when a sink is
+/// attached, so the disabled path performs no clock reads.
+pub(crate) struct RoundTimer {
+    start: Instant,
+    last: Instant,
+    phase_nanos: [u64; PHASES],
+}
+
+impl RoundTimer {
+    pub(crate) fn start() -> Self {
+        let now = Instant::now();
+        Self {
+            start: now,
+            last: now,
+            phase_nanos: [0; PHASES],
+        }
+    }
+
+    /// Close the current phase: elapsed time since the previous lap (or
+    /// construction) is charged to `phase`.
+    pub(crate) fn lap(&mut self, phase: Phase) {
+        let now = Instant::now();
+        self.phase_nanos[phase.index()] += (now - self.last).as_nanos() as u64;
+        self.last = now;
+    }
+
+    pub(crate) fn finish(self) -> RoundTiming {
+        RoundTiming {
+            phase_nanos: self.phase_nanos,
+            total_nanos: self.start.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+/// Aggregated view of everything an [`EngineMetrics`] sink saw.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Completed runs.
+    pub runs: u64,
+    /// Rounds across all runs.
+    pub rounds: u64,
+    /// Balls placed across all runs.
+    pub placed: u64,
+    /// Nanoseconds per phase, summed over all rounds of all runs.
+    pub phase_nanos: [u64; PHASES],
+    /// Total round nanoseconds (phase sum + bookkeeping).
+    pub round_nanos: u64,
+    /// Total run wall nanoseconds (sums *per-run* wall time; concurrent
+    /// runs overlap, so this is CPU-like, not elapsed, time).
+    pub run_nanos: u64,
+    /// Pool utilization summed over runs, if any parallel run reported.
+    pub pool: Option<PoolStats>,
+}
+
+impl MetricsReport {
+    /// Balls placed per second of engine run time.
+    ///
+    /// Returns 0.0 before any timed run completes.
+    pub fn balls_per_sec(&self) -> f64 {
+        per_sec(self.placed, self.run_nanos)
+    }
+
+    /// Rounds executed per second of engine run time.
+    pub fn rounds_per_sec(&self) -> f64 {
+        per_sec(self.rounds, self.run_nanos)
+    }
+
+    /// Fraction of total phase time spent in `phase` (0.0 when untimed).
+    pub fn phase_fraction(&self, phase: Phase) -> f64 {
+        let total: u64 = self.phase_nanos.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.phase_nanos[phase.index()] as f64 / total as f64
+        }
+    }
+}
+
+fn per_sec(count: u64, nanos: u64) -> f64 {
+    if nanos == 0 {
+        0.0
+    } else {
+        count as f64 / (nanos as f64 / 1e9)
+    }
+}
+
+/// The standard aggregating sink: accumulates rounds, placements, phase
+/// time, run time, and pool counters across any number of (possibly
+/// concurrent) runs.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use pba_core::metrics::EngineMetrics;
+/// use pba_core::{ProblemSpec, RunConfig, Simulator};
+/// # use pba_core::protocol::{BallContext, BinGrant, ChoiceSink, NoBallState, RoundContext, RoundProtocol};
+/// # use pba_core::rng::{Rand64, SplitMix64};
+/// # struct Retry;
+/// # impl RoundProtocol for Retry {
+/// #     type BallState = NoBallState;
+/// #     fn name(&self) -> &'static str { "retry" }
+/// #     fn round_budget(&self, _s: &ProblemSpec) -> u32 { 100_000 }
+/// #     fn ball_choices(&self, ctx: &RoundContext, _b: BallContext, _st: &mut NoBallState,
+/// #         rng: &mut SplitMix64, out: &mut ChoiceSink<'_>) { out.push(rng.below(ctx.spec.bins())); }
+/// #     fn bin_grant(&self, ctx: &RoundContext, _bin: u32, load: u32, _arr: u32) -> BinGrant {
+/// #         BinGrant::up_to(ctx.spec.ceil_avg().saturating_sub(load)) }
+/// # }
+///
+/// let metrics = Arc::new(EngineMetrics::new());
+/// let spec = ProblemSpec::new(10_000, 64).unwrap();
+/// let config = RunConfig::seeded(7).with_metrics(metrics.clone());
+/// Simulator::new(spec, config).run(Retry).unwrap();
+///
+/// let report = metrics.report();
+/// assert_eq!(report.runs, 1);
+/// assert_eq!(report.placed, 10_000);
+/// assert!(report.balls_per_sec() > 0.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    inner: Mutex<MetricsReport>,
+}
+
+impl EngineMetrics {
+    /// Fresh, empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn report(&self) -> MetricsReport {
+        self.inner.lock().unwrap().clone()
+    }
+}
+
+impl MetricsSink for EngineMetrics {
+    fn on_round(&self, _meta: &RunMeta, _record: &RoundRecord, timing: &RoundTiming) {
+        let mut agg = self.inner.lock().unwrap();
+        agg.rounds += 1;
+        for (total, &nanos) in agg.phase_nanos.iter_mut().zip(&timing.phase_nanos) {
+            *total += nanos;
+        }
+        agg.round_nanos += timing.total_nanos;
+    }
+
+    fn on_run(&self, _meta: &RunMeta, summary: &RunSummary) {
+        let mut agg = self.inner.lock().unwrap();
+        agg.runs += 1;
+        agg.placed += summary.placed;
+        agg.run_nanos += summary.wall_nanos;
+    }
+
+    fn on_pool(&self, _meta: &RunMeta, stats: &PoolStats) {
+        let mut agg = self.inner.lock().unwrap();
+        let pool = agg.pool.get_or_insert_with(PoolStats::default);
+        pool.jobs += stats.jobs;
+        pool.tasks += stats.tasks;
+        if pool.busy_nanos.len() < stats.busy_nanos.len() {
+            pool.busy_nanos.resize(stats.busy_nanos.len(), 0);
+        }
+        for (total, &nanos) in pool.busy_nanos.iter_mut().zip(&stats.busy_nanos) {
+            *total += nanos;
+        }
+    }
+}
+
+/// Broadcasts every event to several sinks, in order.
+///
+/// Lets a caller-supplied sink (say, a JSONL trace writer) and the
+/// harness's own [`EngineMetrics`] aggregator observe the same runs.
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn MetricsSink>>,
+}
+
+impl FanoutSink {
+    /// Fan out to `sinks` (empty is allowed and harmless).
+    pub fn new(sinks: Vec<Arc<dyn MetricsSink>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl MetricsSink for FanoutSink {
+    fn on_round(&self, meta: &RunMeta, record: &RoundRecord, timing: &RoundTiming) {
+        for s in &self.sinks {
+            s.on_round(meta, record, timing);
+        }
+    }
+
+    fn on_run(&self, meta: &RunMeta, summary: &RunSummary) {
+        for s in &self.sinks {
+            s.on_run(meta, summary);
+        }
+    }
+
+    fn on_pool(&self, meta: &RunMeta, stats: &PoolStats) {
+        for s in &self.sinks {
+            s.on_pool(meta, stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::MessageStats;
+
+    fn meta() -> RunMeta {
+        RunMeta {
+            spec: ProblemSpec::new(100, 10).unwrap(),
+            seed: 1,
+            protocol: "test",
+            executor: ExecutorKind::Sequential,
+            lanes: 1,
+        }
+    }
+
+    fn record() -> RoundRecord {
+        RoundRecord {
+            round: 0,
+            active_before: 100,
+            requests: 100,
+            granted: 90,
+            committed: 90,
+            messages: MessageStats {
+                requests: 100,
+                responses: 100,
+                commits: 90,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn round_timer_accumulates_monotonically() {
+        let mut t = RoundTimer::start();
+        t.lap(Phase::Gather);
+        t.lap(Phase::CountScan);
+        t.lap(Phase::Grant);
+        t.lap(Phase::ResolveCommit);
+        let timing = t.finish();
+        assert!(timing.total_nanos >= timing.phase_sum());
+    }
+
+    #[test]
+    fn engine_metrics_aggregates_rounds_and_runs() {
+        let m = EngineMetrics::new();
+        let timing = RoundTiming {
+            phase_nanos: [10, 20, 30, 40],
+            total_nanos: 110,
+        };
+        m.on_round(&meta(), &record(), &timing);
+        m.on_round(&meta(), &record(), &timing);
+        m.on_run(
+            &meta(),
+            &RunSummary {
+                rounds: 2,
+                placed: 180,
+                unallocated: 0,
+                wall_nanos: 250,
+            },
+        );
+        let r = m.report();
+        assert_eq!(r.rounds, 2);
+        assert_eq!(r.runs, 1);
+        assert_eq!(r.placed, 180);
+        assert_eq!(r.phase_nanos, [20, 40, 60, 80]);
+        assert_eq!(r.round_nanos, 220);
+        assert_eq!(r.run_nanos, 250);
+        assert!(r.balls_per_sec() > 0.0);
+        let frac: f64 = Phase::ALL.iter().map(|&p| r.phase_fraction(p)).sum();
+        assert!((frac - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pool_stats_merge_resizes_lanes() {
+        let m = EngineMetrics::new();
+        m.on_pool(
+            &meta(),
+            &PoolStats {
+                jobs: 1,
+                tasks: 4,
+                busy_nanos: vec![5, 6],
+            },
+        );
+        m.on_pool(
+            &meta(),
+            &PoolStats {
+                jobs: 2,
+                tasks: 8,
+                busy_nanos: vec![1, 1, 1],
+            },
+        );
+        let pool = m.report().pool.unwrap();
+        assert_eq!(pool.jobs, 3);
+        assert_eq!(pool.tasks, 12);
+        assert_eq!(pool.busy_nanos, vec![6, 7, 1]);
+    }
+
+    #[test]
+    fn fanout_broadcasts() {
+        let a = Arc::new(EngineMetrics::new());
+        let b = Arc::new(EngineMetrics::new());
+        let fan = FanoutSink::new(vec![a.clone(), b.clone()]);
+        fan.on_round(&meta(), &record(), &RoundTiming::default());
+        assert_eq!(a.report().rounds, 1);
+        assert_eq!(b.report().rounds, 1);
+    }
+
+    #[test]
+    fn empty_report_rates_are_zero() {
+        let r = MetricsReport::default();
+        assert_eq!(r.balls_per_sec(), 0.0);
+        assert_eq!(r.rounds_per_sec(), 0.0);
+        assert_eq!(r.phase_fraction(Phase::Gather), 0.0);
+    }
+}

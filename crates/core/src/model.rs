@@ -1,6 +1,5 @@
 //! Problem specification: `m` balls into `n` bins.
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::{CoreError, Result};
 
@@ -25,7 +24,8 @@ pub const MAX_BINS: u64 = u32::MAX as u64;
 /// assert_eq!(spec.ceil_avg(), 1000);
 /// assert!(spec.is_heavily_loaded());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ProblemSpec {
     m: u64,
     n: u32,

@@ -2,21 +2,23 @@
 //! the outcome.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use pba_par::ThreadPool;
-use serde::{Deserialize, Serialize};
 
 use crate::allocation::Allocation;
 use crate::engine::SimState;
 use crate::error::{CoreError, Result};
 use crate::load::LoadStats;
 use crate::messages::{MessageStats, MessageTracking};
+use crate::metrics::{MetricsSink, RunMeta, RunSummary};
 use crate::model::ProblemSpec;
 use crate::protocol::{Flow, RoundProtocol};
 use crate::trace::{RoundRecord, RunTrace};
 
 /// Which executor runs the rounds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecutorKind {
     /// One thread, bit-for-bit deterministic given the seed.
     Sequential,
@@ -27,7 +29,23 @@ pub enum ExecutorKind {
 }
 
 /// Configuration for a single run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// One coherent builder surface: start from [`RunConfig::seeded`] (or
+/// [`RunConfig::default`]) and chain `with_*` / executor methods:
+///
+/// ```
+/// use std::sync::Arc;
+/// use pba_core::metrics::EngineMetrics;
+/// use pba_core::RunConfig;
+///
+/// let metrics = Arc::new(EngineMetrics::new());
+/// let config = RunConfig::seeded(42)
+///     .parallel()                     // run on the global pool
+///     .with_trace(false)              // skip per-round records
+///     .with_metrics(metrics.clone()); // live phase timings + pool stats
+/// # let _ = config;
+/// ```
+#[derive(Clone)]
 pub struct RunConfig {
     /// RNG seed; two runs with equal seed, spec, protocol and the
     /// sequential executor are identical.
@@ -42,6 +60,10 @@ pub struct RunConfig {
     pub record_trace: bool,
     /// Override the protocol's round budget (safety cap).
     pub max_rounds: Option<u32>,
+    /// Observability sink for per-round phase timings, run summaries, and
+    /// pool counters. `None` (the default) is the zero-cost path: the
+    /// engine performs no clock reads.
+    pub metrics: Option<Arc<dyn MetricsSink>>,
 }
 
 impl RunConfig {
@@ -55,15 +77,32 @@ impl RunConfig {
             track_assignment: false,
             record_trace: true,
             max_rounds: None,
+            metrics: None,
         }
     }
 
-    /// Parallel variant of [`RunConfig::seeded`].
-    pub fn seeded_parallel(seed: u64) -> Self {
-        Self {
-            executor: ExecutorKind::Parallel,
-            ..Self::seeded(seed)
-        }
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Run on the sequential executor (the default).
+    pub fn sequential(mut self) -> Self {
+        self.executor = ExecutorKind::Sequential;
+        self
+    }
+
+    /// Run on the shared global pool.
+    pub fn parallel(mut self) -> Self {
+        self.executor = ExecutorKind::Parallel;
+        self
+    }
+
+    /// Run on a dedicated pool with `lanes` total execution lanes.
+    pub fn parallel_with(mut self, lanes: usize) -> Self {
+        self.executor = ExecutorKind::ParallelWith(lanes);
+        self
     }
 
     /// Builder-style executor override.
@@ -88,6 +127,47 @@ impl RunConfig {
     pub fn with_trace(mut self, record: bool) -> Self {
         self.record_trace = record;
         self
+    }
+
+    /// Builder-style round-budget override.
+    pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Attach a [`MetricsSink`]: the engine reports per-round phase
+    /// timings, an end-of-run summary, and (for parallel executors) pool
+    /// utilization. Without a sink the round loop performs no clock reads.
+    pub fn with_metrics(mut self, sink: Arc<dyn MetricsSink>) -> Self {
+        self.metrics = Some(sink);
+        self
+    }
+
+    /// Remove a previously attached sink (back to the zero-cost path).
+    pub fn without_metrics(mut self) -> Self {
+        self.metrics = None;
+        self
+    }
+}
+
+impl std::fmt::Debug for RunConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunConfig")
+            .field("seed", &self.seed)
+            .field("executor", &self.executor)
+            .field("tracking", &self.tracking)
+            .field("track_assignment", &self.track_assignment)
+            .field("record_trace", &self.record_trace)
+            .field("max_rounds", &self.max_rounds)
+            .field(
+                "metrics",
+                &if self.metrics.is_some() {
+                    "Some(<sink>)"
+                } else {
+                    "None"
+                },
+            )
+            .finish()
     }
 }
 
@@ -231,6 +311,16 @@ impl Simulator {
     /// can inspect the protocol's final internal state afterwards (phase
     /// boundaries, adaptive estimates, …).
     pub fn run_mut<P: RoundProtocol>(&self, protocol: &mut P) -> Result<RunOutcome> {
+        /// Restores the pool's previous timing flag on every exit path, so
+        /// concurrent unobserved runs on the global pool regain the
+        /// zero-clock-read path even when this run errors out.
+        struct TimingGuard<'a>(&'a ThreadPool, bool);
+        impl Drop for TimingGuard<'_> {
+            fn drop(&mut self) {
+                self.0.set_timing(self.1);
+            }
+        }
+
         let mut state = SimState::<P>::new(
             self.spec,
             self.config.seed,
@@ -246,6 +336,40 @@ impl Simulator {
         let mut round = 0u32;
         let mut stopped_early = false;
 
+        // Resolve the executor's pool once; `None` means sequential.
+        let pool: Option<&ThreadPool> = match (self.config.executor, &self.pool) {
+            (ExecutorKind::Sequential, _) => None,
+            (ExecutorKind::Parallel, _) => Some(pba_par::global_pool()),
+            (ExecutorKind::ParallelWith(_), Some(pool)) => Some(pool),
+            (ExecutorKind::ParallelWith(_), None) => unreachable!("pool built in new()"),
+        };
+        let meta = self.config.metrics.as_ref().map(|sink| {
+            (
+                sink.as_ref(),
+                RunMeta {
+                    spec: self.spec,
+                    seed: self.config.seed,
+                    protocol: protocol.name(),
+                    executor: self.config.executor,
+                    lanes: pool.map_or(1, ThreadPool::lanes),
+                },
+            )
+        });
+        // Pool busy-time accounting costs clock reads per task batch, so it
+        // is enabled only while an observed run is in flight.
+        let _timing_guard;
+        let pool_baseline = match (&meta, pool) {
+            (Some(_), Some(pool)) => {
+                _timing_guard = Some(TimingGuard(pool, pool.set_timing(true)));
+                Some(pool.stats())
+            }
+            _ => {
+                _timing_guard = None;
+                None
+            }
+        };
+        let run_start = meta.as_ref().map(|_| Instant::now());
+
         while !state.active.is_empty() {
             if round >= budget {
                 return Err(CoreError::RoundBudgetExhausted {
@@ -255,15 +379,10 @@ impl Simulator {
             }
             let ctx = state.context(round);
             protocol.begin_round(&ctx);
-            let record: RoundRecord = match (self.config.executor, &self.pool) {
-                (ExecutorKind::Sequential, _) => state.round_seq(protocol, round)?,
-                (ExecutorKind::Parallel, _) => {
-                    state.round_par(protocol, round, pba_par::global_pool())?
-                }
-                (ExecutorKind::ParallelWith(_), Some(pool)) => {
-                    state.round_par(protocol, round, pool)?
-                }
-                (ExecutorKind::ParallelWith(_), None) => unreachable!("pool built in new()"),
+            let obs = meta.as_ref().map(|(sink, meta)| (*sink, meta));
+            let record: RoundRecord = match pool {
+                None => state.round_seq(protocol, round, obs)?,
+                Some(pool) => state.round_par(protocol, round, pool, obs)?,
             };
             totals.add(record.messages);
             if let Some(t) = trace.as_mut() {
@@ -284,6 +403,20 @@ impl Simulator {
         let _ = stopped_early;
 
         let unallocated = state.active.len() as u64;
+        if let (Some((sink, meta)), Some(start)) = (meta.as_ref(), run_start) {
+            if let (Some(pool), Some(baseline)) = (pool, pool_baseline.as_ref()) {
+                sink.on_pool(meta, &pool.stats().since(baseline));
+            }
+            sink.on_run(
+                meta,
+                &RunSummary {
+                    rounds: round,
+                    placed: state.placed,
+                    unallocated,
+                    wall_nanos: start.elapsed().as_nanos() as u64,
+                },
+            );
+        }
         Ok(RunOutcome {
             spec: self.spec,
             protocol: protocol.name(),

@@ -6,12 +6,12 @@
 //! sequence `M_i`). The engine therefore records a [`RoundRecord`] per
 //! round when tracing is enabled.
 
-use serde::{Deserialize, Serialize};
 
 use crate::messages::MessageStats;
 
 /// What happened in one synchronous round.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RoundRecord {
     /// Round index (0-based).
     pub round: u32,
@@ -38,7 +38,8 @@ pub struct RoundRecord {
 }
 
 /// The full per-round history of a run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Default)]
 pub struct RunTrace {
     records: Vec<RoundRecord>,
 }

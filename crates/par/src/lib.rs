@@ -5,7 +5,7 @@
 //! per-bin arrivals, decide capacities, resolve acceptances, commit). Each
 //! pass is embarrassingly parallel over either balls or bins. This crate
 //! provides exactly the primitives those passes need, built from scratch on
-//! `std::thread` + `parking_lot` (no rayon):
+//! `std::thread` + `std::sync` (no rayon, no external dependencies):
 //!
 //! * [`ThreadPool`] — a fixed pool of workers with a panic-propagating,
 //!   scope-like `run_indexed` entry point (the calling thread participates,
@@ -35,7 +35,7 @@ pub mod scan;
 pub use atomic::{as_atomic_u32, as_atomic_u64, ShardedCounters};
 pub use chunk::{chunk_count, chunk_range, Chunking};
 pub use iter::{for_each_chunk, par_chunks_mut, par_fill_with, par_map_indexed};
-pub use pool::{global_pool, ThreadPool};
+pub use pool::{global_pool, PoolStats, ThreadPool};
 pub use reduce::{par_max_u64, par_reduce, par_sum_u64};
 pub use scan::{exclusive_scan_serial, exclusive_scan_u64};
 

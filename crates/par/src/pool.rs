@@ -9,14 +9,98 @@
 //! entry point makes the soundness argument short: the caller blocks until
 //! the job's completion latch fires, so every borrow smuggled to a worker is
 //! dead before `run_indexed` returns.
+//!
+//! ## Utilization counters
+//!
+//! Every pool keeps cheap, always-on counters — jobs dispatched, task
+//! indices executed — as relaxed atomics (one `fetch_add` per *chunk*, not
+//! per item, for the engine's passes). Per-lane busy time additionally
+//! requires two clock reads per job per lane and is therefore off by
+//! default; [`ThreadPool::set_timing`] turns it on. [`ThreadPool::stats`]
+//! snapshots everything as a [`PoolStats`], and
+//! [`PoolStats::since`] diffs two snapshots to scope counters to one run —
+//! this is what the engine reports through its `MetricsSink` (see
+//! `pba-core`).
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex};
+/// Snapshot of a pool's utilization counters.
+///
+/// Obtained from [`ThreadPool::stats`]; use [`PoolStats::since`] to diff
+/// two snapshots and scope the counters to a region of interest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `run_indexed` invocations (including inline fast-path runs).
+    pub jobs: u64,
+    /// Total task indices executed (for chunked passes: chunks, not items).
+    pub tasks: u64,
+    /// Busy nanoseconds per lane (`lanes()` entries; workers first, the
+    /// calling thread last). All zero unless [`ThreadPool::set_timing`]
+    /// was enabled.
+    pub busy_nanos: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Counters accumulated since `earlier` (a previous snapshot of the
+    /// same pool). Saturates rather than panicking on mismatched inputs.
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        let busy_nanos = self
+            .busy_nanos
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| b.saturating_sub(earlier.busy_nanos.get(i).copied().unwrap_or(0)))
+            .collect();
+        PoolStats {
+            jobs: self.jobs.saturating_sub(earlier.jobs),
+            tasks: self.tasks.saturating_sub(earlier.tasks),
+            busy_nanos,
+        }
+    }
+
+    /// Total busy nanoseconds across all lanes.
+    pub fn total_busy_nanos(&self) -> u64 {
+        self.busy_nanos.iter().sum()
+    }
+}
+
+/// Shared counter block; workers hold an `Arc` so counters survive
+/// arbitrarily interleaved jobs without locking.
+struct Counters {
+    timing: AtomicBool,
+    jobs: AtomicU64,
+    tasks: AtomicU64,
+    /// One slot per lane: workers `0..threads`, the caller at `threads`.
+    busy: Vec<AtomicU64>,
+}
+
+impl Counters {
+    fn new(lanes: usize) -> Self {
+        Self {
+            timing: AtomicBool::new(false),
+            jobs: AtomicU64::new(0),
+            tasks: AtomicU64::new(0),
+            busy: (0..lanes).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Time `f` into lane `lane`'s busy counter when timing is enabled;
+    /// otherwise run it with zero clock reads.
+    fn timed<R>(&self, lane: usize, f: impl FnOnce() -> R) -> R {
+        if self.timing.load(Ordering::Relaxed) {
+            let start = Instant::now();
+            let r = f();
+            self.busy[lane].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            r
+        } else {
+            f()
+        }
+    }
+}
 
 /// A job broadcast to the workers: grab indices from `next` until exhausted,
 /// call the erased closure for each, and count down `remaining`.
@@ -47,14 +131,17 @@ unsafe impl Sync for Job {}
 impl Job {
     /// Claim and run indices until the job is drained.
     ///
-    /// Returns once no indices remain. Panics inside the user closure are
-    /// captured (so a worker thread never dies) and re-raised on the caller.
-    fn participate(&self) {
+    /// Returns the number of indices this call executed. Panics inside the
+    /// user closure are captured (so a worker thread never dies) and
+    /// re-raised on the caller.
+    fn participate(&self) -> u64 {
+        let mut executed = 0u64;
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.tasks {
-                return;
+                return executed;
             }
+            executed += 1;
             let result = catch_unwind(AssertUnwindSafe(|| {
                 // SAFETY: see `unsafe impl Send/Sync for Job`.
                 unsafe { (self.call)(self.ctx, i) }
@@ -63,7 +150,7 @@ impl Job {
                 self.panicked.store(true, Ordering::Relaxed);
             }
             if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                let mut done = self.done.lock();
+                let mut done = self.done.lock().unwrap();
                 *done = true;
                 self.done_cv.notify_all();
             }
@@ -71,9 +158,9 @@ impl Job {
     }
 
     fn wait(&self) {
-        let mut done = self.done.lock();
+        let mut done = self.done.lock().unwrap();
         while !*done {
-            self.done_cv.wait(&mut done);
+            done = self.done_cv.wait(done).unwrap();
         }
     }
 }
@@ -96,11 +183,13 @@ impl Job {
 ///     sum.fetch_add(i as u64, Ordering::Relaxed);
 /// });
 /// assert_eq!(sum.into_inner(), 4950);
+/// assert!(pool.stats().tasks >= 100);
 /// ```
 pub struct ThreadPool {
     sender: Option<Sender<Arc<Job>>>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+    counters: Arc<Counters>,
 }
 
 impl ThreadPool {
@@ -110,14 +199,16 @@ impl ThreadPool {
     /// on the calling thread (useful for tests and for forcing sequential
     /// execution through the same code path).
     pub fn new(threads: usize) -> Self {
+        let counters = Arc::new(Counters::new(threads + 1));
         let (sender, receiver) = channel::<Arc<Job>>();
         let receiver = Arc::new(Mutex::new(receiver));
         let workers = (0..threads)
             .map(|idx| {
                 let rx = Arc::clone(&receiver);
+                let counters = Arc::clone(&counters);
                 std::thread::Builder::new()
                     .name(format!("pba-par-{idx}"))
-                    .spawn(move || worker_loop(rx))
+                    .spawn(move || worker_loop(rx, counters, idx))
                     .expect("failed to spawn pba-par worker")
             })
             .collect();
@@ -125,6 +216,7 @@ impl ThreadPool {
             sender: Some(sender),
             workers,
             threads,
+            counters,
         }
     }
 
@@ -139,6 +231,29 @@ impl ThreadPool {
     #[inline]
     pub fn lanes(&self) -> usize {
         self.threads + 1
+    }
+
+    /// Enable or disable per-lane busy-time measurement.
+    ///
+    /// Off by default: the task/job counters are always on (relaxed atomic
+    /// adds), but busy time costs two `Instant` reads per job per lane, so
+    /// it is opt-in. Returns the previous setting.
+    pub fn set_timing(&self, enabled: bool) -> bool {
+        self.counters.timing.swap(enabled, Ordering::Relaxed)
+    }
+
+    /// Snapshot the utilization counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            jobs: self.counters.jobs.load(Ordering::Relaxed),
+            tasks: self.counters.tasks.load(Ordering::Relaxed),
+            busy_nanos: self
+                .counters
+                .busy
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
     }
 
     /// Run `f(i)` for every `i in 0..tasks`, in parallel, returning when all
@@ -158,10 +273,14 @@ impl ThreadPool {
         if tasks == 0 {
             return;
         }
+        self.counters.jobs.fetch_add(1, Ordering::Relaxed);
+        self.counters.tasks.fetch_add(tasks as u64, Ordering::Relaxed);
         if tasks == 1 || self.threads == 0 {
-            for i in 0..tasks {
-                f(i);
-            }
+            self.counters.timed(self.threads, || {
+                for i in 0..tasks {
+                    f(i);
+                }
+            });
             return;
         }
 
@@ -193,7 +312,7 @@ impl ThreadPool {
             let _ = sender.send(Arc::clone(&job));
         }
 
-        job.participate();
+        self.counters.timed(self.threads, || job.participate());
         job.wait();
 
         if job.panicked.load(Ordering::Relaxed) {
@@ -212,16 +331,16 @@ impl Drop for ThreadPool {
     }
 }
 
-fn worker_loop(rx: Arc<Mutex<Receiver<Arc<Job>>>>) {
+fn worker_loop(rx: Arc<Mutex<Receiver<Arc<Job>>>>, counters: Arc<Counters>, lane: usize) {
     loop {
         let job = {
-            let guard = rx.lock();
+            let guard = rx.lock().unwrap();
             match guard.recv() {
                 Ok(job) => job,
                 Err(_) => return, // pool dropped
             }
         };
-        job.participate();
+        counters.timed(lane, || job.participate());
     }
 }
 
@@ -254,6 +373,7 @@ mod tests {
     fn zero_tasks_is_noop() {
         let pool = ThreadPool::new(2);
         pool.run_indexed(0, |_| panic!("must not run"));
+        assert_eq!(pool.stats().jobs, 0);
     }
 
     #[test]
@@ -330,5 +450,51 @@ mod tests {
             sum.fetch_add(i as u64, Ordering::Relaxed);
         });
         assert_eq!(sum.into_inner(), 2016);
+    }
+
+    #[test]
+    fn counters_track_jobs_and_tasks() {
+        let pool = ThreadPool::new(2);
+        let before = pool.stats();
+        pool.run_indexed(37, |_| {});
+        pool.run_indexed(1, |_| {}); // inline fast path counts too
+        let delta = pool.stats().since(&before);
+        assert_eq!(delta.jobs, 2);
+        assert_eq!(delta.tasks, 38);
+        // Timing disabled: no lane accumulated busy time.
+        assert_eq!(delta.total_busy_nanos(), 0);
+        assert_eq!(delta.busy_nanos.len(), pool.lanes());
+    }
+
+    #[test]
+    fn timing_accumulates_busy_nanos() {
+        let pool = ThreadPool::new(2);
+        assert!(!pool.set_timing(true));
+        let before = pool.stats();
+        pool.run_indexed(64, |_| {
+            std::hint::black_box((0..2000).sum::<u64>());
+        });
+        let delta = pool.stats().since(&before);
+        assert!(delta.total_busy_nanos() > 0);
+        assert!(pool.set_timing(false));
+    }
+
+    #[test]
+    fn stats_since_is_saturating() {
+        let a = PoolStats {
+            jobs: 1,
+            tasks: 2,
+            busy_nanos: vec![5],
+        };
+        let b = PoolStats {
+            jobs: 3,
+            tasks: 7,
+            busy_nanos: vec![9, 4],
+        };
+        let d = b.since(&a);
+        assert_eq!(d.jobs, 2);
+        assert_eq!(d.tasks, 5);
+        assert_eq!(d.busy_nanos, vec![4, 4]);
+        assert_eq!(a.since(&b).jobs, 0);
     }
 }

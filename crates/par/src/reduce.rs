@@ -1,6 +1,6 @@
 //! Parallel reductions over index ranges.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::iter::for_each_chunk;
 use crate::pool::ThreadPool;
@@ -48,13 +48,13 @@ where
     let acc = Mutex::new(identity());
     for_each_chunk(pool, len, min_chunk, |r| {
         let local = fold(identity(), r);
-        let mut guard = acc.lock();
+        let mut guard = acc.lock().unwrap();
         // Take-and-combine under the lock; combine is cheap relative to the
         // chunk fold for all workspace uses.
         let current = std::mem::replace(&mut *guard, identity());
         *guard = combine(current, local);
     });
-    acc.into_inner()
+    acc.into_inner().unwrap()
 }
 
 /// Parallel sum of `f(i)` over `0..len`.

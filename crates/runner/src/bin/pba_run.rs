@@ -3,17 +3,21 @@
 //!
 //! ```text
 //! pba-run list
-//! pba-run all [--scale smoke|default|full] [--out DIR]
-//! pba-run <experiment-id> [--scale ...] [--out DIR]
-//! pba-run protocol <name> --m M --n N [--seed S] [--parallel]
+//! pba-run all [--scale smoke|default|full] [--out DIR] [--trace F.jsonl]
+//! pba-run <experiment-id> [--scale ...] [--out DIR] [--trace F.jsonl]
+//! pba-run protocol <name> --m M --n N [--seed S] [--parallel] [--trace F.jsonl]
 //! pba-run protocols            # list protocol names
+//! pba-run bench [--scale ...] [--out DIR]   # self-timed registry bench
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use pba_core::metrics::{EngineMetrics, FanoutSink, MetricsSink, Phase};
 use pba_core::{ExecutorKind, ProblemSpec, RunConfig};
 use pba_protocols::{protocol_names, run_by_name};
-use pba_runner::{all_experiments, experiment_by_id, Scale};
+use pba_runner::json::{executor_str, u64_array, JsonObject};
+use pba_runner::{all_experiments, experiment_by_id, JsonlTrace, RunOptions, Scale};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,10 +34,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   pba-run list
-  pba-run all [--scale smoke|default|full] [--out DIR]
-  pba-run <experiment-id e01..e13> [--scale ...] [--out DIR]
-  pba-run protocol <name> --m M --n N [--seed S] [--parallel]
-  pba-run protocols";
+  pba-run all [--scale smoke|default|full] [--out DIR] [--trace FILE.jsonl]
+  pba-run <experiment-id e01..e14> [--scale ...] [--out DIR] [--trace FILE.jsonl]
+  pba-run protocol <name> --m M --n N [--seed S] [--parallel] [--trace FILE.jsonl]
+  pba-run protocols
+  pba-run bench [--scale smoke|default|full] [--out DIR]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -53,33 +58,92 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "all" => {
-            let (scale, out_dir) = parse_scale_out(&args[1..])?;
+            let flags = RunFlags::parse(&args[1..])?;
+            let trace = flags.open_trace()?;
             for e in all_experiments() {
-                run_experiment(e.as_ref(), scale, out_dir.as_deref())?;
+                run_experiment(e.as_ref(), &flags, trace.clone())?;
             }
-            Ok(())
+            flush_trace(trace)
         }
         "protocol" => run_protocol(&args[1..]),
+        "bench" => run_bench(&args[1..]),
         id => {
             let e = experiment_by_id(id).ok_or_else(|| format!("unknown experiment '{id}'"))?;
-            let (scale, out_dir) = parse_scale_out(&args[1..])?;
-            run_experiment(e.as_ref(), scale, out_dir.as_deref())
+            let flags = RunFlags::parse(&args[1..])?;
+            let trace = flags.open_trace()?;
+            run_experiment(e.as_ref(), &flags, trace.clone())?;
+            flush_trace(trace)
         }
     }
 }
 
+/// Flags shared by the experiment-running commands.
+struct RunFlags {
+    scale: Scale,
+    out_dir: Option<String>,
+    trace_path: Option<String>,
+}
+
+impl RunFlags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut flags = RunFlags {
+            scale: Scale::Default,
+            out_dir: None,
+            trace_path: None,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = it.next().ok_or("--scale needs a value")?;
+                    flags.scale = Scale::parse(v).ok_or_else(|| format!("bad scale '{v}'"))?;
+                }
+                "--out" => {
+                    flags.out_dir = Some(it.next().ok_or("--out needs a value")?.clone());
+                }
+                "--trace" => {
+                    flags.trace_path = Some(it.next().ok_or("--trace needs a value")?.clone());
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(flags)
+    }
+
+    /// Open the JSONL trace sink, when requested.
+    fn open_trace(&self) -> Result<Option<Arc<JsonlTrace>>, String> {
+        match &self.trace_path {
+            None => Ok(None),
+            Some(path) => JsonlTrace::create(path)
+                .map(|t| Some(Arc::new(t)))
+                .map_err(|e| format!("--trace {path}: {e}")),
+        }
+    }
+}
+
+fn flush_trace(trace: Option<Arc<JsonlTrace>>) -> Result<(), String> {
+    if let Some(t) = trace {
+        t.flush().map_err(|e| format!("trace flush: {e}"))?;
+    }
+    Ok(())
+}
+
 fn run_experiment(
     e: &dyn pba_runner::Experiment,
-    scale: Scale,
-    out_dir: Option<&str>,
+    flags: &RunFlags,
+    trace: Option<Arc<JsonlTrace>>,
 ) -> Result<(), String> {
     eprintln!("running {} ({})…", e.id(), e.title());
     let started = std::time::Instant::now();
-    let report = e.run(scale);
+    let mut opts = RunOptions::new();
+    if let Some(t) = trace {
+        opts = opts.with_metrics(t);
+    }
+    let report = e.run_with(flags.scale, &opts);
     eprintln!("  done in {:.1?}", started.elapsed());
     let md = report.to_markdown();
     println!("{md}");
-    if let Some(dir) = out_dir {
+    if let Some(dir) = &flags.out_dir {
         std::fs::create_dir_all(dir).map_err(|err| err.to_string())?;
         let path = format!("{dir}/{}.md", report.id);
         std::fs::write(&path, &md).map_err(|err| err.to_string())?;
@@ -91,25 +155,6 @@ fn run_experiment(
     Ok(())
 }
 
-fn parse_scale_out(args: &[String]) -> Result<(Scale, Option<String>), String> {
-    let mut scale = Scale::Default;
-    let mut out = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--scale" => {
-                let v = it.next().ok_or("--scale needs a value")?;
-                scale = Scale::parse(v).ok_or_else(|| format!("bad scale '{v}'"))?;
-            }
-            "--out" => {
-                out = Some(it.next().ok_or("--out needs a value")?.clone());
-            }
-            other => return Err(format!("unknown flag '{other}'")),
-        }
-    }
-    Ok((scale, out))
-}
-
 fn run_protocol(args: &[String]) -> Result<(), String> {
     let Some(name) = args.first() else {
         return Err("protocol: missing name".into());
@@ -118,6 +163,7 @@ fn run_protocol(args: &[String]) -> Result<(), String> {
     let mut n = 1u32 << 10;
     let mut seed = 0u64;
     let mut parallel = false;
+    let mut trace_path: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -143,20 +189,41 @@ fn run_protocol(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "bad --seed")?
             }
             "--parallel" => parallel = true,
+            "--trace" => {
+                trace_path = Some(it.next().ok_or("--trace needs a value")?.clone());
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
     let spec = ProblemSpec::new(m, n).map_err(|e| e.to_string())?;
     let mut cfg = RunConfig::seeded(seed);
     if parallel {
-        cfg.executor = ExecutorKind::Parallel;
+        cfg = cfg.parallel();
     }
+    let metrics = Arc::new(EngineMetrics::new());
+    let trace = match &trace_path {
+        None => None,
+        Some(path) => Some(Arc::new(
+            JsonlTrace::create(path).map_err(|e| format!("--trace {path}: {e}"))?,
+        )),
+    };
+    cfg = match &trace {
+        None => cfg.with_metrics(metrics.clone()),
+        Some(t) => cfg.with_metrics(Arc::new(FanoutSink::new(vec![
+            metrics.clone() as Arc<dyn MetricsSink>,
+            t.clone() as Arc<dyn MetricsSink>,
+        ]))),
+    };
     let started = std::time::Instant::now();
     let out = run_by_name(name, spec, cfg)
         .ok_or_else(|| format!("unknown protocol '{name}' (try `pba-run protocols`)"))?
         .map_err(|e| e.to_string())?;
     let elapsed = started.elapsed();
+    if let Some(t) = &trace {
+        t.flush().map_err(|e| format!("trace flush: {e}"))?;
+    }
     let stats = out.load_stats();
+    let report = metrics.report();
     println!("protocol:   {}", out.protocol);
     println!("spec:       {spec}");
     println!("rounds:     {}", out.rounds);
@@ -177,5 +244,125 @@ fn run_protocol(args: &[String]) -> Result<(), String> {
         println!("max bin rx: {max_bin}");
     }
     println!("wall time:  {elapsed:.2?}");
+    println!(
+        "throughput: {:.0} balls/s, {:.1} rounds/s",
+        report.balls_per_sec(),
+        report.rounds_per_sec()
+    );
+    let phases: Vec<String> = Phase::ALL
+        .iter()
+        .map(|&p| format!("{} {:.0}%", p.name(), 100.0 * report.phase_fraction(p)))
+        .collect();
+    println!("phases:     {}", phases.join(", "));
+    if let Some(pool) = &report.pool {
+        println!(
+            "pool:       {} jobs, {} tasks, busy {:.2?}",
+            pool.jobs,
+            pool.tasks,
+            std::time::Duration::from_nanos(pool.total_busy_nanos())
+        );
+    }
+    if let Some(path) = &trace_path {
+        println!("trace:      {path}");
+    }
     Ok(())
+}
+
+/// Criterion-free self-timing benchmark of the protocol registry: every
+/// protocol at `m = n`, sequential and parallel executors, `reps` seeds
+/// each, measured by the engine's own [`EngineMetrics`]. Writes
+/// `BENCH_<scale>.json` and prints a summary table.
+fn run_bench(args: &[String]) -> Result<(), String> {
+    let flags = RunFlags::parse(args)?;
+    if flags.trace_path.is_some() {
+        return Err("bench does not take --trace".into());
+    }
+    let n: u32 = match flags.scale {
+        Scale::Smoke => 1 << 8,
+        Scale::Default => 1 << 10,
+        Scale::Full => 1 << 12,
+    };
+    let reps = flags.scale.reps() as u64;
+    let spec = ProblemSpec::new(n as u64, n).map_err(|e| e.to_string())?;
+    let scale_name = match flags.scale {
+        Scale::Smoke => "smoke",
+        Scale::Default => "default",
+        Scale::Full => "full",
+    };
+
+    eprintln!(
+        "benchmarking {} protocols at m = n = {n}, {reps} seeds, both executors…",
+        protocol_names().len()
+    );
+    let mut entries = Vec::new();
+    println!(
+        "{:<22} {:<12} {:>12} {:>12} {:>9}",
+        "protocol", "executor", "balls/s", "rounds/s", "rounds"
+    );
+    for &name in protocol_names() {
+        for executor in [ExecutorKind::Sequential, ExecutorKind::Parallel] {
+            let metrics = Arc::new(EngineMetrics::new());
+            for rep in 0..reps {
+                let cfg = RunConfig::seeded(90_000 + rep)
+                    .with_executor(executor)
+                    .with_trace(false)
+                    .with_metrics(metrics.clone());
+                run_by_name(name, spec, cfg)
+                    .expect("registry name")
+                    .map_err(|e| format!("{name} ({}): {e}", executor_str(executor)))?;
+            }
+            let report = metrics.report();
+            println!(
+                "{:<22} {:<12} {:>12.0} {:>12.1} {:>9}",
+                name,
+                executor_str(executor),
+                report.balls_per_sec(),
+                report.rounds_per_sec(),
+                report.rounds
+            );
+            let mut entry = JsonObject::new()
+                .str("protocol", name)
+                .str("executor", &executor_str(executor))
+                .u64("runs", report.runs)
+                .u64("rounds", report.rounds)
+                .u64("placed", report.placed)
+                .u64("run_nanos", report.run_nanos)
+                .u64("round_nanos", report.round_nanos)
+                .f64("balls_per_sec", report.balls_per_sec())
+                .f64("rounds_per_sec", report.rounds_per_sec())
+                .raw("phase_nanos", &u64_array(&report.phase_nanos));
+            if let Some(pool) = &report.pool {
+                entry = entry
+                    .u64("pool_jobs", pool.jobs)
+                    .u64("pool_tasks", pool.tasks)
+                    .u64("pool_busy_nanos", pool.total_busy_nanos());
+            }
+            entries.push(entry.finish());
+        }
+    }
+
+    let doc = JsonObject::new()
+        .str("bench", "pba protocol registry")
+        .str("scale", scale_name)
+        .u64("m", spec.balls())
+        .u64("n", spec.bins() as u64)
+        .u64("reps", reps)
+        .raw("phases", &phase_names_json())
+        .raw("entries", &format!("[{}]", entries.join(",")))
+        .finish();
+    let dir = flags.out_dir.as_deref().unwrap_or(".");
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let path = format!("{dir}/BENCH_{scale_name}.json");
+    std::fs::write(&path, format!("{doc}\n")).map_err(|e| e.to_string())?;
+    eprintln!("wrote {path}");
+    Ok(())
+}
+
+/// The phase-name legend for `phase_nanos` arrays in `BENCH_*.json`.
+fn phase_names_json() -> String {
+    let names: Vec<String> = Phase::ALL
+        .iter()
+        .map(|p| format!("\"{}\"", p.name()))
+        .collect();
+    format!("[{}]", names.join(","))
 }

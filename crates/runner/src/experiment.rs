@@ -1,5 +1,11 @@
 //! The [`Experiment`] trait and registry.
 
+use std::sync::Arc;
+use std::time::Instant;
+
+use pba_core::metrics::{EngineMetrics, FanoutSink, MetricsReport, MetricsSink, Phase};
+use pba_core::RunConfig;
+
 use crate::experiments;
 use crate::table::Table;
 
@@ -35,6 +41,135 @@ impl Scale {
     }
 }
 
+/// Harness-level options threaded through every engine run an experiment
+/// performs.
+///
+/// The harness helpers ([`crate::replicate::replicate_outcomes_with`],
+/// [`RunOptions::config`]) build their `RunConfig` through this factory,
+/// so attaching a sink here observes *every* run of the experiment —
+/// including the replicated ones fanned out across the pool.
+#[derive(Clone, Default)]
+pub struct RunOptions {
+    /// Observability sink attached to every engine run.
+    pub metrics: Option<Arc<dyn MetricsSink>>,
+}
+
+impl RunOptions {
+    /// Default options: sequential, per-bin tracking, no sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a sink observing every engine run.
+    pub fn with_metrics(mut self, sink: Arc<dyn MetricsSink>) -> Self {
+        self.metrics = Some(sink);
+        self
+    }
+
+    /// The `RunConfig` factory used by all harness helpers: sequential,
+    /// per-bin tracking, trace recorded, sink attached when present.
+    pub fn config(&self, seed: u64) -> RunConfig {
+        let config = RunConfig::seeded(seed);
+        match &self.metrics {
+            Some(sink) => config.with_metrics(sink.clone()),
+            None => config,
+        }
+    }
+}
+
+impl std::fmt::Debug for RunOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field(
+                "metrics",
+                &if self.metrics.is_some() {
+                    "Some(<sink>)"
+                } else {
+                    "None"
+                },
+            )
+            .finish()
+    }
+}
+
+/// Aggregated engine performance of one experiment run, attached to every
+/// [`ExperimentReport`] by the provided [`Experiment::run`] wrapper.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfSummary {
+    /// Everything the harness's [`EngineMetrics`] aggregator saw.
+    pub engine: MetricsReport,
+    /// Wall-clock nanoseconds for the whole experiment (harness included;
+    /// replicated runs overlap, so this can be far below
+    /// `engine.run_nanos`).
+    pub wall_nanos: u64,
+}
+
+impl PerfSummary {
+    /// Balls placed per second of engine run time.
+    pub fn balls_per_sec(&self) -> f64 {
+        self.engine.balls_per_sec()
+    }
+
+    /// Rounds executed per second of engine run time.
+    pub fn rounds_per_sec(&self) -> f64 {
+        self.engine.rounds_per_sec()
+    }
+
+    /// One-paragraph markdown rendering (throughput + phase split).
+    pub fn to_markdown(&self) -> String {
+        let e = &self.engine;
+        let mut out = format!(
+            "*Perf.* {} runs, {} rounds, {} balls in {}; {} balls/s, {} rounds/s",
+            e.runs,
+            e.rounds,
+            e.placed,
+            fmt_duration(self.wall_nanos),
+            fmt_rate(e.balls_per_sec()),
+            fmt_rate(e.rounds_per_sec()),
+        );
+        if e.phase_nanos.iter().any(|&n| n > 0) {
+            let split: Vec<String> = Phase::ALL
+                .iter()
+                .map(|&p| format!("{} {:.0}%", p.name(), 100.0 * e.phase_fraction(p)))
+                .collect();
+            out.push_str(&format!("; phases: {}", split.join(", ")));
+        }
+        if let Some(pool) = &e.pool {
+            out.push_str(&format!(
+                "; pool: {} jobs, {} tasks, busy {}",
+                pool.jobs,
+                pool.tasks,
+                fmt_duration(pool.total_busy_nanos())
+            ));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Human-friendly duration from nanoseconds.
+fn fmt_duration(nanos: u64) -> String {
+    let secs = nanos as f64 / 1e9;
+    if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 1e-3 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{:.0}µs", secs * 1e6)
+    }
+}
+
+/// Human-friendly rate (k/M suffixes).
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
 /// The output of one experiment run.
 #[derive(Debug, Clone)]
 pub struct ExperimentReport {
@@ -48,6 +183,10 @@ pub struct ExperimentReport {
     pub tables: Vec<Table>,
     /// Free-form observations (shape checks, caveats).
     pub notes: Vec<String>,
+    /// Engine throughput and phase split, filled by the provided
+    /// [`Experiment::run`] / [`Experiment::run_with`] wrappers
+    /// (`None` when [`Experiment::execute`] is called directly).
+    pub perf: Option<PerfSummary>,
 }
 
 impl ExperimentReport {
@@ -70,19 +209,58 @@ impl ExperimentReport {
             }
             out.push('\n');
         }
+        if let Some(perf) = &self.perf {
+            out.push_str(&perf.to_markdown());
+            out.push('\n');
+        }
         out
     }
 }
 
 /// A reproducible experiment: a workload, a sweep, and a
 /// theory-vs-measured table.
+///
+/// Implementors provide [`execute`](Experiment::execute) and build every
+/// engine run through the given [`RunOptions`] (typically via
+/// [`replicate_outcomes_with`](crate::replicate::replicate_outcomes_with)
+/// or [`RunOptions::config`]); callers use the provided
+/// [`run`](Experiment::run) / [`run_with`](Experiment::run_with), which
+/// attach the harness's [`EngineMetrics`] aggregator and fill
+/// [`ExperimentReport::perf`] with throughput and phase-split numbers.
 pub trait Experiment: Sync {
-    /// Stable id (`"e01"`…`"e13"`).
+    /// Stable id (`"e01"`…`"e14"`).
     fn id(&self) -> &'static str;
     /// Short title for listings.
     fn title(&self) -> &'static str;
-    /// Run at the given scale.
-    fn run(&self, scale: Scale) -> ExperimentReport;
+    /// Run at the given scale, threading `opts` into every engine run.
+    fn execute(&self, scale: Scale, opts: &RunOptions) -> ExperimentReport;
+
+    /// Run at the given scale with default options plus perf aggregation.
+    fn run(&self, scale: Scale) -> ExperimentReport {
+        self.run_with(scale, &RunOptions::default())
+    }
+
+    /// Like [`run`](Experiment::run), but also forwarding every engine
+    /// event to the caller's sink (when `opts.metrics` is set) — e.g. a
+    /// JSONL trace writer — while still aggregating perf.
+    fn run_with(&self, scale: Scale, opts: &RunOptions) -> ExperimentReport {
+        let aggregate = Arc::new(EngineMetrics::new());
+        let sink: Arc<dyn MetricsSink> = match &opts.metrics {
+            None => aggregate.clone(),
+            Some(caller) => Arc::new(FanoutSink::new(vec![
+                aggregate.clone() as Arc<dyn MetricsSink>,
+                caller.clone(),
+            ])),
+        };
+        let inner = RunOptions::new().with_metrics(sink);
+        let started = Instant::now();
+        let mut report = self.execute(scale, &inner);
+        report.perf = Some(PerfSummary {
+            engine: aggregate.report(),
+            wall_nanos: started.elapsed().as_nanos() as u64,
+        });
+        report
+    }
 }
 
 /// All experiments, in id order.
@@ -138,5 +316,49 @@ mod tests {
         assert_eq!(Scale::parse("full"), Some(Scale::Full));
         assert_eq!(Scale::parse("nope"), None);
         assert!(Scale::Full.reps() > Scale::Smoke.reps());
+    }
+
+    #[test]
+    fn run_fills_perf_and_markdown_renders_it() {
+        let e = experiment_by_id("e07").unwrap();
+        let report = e.run(Scale::Smoke);
+        let perf = report.perf.as_ref().expect("run() aggregates perf");
+        assert!(perf.engine.runs > 0);
+        assert!(perf.engine.rounds > 0);
+        assert!(perf.engine.placed > 0);
+        assert!(perf.balls_per_sec() > 0.0);
+        assert!(perf.wall_nanos > 0);
+        assert!(report.to_markdown().contains("*Perf.*"));
+    }
+
+    #[test]
+    fn run_with_forwards_events_to_caller_sink() {
+        let caller = Arc::new(EngineMetrics::new());
+        let e = experiment_by_id("e07").unwrap();
+        let opts = RunOptions::new().with_metrics(caller.clone());
+        let report = e.run_with(Scale::Smoke, &opts);
+        // The caller's sink and the harness aggregator saw the same runs.
+        let perf = report.perf.unwrap();
+        assert_eq!(caller.report().rounds, perf.engine.rounds);
+        assert_eq!(caller.report().placed, perf.engine.placed);
+    }
+
+    #[test]
+    fn execute_without_wrapper_leaves_perf_unset() {
+        let e = experiment_by_id("e07").unwrap();
+        let report = e.execute(Scale::Smoke, &RunOptions::default());
+        assert!(report.perf.is_none());
+        // No sink attached: the report still renders without a perf block.
+        assert!(!report.to_markdown().contains("*Perf.*"));
+    }
+
+    #[test]
+    fn run_options_config_attaches_sink() {
+        let opts = RunOptions::default();
+        assert!(opts.config(3).metrics.is_none());
+        assert_eq!(opts.config(3).seed, 3);
+        let sink = Arc::new(EngineMetrics::new());
+        let opts = RunOptions::new().with_metrics(sink);
+        assert!(opts.config(4).metrics.is_some());
     }
 }

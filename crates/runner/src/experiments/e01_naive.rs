@@ -7,10 +7,9 @@
 
 use pba_analysis::binomial::expected_max_load_single_choice;
 use pba_analysis::predict::single_choice_gap;
-use pba_core::RunConfig;
 use pba_protocols::SingleChoice;
 
-use crate::experiment::{Experiment, ExperimentReport, Scale};
+use crate::experiment::{Experiment, ExperimentReport, RunOptions, Scale};
 use crate::experiments::{gap_summary, spec};
 use crate::replicate::replicate;
 use crate::table::{fnum, Table};
@@ -27,7 +26,7 @@ impl Experiment for E01 {
         "Single-choice baseline gap"
     }
 
-    fn run(&self, scale: Scale) -> ExperimentReport {
+    fn execute(&self, scale: Scale, opts: &RunOptions) -> ExperimentReport {
         let (ns, ratios): (Vec<u32>, Vec<u64>) = match scale {
             Scale::Smoke => (vec![1 << 8], vec![1, 64]),
             Scale::Default => (vec![1 << 10, 1 << 13], vec![1, 64, 512]),
@@ -50,7 +49,7 @@ impl Experiment for E01 {
             for &ratio in &ratios {
                 let s = spec(ratio * n as u64, n);
                 let outcomes = replicate(1000, reps, |seed| {
-                    pba_core::Simulator::new(s, RunConfig::seeded(seed))
+                    pba_core::Simulator::new(s, opts.config(seed))
                         .run(SingleChoice::new(s))
                         .unwrap()
                 });
@@ -80,6 +79,7 @@ impl Experiment for E01 {
                     log n, and Θ(log n/log log n) at m = n.",
             tables: vec![table],
             notes,
+            perf: None,
         }
     }
 }

@@ -10,7 +10,7 @@ use pba_analysis::predict::two_choice_gap;
 use pba_analysis::Summary;
 use pba_protocols::seq::GreedyD;
 
-use crate::experiment::{Experiment, ExperimentReport, Scale};
+use crate::experiment::{Experiment, ExperimentReport, RunOptions, Scale};
 use crate::experiments::spec;
 use crate::replicate::replicate;
 use crate::table::{fnum, Table};
@@ -27,7 +27,7 @@ impl Experiment for E02 {
         "Sequential two-choice: gap independent of m"
     }
 
-    fn run(&self, scale: Scale) -> ExperimentReport {
+    fn execute(&self, scale: Scale, _opts: &RunOptions) -> ExperimentReport {
         let (n_fixed, ratios, ns) = match scale {
             Scale::Smoke => (1u32 << 8, vec![4u64, 64], vec![1u32 << 8, 1 << 10]),
             Scale::Default => (1 << 10, vec![4, 64, 1024], vec![1 << 8, 1 << 10, 1 << 12]),
@@ -81,6 +81,7 @@ impl Experiment for E02 {
                  magnitude of m should be ≤ ~1."
                     .to_string(),
             ],
+            perf: None,
         }
     }
 }

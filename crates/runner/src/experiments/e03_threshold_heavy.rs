@@ -6,9 +6,9 @@ use pba_analysis::LinearFit;
 use pba_core::mathutil::log_log2;
 use pba_protocols::ThresholdHeavy;
 
-use crate::experiment::{Experiment, ExperimentReport, Scale};
+use crate::experiment::{Experiment, ExperimentReport, RunOptions, Scale};
 use crate::experiments::{gap_summary, round_summary, spec};
-use crate::replicate::replicate_outcomes;
+use crate::replicate::replicate_outcomes_with;
 use crate::table::{fnum, Table};
 
 /// E3 runner.
@@ -23,7 +23,7 @@ impl Experiment for E03 {
         "A_heavy: gap O(1) in O(log log(m/n) + log* n) rounds"
     }
 
-    fn run(&self, scale: Scale) -> ExperimentReport {
+    fn execute(&self, scale: Scale, opts: &RunOptions) -> ExperimentReport {
         let (n, ratio_shifts): (u32, Vec<u32>) = match scale {
             Scale::Smoke => (1 << 8, vec![4, 8]),
             Scale::Default => (1 << 10, vec![4, 8, 12, 16]),
@@ -46,7 +46,7 @@ impl Experiment for E03 {
         for &shift in &ratio_shifts {
             let m = (n as u64) << shift;
             let s = spec(m, n);
-            let outcomes = replicate_outcomes(s, 3000, reps, || ThresholdHeavy::new(s));
+            let outcomes = replicate_outcomes_with(s, 3000, reps, opts, || ThresholdHeavy::new(s));
             let rounds = round_summary(&outcomes);
             let gaps = gap_summary(&outcomes);
             let msgs_per_ball = outcomes
@@ -86,6 +86,7 @@ impl Experiment for E03 {
                     rounds w.h.p., with O(m) total messages (Theorem 1/6).",
             tables: vec![table],
             notes,
+            perf: None,
         }
     }
 }

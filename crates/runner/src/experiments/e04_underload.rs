@@ -3,10 +3,9 @@
 //! what keeps all bins at exactly `T_i` and makes the recurrence exact.
 
 use pba_analysis::chernoff::chernoff_lower_tail;
-use pba_core::RunConfig;
 use pba_protocols::ThresholdHeavy;
 
-use crate::experiment::{Experiment, ExperimentReport, Scale};
+use crate::experiment::{Experiment, ExperimentReport, RunOptions, Scale};
 use crate::experiments::spec;
 use crate::table::{fnum, Table};
 
@@ -22,7 +21,7 @@ impl Experiment for E04 {
         "Claims 1-2: no underloaded bins while m̃ ≥ n·polylog(n)"
     }
 
-    fn run(&self, scale: Scale) -> ExperimentReport {
+    fn execute(&self, scale: Scale, opts: &RunOptions) -> ExperimentReport {
         let (n, shift) = match scale {
             Scale::Smoke => (1u32 << 8, 10u32),
             Scale::Default => (1 << 10, 14),
@@ -30,7 +29,7 @@ impl Experiment for E04 {
         };
         let m = (n as u64) << shift;
         let s = spec(m, n);
-        let out = pba_core::Simulator::new(s, RunConfig::seeded(4000))
+        let out = pba_core::Simulator::new(s, opts.config(4000))
             .run(ThresholdHeavy::new(s))
             .unwrap();
         let trace = out.trace.as_ref().unwrap();
@@ -89,6 +88,7 @@ impl Experiment for E04 {
                     saturated and m_i = m̃_i exactly.",
             tables: vec![table],
             notes,
+            perf: None,
         }
     }
 }

@@ -5,10 +5,9 @@
 //! `Ω(min{log log(m/n), …})` rounds.
 
 use pba_analysis::predict::lower_bound_remaining_sequence;
-use pba_core::RunConfig;
 use pba_protocols::FixedThreshold;
 
-use crate::experiment::{Experiment, ExperimentReport, Scale};
+use crate::experiment::{Experiment, ExperimentReport, RunOptions, Scale};
 use crate::experiments::spec;
 use crate::table::{fnum, Table};
 
@@ -24,7 +23,7 @@ impl Experiment for E05 {
         "Theorem 2/7: rejected balls per round under fixed capacities"
     }
 
-    fn run(&self, scale: Scale) -> ExperimentReport {
+    fn execute(&self, scale: Scale, opts: &RunOptions) -> ExperimentReport {
         let (n, shift) = match scale {
             Scale::Smoke => (1u32 << 8, 8u32),
             Scale::Default => (1 << 10, 12),
@@ -32,7 +31,7 @@ impl Experiment for E05 {
         };
         let m = (n as u64) << shift;
         let s = spec(m, n);
-        let out = pba_core::Simulator::new(s, RunConfig::seeded(5000))
+        let out = pba_core::Simulator::new(s, opts.config(5000))
             .run(FixedThreshold::new(s, 1))
             .unwrap();
         let measured = out.trace.as_ref().unwrap().remaining_sequence();
@@ -86,6 +85,7 @@ impl Experiment for E05 {
                     forcing Ω(log log(m/n)) rounds (Theorems 2 and 7).",
             tables: vec![table],
             notes,
+            perf: None,
         }
     }
 }

@@ -4,9 +4,9 @@
 
 use pba_protocols::Asymmetric;
 
-use crate::experiment::{Experiment, ExperimentReport, Scale};
+use crate::experiment::{Experiment, ExperimentReport, RunOptions, Scale};
 use crate::experiments::{gap_summary, round_summary, spec};
-use crate::replicate::replicate_outcomes;
+use crate::replicate::replicate_outcomes_with;
 use crate::table::{fnum, Table};
 
 /// E6 runner.
@@ -21,7 +21,7 @@ impl Experiment for E06 {
         "Asymmetric superbins: O(1) rounds, gap O(1)"
     }
 
-    fn run(&self, scale: Scale) -> ExperimentReport {
+    fn execute(&self, scale: Scale, opts: &RunOptions) -> ExperimentReport {
         let (n, shifts): (u32, Vec<u32>) = match scale {
             Scale::Smoke => (1 << 8, vec![0, 6]),
             Scale::Default => (1 << 10, vec![0, 4, 8, 12]),
@@ -41,7 +41,7 @@ impl Experiment for E06 {
         for &shift in &shifts {
             let m = (n as u64) << shift;
             let s = spec(m, n);
-            let outcomes = replicate_outcomes(s, 6000, reps, || Asymmetric::new(s));
+            let outcomes = replicate_outcomes_with(s, 6000, reps, opts, || Asymmetric::new(s));
             let rounds = round_summary(&outcomes);
             let gaps = gap_summary(&outcomes);
             let denom = 2.0 * s.average_load() + (n as f64).ln();
@@ -73,6 +73,7 @@ impl Experiment for E06 {
                  as m/n grows."
                     .to_string(),
             ],
+            perf: None,
         }
     }
 }

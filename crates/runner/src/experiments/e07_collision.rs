@@ -6,9 +6,9 @@ use pba_analysis::LinearFit;
 use pba_core::mathutil::log_log2;
 use pba_protocols::Collision;
 
-use crate::experiment::{Experiment, ExperimentReport, Scale};
+use crate::experiment::{Experiment, ExperimentReport, RunOptions, Scale};
 use crate::experiments::{round_summary, spec};
-use crate::replicate::replicate_outcomes;
+use crate::replicate::replicate_outcomes_with;
 use crate::table::{fnum, Table};
 
 /// E7 runner.
@@ -23,7 +23,7 @@ impl Experiment for E07 {
         "Stemann collision protocol: log log n rounds, load ≤ c"
     }
 
-    fn run(&self, scale: Scale) -> ExperimentReport {
+    fn execute(&self, scale: Scale, opts: &RunOptions) -> ExperimentReport {
         let (ns, cs): (Vec<u32>, Vec<u32>) = match scale {
             Scale::Smoke => (vec![1 << 8, 1 << 10], vec![2, 3]),
             Scale::Default => (vec![1 << 10, 1 << 13, 1 << 16], vec![2, 3, 4]),
@@ -47,7 +47,7 @@ impl Experiment for E07 {
             for &c in &cs {
                 let s = spec(n as u64, n);
                 let outcomes =
-                    replicate_outcomes(s, 7000, reps, || Collision::with_params(s, 2, c));
+                    replicate_outcomes_with(s, 7000, reps, opts, || Collision::with_params(s, 2, c));
                 let rounds = round_summary(&outcomes);
                 let max_load = outcomes.iter().map(|o| o.max_load()).max().unwrap();
                 assert!(max_load <= c, "collision bound violated: {max_load} > {c}");
@@ -88,6 +88,7 @@ impl Experiment for E07 {
                     trades load for rounds (Stemann, SPAA 1996).",
             tables: vec![table],
             notes,
+            perf: None,
         }
     }
 }

@@ -5,9 +5,9 @@
 
 use pba_protocols::{StemannHeavy, ThresholdHeavy};
 
-use crate::experiment::{Experiment, ExperimentReport, Scale};
+use crate::experiment::{Experiment, ExperimentReport, RunOptions, Scale};
 use crate::experiments::{round_summary, spec};
-use crate::replicate::replicate_outcomes;
+use crate::replicate::replicate_outcomes_with;
 use crate::table::{fnum, Table};
 
 /// E8 runner.
@@ -22,7 +22,7 @@ impl Experiment for E08 {
         "Stemann heavy: load O(m/n) vs threshold-heavy's m/n + O(1)"
     }
 
-    fn run(&self, scale: Scale) -> ExperimentReport {
+    fn execute(&self, scale: Scale, opts: &RunOptions) -> ExperimentReport {
         let (n, shifts): (u32, Vec<u32>) = match scale {
             Scale::Smoke => (1 << 8, vec![3, 6]),
             Scale::Default => (1 << 10, vec![3, 6, 9, 12]),
@@ -42,8 +42,8 @@ impl Experiment for E08 {
         for &shift in &shifts {
             let m = (n as u64) << shift;
             let s = spec(m, n);
-            let stemann = replicate_outcomes(s, 8000, reps, || StemannHeavy::new(s));
-            let heavy = replicate_outcomes(s, 8000, reps, || ThresholdHeavy::new(s));
+            let stemann = replicate_outcomes_with(s, 8000, reps, opts, || StemannHeavy::new(s));
+            let heavy = replicate_outcomes_with(s, 8000, reps, opts, || ThresholdHeavy::new(s));
             let ratio = stemann
                 .iter()
                 .map(|o| o.max_load() as f64 / s.average_load())
@@ -70,6 +70,7 @@ impl Experiment for E08 {
                  constant."
                     .to_string(),
             ],
+            perf: None,
         }
     }
 }

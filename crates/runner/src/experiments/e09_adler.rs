@@ -5,9 +5,9 @@
 use pba_analysis::predict::adler_load_scale;
 use pba_protocols::AdlerGreedy;
 
-use crate::experiment::{Experiment, ExperimentReport, Scale};
+use crate::experiment::{Experiment, ExperimentReport, RunOptions, Scale};
 use crate::experiments::spec;
-use crate::replicate::replicate_outcomes;
+use crate::replicate::replicate_outcomes_with;
 use crate::table::{fnum, Table};
 
 /// E9 runner.
@@ -22,7 +22,7 @@ impl Experiment for E09 {
         "ACMR98 r-round GREEDY: load decreasing in r"
     }
 
-    fn run(&self, scale: Scale) -> ExperimentReport {
+    fn execute(&self, scale: Scale, opts: &RunOptions) -> ExperimentReport {
         let (n, rounds): (u32, Vec<u32>) = match scale {
             Scale::Smoke => (1 << 10, vec![1, 2, 3]),
             Scale::Default => (1 << 14, vec![1, 2, 3, 4, 6]),
@@ -40,7 +40,7 @@ impl Experiment for E09 {
             ],
         );
         for &r in &rounds {
-            let outcomes = replicate_outcomes(s, 9000, reps, || AdlerGreedy::new(s, 2, r));
+            let outcomes = replicate_outcomes_with(s, 9000, reps, opts, || AdlerGreedy::new(s, 2, r));
             let mean =
                 outcomes.iter().map(|o| o.max_load() as f64).sum::<f64>() / outcomes.len() as f64;
             let max = outcomes.iter().map(|o| o.max_load()).max().unwrap();
@@ -64,6 +64,7 @@ impl Experiment for E09 {
                  flattens (diminishing returns), mirroring the r-th-root scale."
                     .to_string(),
             ],
+            perf: None,
         }
     }
 }

@@ -1,10 +1,10 @@
 //! E10 — message complexity across all protocols on a common instance
 //! (Theorem 6's message accounting, plus each comparator's profile).
 
-use pba_core::{MessageTracking, RunConfig};
+use pba_core::MessageTracking;
 use pba_protocols::{protocol_names, run_by_name};
 
-use crate::experiment::{Experiment, ExperimentReport, Scale};
+use crate::experiment::{Experiment, ExperimentReport, RunOptions, Scale};
 use crate::experiments::spec;
 use crate::table::{fnum, Table};
 
@@ -20,7 +20,7 @@ impl Experiment for E10 {
         "Message complexity across protocols"
     }
 
-    fn run(&self, scale: Scale) -> ExperimentReport {
+    fn execute(&self, scale: Scale, opts: &RunOptions) -> ExperimentReport {
         let (n, shift) = match scale {
             Scale::Smoke => (1u32 << 8, 4u32),
             Scale::Default => (1 << 10, 8),
@@ -48,10 +48,9 @@ impl Experiment for E10 {
                 );
                 continue;
             }
-            let cfg = RunConfig {
-                tracking: MessageTracking::Full,
-                ..RunConfig::seeded(10_000)
-            };
+            let cfg = opts
+                .config(10_000)
+                .with_tracking(MessageTracking::Full);
             let out = run_by_name(name, s, cfg)
                 .expect("registered name")
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -78,6 +77,7 @@ impl Experiment for E10 {
                     n-round sweeps.",
             tables: vec![table],
             notes,
+            perf: None,
         }
     }
 }

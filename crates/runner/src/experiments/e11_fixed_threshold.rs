@@ -6,9 +6,9 @@
 use pba_analysis::LinearFit;
 use pba_protocols::{FixedThreshold, ThresholdHeavy};
 
-use crate::experiment::{Experiment, ExperimentReport, Scale};
+use crate::experiment::{Experiment, ExperimentReport, RunOptions, Scale};
 use crate::experiments::{round_summary, spec};
-use crate::replicate::replicate_outcomes;
+use crate::replicate::replicate_outcomes_with;
 use crate::table::{fnum, Table};
 
 /// E11 runner.
@@ -23,7 +23,7 @@ impl Experiment for E11 {
         "Fixed threshold needs Ω(log n) rounds; undershooting fixes it"
     }
 
-    fn run(&self, scale: Scale) -> ExperimentReport {
+    fn execute(&self, scale: Scale, opts: &RunOptions) -> ExperimentReport {
         let (ns, ratio): (Vec<u32>, u64) = match scale {
             Scale::Smoke => (vec![1 << 8, 1 << 10], 16),
             Scale::Default => (vec![1 << 8, 1 << 10, 1 << 12, 1 << 14], 64),
@@ -39,10 +39,10 @@ impl Experiment for E11 {
         let mut heavy_ys = Vec::new();
         for &n in &ns {
             let s = spec(ratio * n as u64, n);
-            let fixed = round_summary(&replicate_outcomes(s, 11_000, reps, || {
+            let fixed = round_summary(&replicate_outcomes_with(s, 11_000, reps, opts, || {
                 FixedThreshold::new(s, 1)
             }));
-            let heavy = round_summary(&replicate_outcomes(s, 11_000, reps, || {
+            let heavy = round_summary(&replicate_outcomes_with(s, 11_000, reps, opts, || {
                 ThresholdHeavy::new(s)
             }));
             xs.push((n as f64).log2());
@@ -72,6 +72,7 @@ impl Experiment for E11 {
                 fnum(fit_fixed.r_squared),
                 fnum(fit_heavy.slope)
             )],
+            perf: None,
         }
     }
 }

@@ -3,9 +3,9 @@
 
 use pba_protocols::BatchedTwoChoice;
 
-use crate::experiment::{Experiment, ExperimentReport, Scale};
+use crate::experiment::{Experiment, ExperimentReport, RunOptions, Scale};
 use crate::experiments::{gap_summary, spec};
-use crate::replicate::replicate_outcomes;
+use crate::replicate::replicate_outcomes_with;
 use crate::table::{fnum, Table};
 
 /// E12 runner.
@@ -20,7 +20,7 @@ impl Experiment for E12 {
         "Batched two-choice: gap vs batch size"
     }
 
-    fn run(&self, scale: Scale) -> ExperimentReport {
+    fn execute(&self, scale: Scale, opts: &RunOptions) -> ExperimentReport {
         let (n, ratio) = match scale {
             Scale::Smoke => (1u32 << 8, 8u64),
             Scale::Default => (1 << 9, 32),
@@ -40,7 +40,7 @@ impl Experiment for E12 {
             &["B", "batches", "gap (mean)", "gap (max)"],
         );
         for (label, b) in &batches {
-            let outcomes = replicate_outcomes(s, 12_000, reps, || BatchedTwoChoice::new(s, *b));
+            let outcomes = replicate_outcomes_with(s, 12_000, reps, opts, || BatchedTwoChoice::new(s, *b));
             let gaps = gap_summary(&outcomes);
             table.push_row(vec![
                 label.clone(),
@@ -62,6 +62,7 @@ impl Experiment for E12 {
                  decisions are blind."
                     .to_string(),
             ],
+            perf: None,
         }
     }
 }

@@ -9,12 +9,11 @@
 //! leaves `n·(m̃/n)^γ` balls per round, slowing the double-log collapse.
 //! γ = 2/3 is the paper's compromise.
 
-use pba_core::RunConfig;
 use pba_protocols::ThresholdHeavy;
 
-use crate::experiment::{Experiment, ExperimentReport, Scale};
+use crate::experiment::{Experiment, ExperimentReport, RunOptions, Scale};
 use crate::experiments::{gap_summary, round_summary, spec};
-use crate::replicate::replicate_outcomes;
+use crate::replicate::replicate_outcomes_with;
 use crate::table::{fnum, Table};
 
 /// E13 runner.
@@ -29,7 +28,7 @@ impl Experiment for E13 {
         "Ablation: threshold undershoot exponent γ"
     }
 
-    fn run(&self, scale: Scale) -> ExperimentReport {
+    fn execute(&self, scale: Scale, opts: &RunOptions) -> ExperimentReport {
         let (n, shift) = match scale {
             Scale::Smoke => (1u32 << 8, 10u32),
             Scale::Default => (1 << 10, 14),
@@ -51,13 +50,13 @@ impl Experiment for E13 {
         );
         for &gamma in &gammas {
             let outcomes =
-                replicate_outcomes(s, 13_000, reps, || ThresholdHeavy::with_gamma(s, gamma));
+                replicate_outcomes_with(s, 13_000, reps, opts, || ThresholdHeavy::with_gamma(s, gamma));
             let rounds = round_summary(&outcomes);
             let gaps = gap_summary(&outcomes);
             // Total (bin, round) pairs where a bin missed its threshold —
             // the quantity Claims 1-2 say should be ~0 for γ = 2/3.
             let underloaded: u64 = {
-                let out = pba_core::Simulator::new(s, RunConfig::seeded(13_000))
+                let out = pba_core::Simulator::new(s, opts.config(13_000))
                     .run(ThresholdHeavy::with_gamma(s, gamma))
                     .unwrap();
                 out.trace
@@ -93,6 +92,7 @@ impl Experiment for E13 {
                  'rounds' grows as γ → 1; γ = 2/3 keeps both small simultaneously."
                     .to_string(),
             ],
+            perf: None,
         }
     }
 }

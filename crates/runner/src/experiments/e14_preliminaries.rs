@@ -19,10 +19,9 @@
 use pba_analysis::kolmogorov::{ks_distance_to_normal, lattice_ks_floor};
 use pba_analysis::negassoc::check_indicator_negassoc;
 use pba_analysis::normal::berry_esseen_bernoulli;
-use pba_core::RunConfig;
 use pba_protocols::SingleChoice;
 
-use crate::experiment::{Experiment, ExperimentReport, Scale};
+use crate::experiment::{Experiment, ExperimentReport, RunOptions, Scale};
 use crate::experiments::spec;
 use crate::replicate::replicate;
 use crate::table::{fnum, Table};
@@ -39,7 +38,7 @@ impl Experiment for E14 {
         "Preliminaries: Berry-Esseen and negative association on engine output"
     }
 
-    fn run(&self, scale: Scale) -> ExperimentReport {
+    fn execute(&self, scale: Scale, opts: &RunOptions) -> ExperimentReport {
         let (n, shifts, reps): (u32, Vec<u32>, usize) = match scale {
             Scale::Smoke => (1 << 8, vec![4], 40),
             Scale::Default => (1 << 9, vec![2, 6, 10], 60),
@@ -67,7 +66,7 @@ impl Experiment for E14 {
             // Replicated single-choice rounds: each yields an exchangeable
             // sample of n (negatively associated) Bin(m, 1/n) loads.
             let runs: Vec<Vec<u32>> = replicate(14_000, reps, |seed| {
-                pba_core::Simulator::new(s, RunConfig::seeded(seed))
+                pba_core::Simulator::new(s, opts.config(seed))
                     .run(SingleChoice::new(s))
                     .unwrap()
                     .loads
@@ -128,6 +127,7 @@ impl Experiment for E14 {
                  sampling noise."
                     .to_string(),
             ],
+            perf: None,
         }
     }
 }

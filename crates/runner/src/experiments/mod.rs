@@ -1,4 +1,4 @@
-//! The reproduced experiments E1–E13 (see `DESIGN.md` §5 for the index).
+//! The reproduced experiments E1–E14 (see `DESIGN.md` §5 for the index).
 
 pub mod e01_naive;
 pub mod e02_two_choice;

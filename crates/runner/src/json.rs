@@ -1,0 +1,276 @@
+//! Minimal hand-rolled JSON emission.
+//!
+//! The default workspace builds with **zero external dependencies** (no
+//! serde), so the runner writes its machine-readable artifacts — the
+//! `--trace` JSONL stream and the `pba-run bench` `BENCH_*.json` files —
+//! through this tiny escaping/formatting helper instead.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use pba_core::metrics::{MetricsSink, Phase, RoundTiming, RunMeta, RunSummary};
+use pba_core::trace::RoundRecord;
+use pba_core::ExecutorKind;
+use pba_par::PoolStats;
+
+/// Escape `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number (`null` for NaN/infinity, which JSON
+/// cannot represent).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Incremental `{"k": v, …}` builder; keys are emitted in insertion order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, key: &str) -> &mut String {
+        if self.buf.is_empty() {
+            self.buf.push('{');
+        } else {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(key));
+        self.buf.push_str("\":");
+        &mut self.buf
+    }
+
+    /// Add a string field (escaped).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        let escaped = escape(value);
+        let buf = self.key(key);
+        buf.push('"');
+        buf.push_str(&escaped);
+        buf.push('"');
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key).push_str(&value.to_string());
+        self
+    }
+
+    /// Add a float field (`null` when not finite).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        let rendered = number(value);
+        self.key(key).push_str(&rendered);
+        self
+    }
+
+    /// Add a pre-rendered JSON value (array, object, literal) verbatim.
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.key(key).push_str(value);
+        self
+    }
+
+    /// Close the object and return its text.
+    pub fn finish(mut self) -> String {
+        if self.buf.is_empty() {
+            self.buf.push('{');
+        }
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Render a slice of `u64` as a JSON array.
+pub fn u64_array(values: &[u64]) -> String {
+    let cells: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", cells.join(","))
+}
+
+/// Stable textual form of an executor for JSON fields.
+pub fn executor_str(executor: ExecutorKind) -> String {
+    match executor {
+        ExecutorKind::Sequential => "sequential".into(),
+        ExecutorKind::Parallel => "parallel".into(),
+        ExecutorKind::ParallelWith(lanes) => format!("parallel({lanes})"),
+    }
+}
+
+/// Shared meta fields prefixed to every JSONL event.
+fn meta_fields(event: &str, meta: &RunMeta) -> JsonObject {
+    JsonObject::new()
+        .str("event", event)
+        .str("protocol", meta.protocol)
+        .u64("seed", meta.seed)
+        .u64("m", meta.spec.balls())
+        .u64("n", meta.spec.bins() as u64)
+        .str("executor", &executor_str(meta.executor))
+        .u64("lanes", meta.lanes as u64)
+}
+
+/// A [`MetricsSink`] that streams every engine event as one JSON object
+/// per line (JSON Lines), the format behind `pba-run … --trace out.jsonl`.
+///
+/// Three event kinds share a file, discriminated by the `"event"` field:
+///
+/// * `"round"` — the full [`RoundRecord`] plus per-phase nanoseconds
+///   (`gather_nanos`, `count_scan_nanos`, `grant_nanos`,
+///   `resolve_commit_nanos`, `total_nanos`);
+/// * `"run"` — end-of-run totals ([`RunSummary`]);
+/// * `"pool"` — thread-pool utilization delta ([`PoolStats`], parallel
+///   executors only).
+///
+/// Every line carries the run identity (`protocol`, `seed`, `m`, `n`,
+/// `executor`, `lanes`), so traces of replicated runs interleave safely.
+pub struct JsonlTrace {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlTrace {
+    /// Create (truncate) the trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            out: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = self.out.lock().unwrap();
+        // A trace write failing mid-run (disk full) should not abort the
+        // simulation; the final flush() reports the error.
+        let _ = writeln!(out, "{line}");
+    }
+
+    /// Flush buffered lines to disk, surfacing any deferred write error.
+    pub fn flush(&self) -> io::Result<()> {
+        self.out.lock().unwrap().flush()
+    }
+}
+
+impl MetricsSink for JsonlTrace {
+    fn on_round(&self, meta: &RunMeta, record: &RoundRecord, timing: &RoundTiming) {
+        let line = meta_fields("round", meta)
+            .u64("round", record.round as u64)
+            .u64("active_before", record.active_before)
+            .u64("requests", record.requests)
+            .u64("granted", record.granted)
+            .u64("committed", record.committed)
+            .u64("wasted_grants", record.wasted_grants)
+            .u64("underloaded_bins", record.underloaded_bins as u64)
+            .u64("unfilled_want", record.unfilled_want)
+            .u64("max_load", record.max_load as u64)
+            .u64("msg_requests", record.messages.requests)
+            .u64("msg_responses", record.messages.responses)
+            .u64("msg_commits", record.messages.commits)
+            .u64("gather_nanos", timing.phase(Phase::Gather))
+            .u64("count_scan_nanos", timing.phase(Phase::CountScan))
+            .u64("grant_nanos", timing.phase(Phase::Grant))
+            .u64("resolve_commit_nanos", timing.phase(Phase::ResolveCommit))
+            .u64("total_nanos", timing.total_nanos)
+            .finish();
+        self.write_line(&line);
+    }
+
+    fn on_run(&self, meta: &RunMeta, summary: &RunSummary) {
+        let line = meta_fields("run", meta)
+            .u64("rounds", summary.rounds as u64)
+            .u64("placed", summary.placed)
+            .u64("unallocated", summary.unallocated)
+            .u64("wall_nanos", summary.wall_nanos)
+            .finish();
+        self.write_line(&line);
+    }
+
+    fn on_pool(&self, meta: &RunMeta, stats: &PoolStats) {
+        let line = meta_fields("pool", meta)
+            .u64("jobs", stats.jobs)
+            .u64("tasks", stats.tasks)
+            .u64("busy_nanos_total", stats.total_busy_nanos())
+            .raw("busy_nanos", &u64_array(&stats.busy_nanos))
+            .finish();
+        self.write_line(&line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pba_core::ProblemSpec;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn object_builder_renders_valid_json() {
+        let s = JsonObject::new()
+            .str("name", "x\"y")
+            .u64("count", 3)
+            .f64("rate", 1.5)
+            .f64("bad", f64::NAN)
+            .raw("arr", &u64_array(&[1, 2]))
+            .finish();
+        assert_eq!(
+            s,
+            r#"{"name":"x\"y","count":3,"rate":1.5,"bad":null,"arr":[1,2]}"#
+        );
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn jsonl_trace_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join("pba_jsonl_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace_{}.jsonl", std::process::id()));
+        let sink = JsonlTrace::create(&path).unwrap();
+        let meta = RunMeta {
+            spec: ProblemSpec::new(100, 10).unwrap(),
+            seed: 1,
+            protocol: "test",
+            executor: ExecutorKind::Sequential,
+            lanes: 1,
+        };
+        sink.on_round(&meta, &RoundRecord::default(), &RoundTiming::default());
+        sink.on_run(&meta, &RunSummary::default());
+        sink.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""event":"round""#));
+        assert!(lines[0].contains(r#""gather_nanos":0"#));
+        assert!(lines[1].contains(r#""event":"run""#));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,6 +1,6 @@
 //! # `pba-runner` — experiment harness
 //!
-//! Regenerates every reproduced result (experiments E1–E13 of
+//! Regenerates every reproduced result (experiments E1–E14 of
 //! `DESIGN.md`): workload construction, parameter sweeps, seed
 //! replication, theory-vs-measured tables, and the `pba-run` CLI.
 //!
@@ -19,9 +19,13 @@
 
 pub mod experiment;
 pub mod experiments;
+pub mod json;
 pub mod replicate;
 pub mod table;
 
-pub use experiment::{all_experiments, experiment_by_id, Experiment, ExperimentReport, Scale};
-pub use replicate::{replicate, replicate_outcomes};
+pub use experiment::{
+    all_experiments, experiment_by_id, Experiment, ExperimentReport, PerfSummary, RunOptions, Scale,
+};
+pub use json::JsonlTrace;
+pub use replicate::{replicate, replicate_outcomes, replicate_outcomes_with, run_once_with};
 pub use table::Table;

@@ -2,8 +2,10 @@
 //! parallel across the pool (each individual run stays on the
 //! deterministic sequential executor so replications are reproducible).
 
-use pba_core::{ProblemSpec, Result, RoundProtocol, RunConfig, RunOutcome, Simulator};
+use pba_core::{ProblemSpec, Result, RoundProtocol, RunOutcome, Simulator};
 use pba_par::global_pool;
+
+use crate::experiment::RunOptions;
 
 /// Run `f(seed)` for `reps` seeds derived from `base_seed`, in parallel.
 ///
@@ -29,14 +31,41 @@ where
     P: RoundProtocol,
     F: Fn() -> P + Sync,
 {
+    replicate_outcomes_with(spec, base_seed, reps, &RunOptions::default(), make)
+}
+
+/// Like [`replicate_outcomes`], but threading [`RunOptions`] into every
+/// run, so an attached metrics sink observes all replications (events are
+/// attributable via the seed in [`pba_core::metrics::RunMeta`]).
+pub fn replicate_outcomes_with<P, F>(
+    spec: ProblemSpec,
+    base_seed: u64,
+    reps: usize,
+    opts: &RunOptions,
+    make: F,
+) -> Vec<RunOutcome>
+where
+    P: RoundProtocol,
+    F: Fn() -> P + Sync,
+{
     replicate(base_seed, reps, |seed| {
-        run_once(spec, seed, make()).unwrap_or_else(|e| panic!("seed {seed}: {e}"))
+        run_once_with(spec, seed, make(), opts).unwrap_or_else(|e| panic!("seed {seed}: {e}"))
     })
 }
 
-/// One sequential, traced run.
+/// One sequential, traced run with default options.
 pub fn run_once<P: RoundProtocol>(spec: ProblemSpec, seed: u64, protocol: P) -> Result<RunOutcome> {
-    Simulator::new(spec, RunConfig::seeded(seed)).run(protocol)
+    run_once_with(spec, seed, protocol, &RunOptions::default())
+}
+
+/// One sequential, traced run built through [`RunOptions::config`].
+pub fn run_once_with<P: RoundProtocol>(
+    spec: ProblemSpec,
+    seed: u64,
+    protocol: P,
+    opts: &RunOptions,
+) -> Result<RunOutcome> {
+    Simulator::new(spec, opts.config(seed)).run(protocol)
 }
 
 #[cfg(test)]

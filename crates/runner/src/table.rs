@@ -1,9 +1,9 @@
 //! Minimal table model with markdown and CSV rendering.
 
-use serde::{Deserialize, Serialize};
 
 /// A rectangular results table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     title: String,
     headers: Vec<String>,

@@ -1,26 +1,36 @@
 //! Engine scalability: the same deterministic simulation, one thread vs
-//! the data-parallel executor.
+//! the data-parallel executor — measured by the engine's own
+//! observability layer rather than external stopwatches.
 //!
 //! Both executors produce bit-identical results (same loads, same round
 //! count); the parallel one splits the gather / count / grant / resolve
-//! passes across the pool. Expect useful speedups once rounds move
-//! millions of balls.
+//! passes across the pool. An [`EngineMetrics`] sink attached via
+//! `RunConfig::with_metrics` reports where each round's wall clock went
+//! and how busy the pool lanes were. Expect useful speedups once rounds
+//! move millions of balls.
 //!
 //! ```text
 //! cargo run --release --example parallel_speedup
 //! ```
 
-use std::time::Instant;
+use std::sync::Arc;
 
 use pba::prelude::*;
 
-fn time_run(spec: ProblemSpec, exec: ExecutorKind) -> (RunOutcome, f64) {
-    let cfg = RunConfig::seeded(123).with_executor(exec).with_trace(false);
-    let started = Instant::now();
-    let out = Simulator::new(spec, cfg)
+fn time_run(spec: ProblemSpec, cfg: RunConfig) -> (RunOutcome, MetricsReport) {
+    let metrics = Arc::new(EngineMetrics::new());
+    let out = Simulator::new(spec, cfg.with_trace(false).with_metrics(metrics.clone()))
         .run(ThresholdHeavy::new(spec))
         .unwrap();
-    (out, started.elapsed().as_secs_f64())
+    (out, metrics.report())
+}
+
+fn phase_split(report: &MetricsReport) -> String {
+    Phase::ALL
+        .iter()
+        .map(|&p| format!("{} {:.0}%", p.name(), 100.0 * report.phase_fraction(p)))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn main() {
@@ -31,21 +41,36 @@ fn main() {
     println!("workload: {spec}, protocol threshold-heavy");
     println!("machine:  {cores} hardware thread(s) — speedups require > 1\n");
 
-    let (seq, t_seq) = time_run(spec, ExecutorKind::Sequential);
+    let (seq, seq_report) = time_run(spec, RunConfig::seeded(123).sequential());
+    let t_seq = seq_report.run_nanos as f64 / 1e9;
     println!(
-        "sequential:       {t_seq:>7.3}s  ({} rounds, gap {})",
+        "sequential:       {t_seq:>7.3}s  ({} rounds, gap {}, {:.1}M balls/s)",
         seq.rounds,
-        seq.gap()
+        seq.gap(),
+        seq_report.balls_per_sec() / 1e6,
     );
+    println!("  phases: {}", phase_split(&seq_report));
 
     for lanes in [2usize, 4, 8] {
-        let (par, t_par) = time_run(spec, ExecutorKind::ParallelWith(lanes));
+        let (par, report) = time_run(spec, RunConfig::seeded(123).parallel_with(lanes));
         assert_eq!(par.loads, seq.loads, "executors must agree bit-for-bit");
         assert_eq!(par.rounds, seq.rounds);
+        let t_par = report.run_nanos as f64 / 1e9;
         println!(
             "parallel {lanes:>2} lanes: {t_par:>7.3}s  (speedup {:.2}x, identical result)",
             t_seq / t_par
         );
+        println!("  phases: {}", phase_split(&report));
+        if let Some(pool) = &report.pool {
+            let busy = pool.total_busy_nanos() as f64 / 1e9;
+            println!(
+                "  pool:   {} jobs, {} tasks, lanes busy {busy:.3}s total \
+                 ({:.0}% of {lanes} lanes x wall)",
+                pool.jobs,
+                pool.tasks,
+                100.0 * busy / (t_par * lanes as f64),
+            );
+        }
     }
 
     println!("\nthe parallel executor reproduces the sequential result exactly:");

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: every build surface the workspace supports must stay
+# green — the default zero-dependency build, the test suite, the
+# no-default-features build, and the serde-feature build (which compiles
+# the cfg_attr derive sites against the vendored no-op serde stub).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release
+run cargo test -q --workspace
+run cargo build --no-default-features
+run cargo build --workspace --features serde
+
+echo "==> all checks passed"

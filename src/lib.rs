@@ -39,8 +39,9 @@ pub use pba_runner as runner;
 /// Commonly used items, re-exported for `use pba::prelude::*`.
 pub mod prelude {
     pub use pba_core::{
-        Allocation, ExecutorKind, LoadStats, MessageStats, ProblemSpec, RoundProtocol, RunConfig,
-        RunOutcome, Simulator,
+        Allocation, EngineMetrics, ExecutorKind, FanoutSink, LoadStats, MessageStats,
+        MetricsReport, MetricsSink, Phase, ProblemSpec, RoundProtocol, RunConfig, RunOutcome,
+        Simulator,
     };
     pub use pba_protocols::{
         ALight, AdlerGreedy, Asymmetric, BatchedTwoChoice, Collision, FixedThreshold, GreedyD,

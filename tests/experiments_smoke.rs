@@ -16,6 +16,22 @@ fn all_experiments_run_at_smoke_scale() {
             assert!(t.to_markdown().contains('|'));
         }
         assert!(!report.claim.is_empty());
+        // run() attaches the harness aggregator: every report carries perf.
+        let perf = report
+            .perf
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: perf not aggregated", e.id()));
+        assert!(perf.wall_nanos > 0, "{}: zero wall time", e.id());
+        // e02 benchmarks a non-engine sequential baseline; every other
+        // experiment drives the round engine and must show throughput.
+        if e.id() != "e02" {
+            assert!(perf.engine.runs > 0, "{}: no engine runs seen", e.id());
+            assert!(
+                perf.balls_per_sec() > 0.0,
+                "{}: zero throughput",
+                e.id()
+            );
+        }
     }
 }
 

@@ -1,0 +1,176 @@
+//! Integration: the observability layer's invariants.
+//!
+//! The metrics callbacks must (a) agree with the engine's own accounting
+//! — per-round `requests == Σ degrees` and `committed + wasted ≤ granted`
+//! are re-derivable from the delivered [`RoundRecord`]s, (b) report
+//! monotone phase timings (`total ≥ Σ phases`), (c) be executor-agnostic
+//! (sequential and parallel runs deliver identical counter streams), and
+//! (d) leave the simulation outcome bit-identical whether a sink is
+//! attached or not (the disabled path is zero-cost, not
+//! differently-randomized).
+
+use std::sync::{Arc, Mutex};
+
+use pba::core::metrics::{RoundTiming, RunMeta, RunSummary};
+use pba::core::RoundRecord;
+use pba::prelude::*;
+
+/// Records every callback verbatim for post-hoc inspection.
+#[derive(Default)]
+struct Recorder {
+    rounds: Mutex<Vec<(u64, RoundRecord, RoundTiming)>>,
+    runs: Mutex<Vec<(u64, RunSummary)>>,
+    pools: Mutex<Vec<u64>>,
+}
+
+impl MetricsSink for Recorder {
+    fn on_round(&self, meta: &RunMeta, record: &RoundRecord, timing: &RoundTiming) {
+        self.rounds
+            .lock()
+            .unwrap()
+            .push((meta.seed, *record, *timing));
+    }
+
+    fn on_run(&self, meta: &RunMeta, summary: &RunSummary) {
+        self.runs.lock().unwrap().push((meta.seed, *summary));
+    }
+
+    fn on_pool(&self, meta: &RunMeta, _stats: &pba::par::PoolStats) {
+        self.pools.lock().unwrap().push(meta.seed);
+    }
+}
+
+fn observed_run(config: RunConfig) -> (RunOutcome, Arc<Recorder>) {
+    let spec = ProblemSpec::new(1 << 14, 1 << 7).unwrap();
+    let rec = Arc::new(Recorder::default());
+    let out = Simulator::new(spec, config.with_metrics(rec.clone()))
+        .run(ParallelTwoChoice::new(spec, 2))
+        .unwrap();
+    (out, rec)
+}
+
+/// Per-round counter invariants, re-checked from the sink's viewpoint:
+/// degree-2 protocol sends exactly `2 · active` requests, and commits
+/// plus wasted grants never exceed what bins granted.
+#[test]
+fn round_records_satisfy_counter_invariants() {
+    let (out, rec) = observed_run(RunConfig::seeded(11));
+    let rounds = rec.rounds.lock().unwrap();
+    assert_eq!(rounds.len(), out.rounds as usize);
+    for (_, r, _) in rounds.iter() {
+        assert_eq!(r.requests, 2 * r.active_before, "round {}", r.round);
+        assert!(
+            r.committed + r.wasted_grants <= r.granted,
+            "round {}: committed {} + wasted {} > granted {}",
+            r.round,
+            r.committed,
+            r.wasted_grants,
+            r.granted
+        );
+        assert_eq!(r.messages.requests, r.requests, "round {}", r.round);
+        assert_eq!(r.messages.responses, r.requests, "round {}", r.round);
+    }
+    let committed: u64 = rounds.iter().map(|(_, r, _)| r.committed).sum();
+    assert_eq!(committed, out.placed);
+}
+
+/// Phase-timing monotonicity: the whole-round clock covers the sum of the
+/// phase clocks, and every phase was actually lapped.
+#[test]
+fn phase_timings_are_monotone() {
+    for config in [RunConfig::seeded(12), RunConfig::seeded(12).parallel()] {
+        let (_, rec) = observed_run(config);
+        let rounds = rec.rounds.lock().unwrap();
+        assert!(!rounds.is_empty());
+        for (_, r, t) in rounds.iter() {
+            assert!(
+                t.total_nanos >= t.phase_sum(),
+                "round {}: total {} < phase sum {}",
+                r.round,
+                t.total_nanos,
+                t.phase_sum()
+            );
+        }
+        // Time is attributed to every phase somewhere in the run (any
+        // all-zero column would mean a lap was skipped).
+        for phase in Phase::ALL {
+            assert!(
+                rounds.iter().any(|(_, _, t)| t.phase(phase) > 0),
+                "phase {} never timed",
+                phase.name()
+            );
+        }
+    }
+}
+
+/// The run summary matches the outcome, and the parallel executor also
+/// reports pool stats.
+#[test]
+fn run_summary_matches_outcome() {
+    let (out, rec) = observed_run(RunConfig::seeded(13).parallel());
+    let runs = rec.runs.lock().unwrap();
+    assert_eq!(runs.len(), 1);
+    let (seed, summary) = runs[0];
+    assert_eq!(seed, 13);
+    assert_eq!(summary.rounds, out.rounds);
+    assert_eq!(summary.placed, out.placed);
+    assert_eq!(summary.unallocated, out.unallocated);
+    assert!(summary.wall_nanos > 0);
+    assert_eq!(rec.pools.lock().unwrap().as_slice(), &[13]);
+}
+
+/// Executor equality at the metrics level: the sequential and parallel
+/// executors deliver the *same* per-round counter stream (timings differ,
+/// counters must not).
+#[test]
+fn sequential_and_parallel_counters_agree() {
+    let (seq_out, seq_rec) = observed_run(RunConfig::seeded(14).sequential());
+    let (par_out, par_rec) = observed_run(RunConfig::seeded(14).parallel());
+    assert_eq!(seq_out.loads, par_out.loads);
+    let seq_rounds = seq_rec.rounds.lock().unwrap();
+    let par_rounds = par_rec.rounds.lock().unwrap();
+    assert_eq!(seq_rounds.len(), par_rounds.len());
+    for ((_, s, _), (_, p, _)) in seq_rounds.iter().zip(par_rounds.iter()) {
+        assert_eq!(s, p, "round {} records diverge across executors", s.round);
+    }
+}
+
+/// Attaching a sink must not perturb the simulation: outcomes are
+/// bit-identical with and without metrics, on both executors.
+#[test]
+fn sink_does_not_perturb_outcomes() {
+    let spec = ProblemSpec::new(1 << 12, 1 << 12).unwrap(); // m = n, the [Ste96] regime
+    for make in [RunConfig::sequential, RunConfig::parallel] {
+        let plain = Simulator::new(spec, make(RunConfig::seeded(15)))
+            .run(Collision::with_params(spec, 2, 4))
+            .unwrap();
+        let metrics = Arc::new(EngineMetrics::new());
+        let observed = Simulator::new(spec, make(RunConfig::seeded(15)).with_metrics(metrics))
+            .run(Collision::with_params(spec, 2, 4))
+            .unwrap();
+        assert_eq!(plain.loads, observed.loads);
+        assert_eq!(plain.rounds, observed.rounds);
+        assert_eq!(plain.messages, observed.messages);
+    }
+}
+
+/// The prelude's aggregator works end-to-end over replicated runs and its
+/// throughput numbers are well-formed.
+#[test]
+fn engine_metrics_aggregates_replications() {
+    let spec = ProblemSpec::new(1 << 12, 1 << 6).unwrap();
+    let metrics = Arc::new(EngineMetrics::new());
+    for seed in 0..4u64 {
+        Simulator::new(spec, RunConfig::seeded(seed).with_metrics(metrics.clone()))
+            .run(ThresholdHeavy::new(spec))
+            .unwrap();
+    }
+    let report = metrics.report();
+    assert_eq!(report.runs, 4);
+    assert_eq!(report.placed, 4 << 12);
+    assert!(report.rounds >= 4);
+    assert!(report.balls_per_sec() > 0.0);
+    assert!(report.rounds_per_sec() > 0.0);
+    let total: f64 = Phase::ALL.iter().map(|&p| report.phase_fraction(p)).sum();
+    assert!((total - 1.0).abs() < 1e-9, "phase fractions sum to {total}");
+}

@@ -1,142 +1,203 @@
-//! Property-based tests (proptest) over the core invariants.
-
-use proptest::prelude::*;
+//! Property-style tests over the core invariants, driven by a hand-rolled
+//! seeded case generator (no proptest: the default workspace builds with
+//! zero external dependencies).
+//!
+//! Each property runs `CASES` pseudo-random cases derived from a fixed
+//! master seed, so failures are reproducible: the panic message contains
+//! the case seed, and re-running the test replays the identical sequence.
 
 use pba::core::rng::{ball_stream, Rand64, SplitMix64};
 use pba::prelude::*;
 
-/// Strategy: moderate problem specs (kept small so the whole suite runs
-/// in seconds at 256 cases per property).
-fn small_spec() -> impl Strategy<Value = ProblemSpec> {
-    (1u64..5000, 1u32..200)
-        .prop_map(|(m, n)| ProblemSpec::new(m, n).expect("positive sizes are valid"))
+/// Cases per property; the generator is deterministic, so every CI run
+/// explores the same instances.
+const CASES: u64 = 64;
+
+/// Deterministic case-level RNG for property `tag`.
+fn case_rng(tag: u64, case: u64) -> SplitMix64 {
+    SplitMix64::new(0x9e37_79b9_7f4a_7c15 ^ (tag << 32) ^ case)
 }
 
-proptest! {
-    /// Every protocol yields a complete, well-formed allocation on any
-    /// spec: loads sum to m, assignment consistent, no bin out of range.
-    #[test]
-    fn protocols_always_complete_and_conserve_balls(
-        spec in small_spec(),
-        seed in any::<u64>(),
-        proto_idx in 0usize..11, // = protocol_names().len(), checked below
-    ) {
-        prop_assert_eq!(pba::protocols::protocol_names().len(), 11);
-        let name = pba::protocols::protocol_names()[proto_idx];
+/// A moderate problem spec: `m ∈ [1, 5000)`, `n ∈ [1, 200)`.
+fn small_spec(rng: &mut SplitMix64) -> ProblemSpec {
+    let m = 1 + rng.next_u64() % 4999;
+    let n = 1 + rng.below(199);
+    ProblemSpec::new(m, n).expect("positive sizes are valid")
+}
+
+/// Every protocol yields a complete, well-formed allocation on any spec:
+/// loads sum to m, assignment consistent, no bin out of range.
+#[test]
+fn protocols_always_complete_and_conserve_balls() {
+    let names = pba::protocols::protocol_names();
+    assert_eq!(names.len(), 11);
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let spec = small_spec(&mut rng);
+        let seed = rng.next_u64();
+        let name = names[rng.below(names.len() as u32) as usize];
         let cfg = RunConfig::seeded(seed).with_assignment(true);
         let out = pba::protocols::run_by_name(name, spec, cfg)
             .expect("registered")
-            .unwrap_or_else(|e| panic!("{name} on {spec}: {e}"));
-        prop_assert!(out.is_complete());
-        prop_assert_eq!(out.placed, spec.balls());
+            .unwrap_or_else(|e| panic!("case {case}: {name} on {spec}: {e}"));
+        assert!(out.is_complete(), "case {case}: {name} on {spec}");
+        assert_eq!(out.placed, spec.balls(), "case {case}: {name} on {spec}");
         let alloc = out.allocation();
-        prop_assert!(alloc.is_well_formed(), "{}: {:?}", name, alloc.verify());
+        assert!(
+            alloc.is_well_formed(),
+            "case {case}: {name} on {spec}: {:?}",
+            alloc.verify()
+        );
     }
+}
 
-    /// Threshold protocols never exceed their structural cap.
-    #[test]
-    fn threshold_heavy_gap_is_bounded(spec in small_spec(), seed in any::<u64>()) {
+/// Threshold protocols never exceed their structural cap.
+#[test]
+fn threshold_heavy_gap_is_bounded() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let spec = small_spec(&mut rng);
+        let seed = rng.next_u64();
         let out = Simulator::new(spec, RunConfig::seeded(seed))
             .run(ThresholdHeavy::new(spec))
             .unwrap();
-        prop_assert!(out.gap() <= 2, "gap {} for {}", out.gap(), spec);
+        assert!(out.gap() <= 2, "case {case}: gap {} for {spec}", out.gap());
     }
+}
 
-    /// The collision bound is a hard invariant whenever the run
-    /// completes. Completion itself is only w.h.p. *in n*: non-adaptive
-    /// collision protocols genuinely livelock on small adversarial
-    /// instances (e.g. three balls drawing the same bin pair at c = 2),
-    /// so budget exhaustion is an acceptable outcome here — the papers'
-    /// guarantees are asymptotic.
-    #[test]
-    fn collision_never_exceeds_c(n in 4u32..400, c in 2u32..6, seed in any::<u64>()) {
+/// The collision bound is a hard invariant whenever the run completes.
+/// Completion itself is only w.h.p. *in n*: non-adaptive collision
+/// protocols genuinely livelock on small adversarial instances (e.g.
+/// three balls drawing the same bin pair at c = 2), so budget exhaustion
+/// is an acceptable outcome here — the papers' guarantees are asymptotic.
+#[test]
+fn collision_never_exceeds_c() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let n = 4 + rng.below(396);
+        let c = 2 + rng.below(4);
+        let seed = rng.next_u64();
         let m = (n as u64) * (c as u64 - 1);
         let spec = ProblemSpec::new(m.max(1), n).unwrap();
-        match Simulator::new(spec, RunConfig::seeded(seed))
-            .run(Collision::with_params(spec, 2, c))
+        match Simulator::new(spec, RunConfig::seeded(seed)).run(Collision::with_params(spec, 2, c))
         {
             Ok(out) => {
-                prop_assert!(out.max_load() <= c);
-                prop_assert!(out.is_complete());
+                assert!(out.max_load() <= c, "case {case}: {spec} c={c}");
+                assert!(out.is_complete(), "case {case}: {spec} c={c}");
             }
             Err(pba::core::CoreError::RoundBudgetExhausted { .. }) => {
                 // Documented small-instance livelock; the load cap is
                 // still enforced structurally (unit-tested in pba-core).
             }
-            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            Err(e) => panic!("case {case}: unexpected error: {e}"),
         }
     }
+}
 
-    /// Message conservation: every request gets exactly one response, and
-    /// commit notifications never exceed requests.
-    #[test]
-    fn message_conservation(spec in small_spec(), seed in any::<u64>()) {
+/// Message conservation: every request gets exactly one response, and
+/// commit notifications never exceed requests.
+#[test]
+fn message_conservation() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let spec = small_spec(&mut rng);
+        let seed = rng.next_u64();
         let out = Simulator::new(spec, RunConfig::seeded(seed))
             .run(ThresholdHeavy::new(spec))
             .unwrap();
-        prop_assert_eq!(out.messages.requests, out.messages.responses);
-        prop_assert!(out.messages.commits <= out.messages.requests);
+        assert_eq!(out.messages.requests, out.messages.responses, "case {case}");
+        assert!(out.messages.commits <= out.messages.requests, "case {case}");
         // Every placed ball notifies at least its committed bin; balls in
         // the multi-request light phase may notify several accepting bins.
-        prop_assert!(out.messages.commits >= spec.balls());
+        assert!(out.messages.commits >= spec.balls(), "case {case}");
     }
+}
 
-    /// Per-round trace conservation: active_before − committed of round i
-    /// equals active_before of round i+1; committed sums to m.
-    #[test]
-    fn trace_conservation(spec in small_spec(), seed in any::<u64>()) {
+/// Per-round trace conservation: active_before − committed of round i
+/// equals active_before of round i+1; committed sums to m.
+#[test]
+fn trace_conservation() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let spec = small_spec(&mut rng);
+        let seed = rng.next_u64();
         let out = Simulator::new(spec, RunConfig::seeded(seed))
             .run(FixedThreshold::new(spec, 2))
             .unwrap();
         let trace = out.trace.unwrap();
         let records = trace.records();
         for w in records.windows(2) {
-            prop_assert_eq!(w[0].active_before - w[0].committed, w[1].active_before);
+            assert_eq!(
+                w[0].active_before - w[0].committed,
+                w[1].active_before,
+                "case {case}"
+            );
         }
         let total: u64 = records.iter().map(|r| r.committed).sum();
-        prop_assert_eq!(total, spec.balls());
+        assert_eq!(total, spec.balls(), "case {case}");
         // Granted ≥ committed each round (a grant may be wasted only for
         // degree ≥ 2; here degree is 1, so they are equal).
         for r in records {
-            prop_assert_eq!(r.granted, r.committed);
-            prop_assert_eq!(r.wasted_grants, 0);
+            assert_eq!(r.granted, r.committed, "case {case}");
+            assert_eq!(r.wasted_grants, 0, "case {case}");
         }
     }
+}
 
-    /// RNG: bounded sampling is unbiased enough to pass a coarse χ²-style
-    /// check, and streams are independent of call order.
-    #[test]
-    fn rng_below_stays_in_bounds(seed in any::<u64>(), bound in 1u32..10_000) {
+/// RNG: bounded sampling stays in bounds for arbitrary seeds and bounds.
+#[test]
+fn rng_below_stays_in_bounds() {
+    for case in 0..CASES {
+        let mut meta = case_rng(6, case);
+        let seed = meta.next_u64();
+        let bound = 1 + meta.below(9999);
         let mut rng = SplitMix64::new(seed);
         for _ in 0..100 {
-            prop_assert!(rng.below(bound) < bound);
+            assert!(rng.below(bound) < bound, "case {case}: bound {bound}");
         }
     }
+}
 
-    /// Counter-based streams: the same (seed, round, ball) always yields
-    /// the same draws; distinct balls differ somewhere early.
-    #[test]
-    fn ball_streams_reproducible(seed in any::<u64>(), round in 0u32..50, ball in 0u64..1_000_000) {
-        let a: Vec<u64> = { let mut s = ball_stream(seed, round, ball); (0..4).map(|_| s.next_u64()).collect() };
-        let b: Vec<u64> = { let mut s = ball_stream(seed, round, ball); (0..4).map(|_| s.next_u64()).collect() };
-        prop_assert_eq!(&a, &b);
-        let c: Vec<u64> = { let mut s = ball_stream(seed, round, ball + 1); (0..4).map(|_| s.next_u64()).collect() };
-        prop_assert_ne!(a, c);
+/// Counter-based streams: the same (seed, round, ball) always yields the
+/// same draws; distinct balls differ somewhere early.
+#[test]
+fn ball_streams_reproducible() {
+    for case in 0..CASES {
+        let mut meta = case_rng(7, case);
+        let seed = meta.next_u64();
+        let round = meta.below(50);
+        let ball = meta.next_u64() % 1_000_000;
+        let draw = |ball| -> Vec<u64> {
+            let mut s = ball_stream(seed, round, ball);
+            (0..4).map(|_| s.next_u64()).collect()
+        };
+        let a = draw(ball);
+        assert_eq!(a, draw(ball), "case {case}");
+        assert_ne!(a, draw(ball + 1), "case {case}");
     }
+}
 
-    /// LoadStats invariants: gap/spread/total consistency for arbitrary
-    /// load vectors.
-    #[test]
-    fn load_stats_invariants(loads in prop::collection::vec(0u32..1000, 1..200)) {
+/// LoadStats invariants: gap/spread/total consistency for arbitrary load
+/// vectors.
+#[test]
+fn load_stats_invariants() {
+    for case in 0..CASES {
+        let mut rng = case_rng(8, case);
+        let len = 1 + rng.below(199) as usize;
+        let loads: Vec<u32> = (0..len).map(|_| rng.below(1000)).collect();
         let stats = pba::core::LoadStats::from_loads(&loads);
-        prop_assert_eq!(stats.max(), *loads.iter().max().unwrap());
-        prop_assert_eq!(stats.min(), *loads.iter().min().unwrap());
-        prop_assert_eq!(stats.total(), loads.iter().map(|&l| l as u64).sum::<u64>());
-        prop_assert!(stats.spread() >= stats.gap());
-        prop_assert!(stats.quantile(0.0) <= stats.quantile(0.5));
-        prop_assert!(stats.quantile(0.5) <= stats.quantile(1.0));
-        prop_assert_eq!(stats.quantile(1.0), stats.max());
+        assert_eq!(stats.max(), *loads.iter().max().unwrap(), "case {case}");
+        assert_eq!(stats.min(), *loads.iter().min().unwrap(), "case {case}");
+        assert_eq!(
+            stats.total(),
+            loads.iter().map(|&l| l as u64).sum::<u64>(),
+            "case {case}"
+        );
+        assert!(stats.spread() >= stats.gap(), "case {case}");
+        assert!(stats.quantile(0.0) <= stats.quantile(0.5), "case {case}");
+        assert!(stats.quantile(0.5) <= stats.quantile(1.0), "case {case}");
+        assert_eq!(stats.quantile(1.0), stats.max(), "case {case}");
         let hist_total: u64 = stats.histogram().values().map(|&c| c as u64).sum();
-        prop_assert_eq!(hist_total, loads.len() as u64);
+        assert_eq!(hist_total, loads.len() as u64, "case {case}");
     }
 }

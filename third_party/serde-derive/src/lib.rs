@@ -1,0 +1,23 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! Both derives accept the `#[serde(...)]` helper attribute and expand to
+//! an empty token stream: annotated types compile, but no `Serialize` /
+//! `Deserialize` impls are generated. The workspace's own serialization
+//! (the hand-rolled JSON in `pba-runner`) never goes through serde, so
+//! nothing observes the difference. Swap the `serde` entry in the root
+//! `[workspace.dependencies]` back to the crates.io package to get real
+//! derives.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

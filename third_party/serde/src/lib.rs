@@ -1,0 +1,21 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! This workspace builds with **zero external dependencies** by default;
+//! `serde` support is an opt-in feature (`--features serde` on `pba-core`,
+//! `pba-analysis`, `pba-protocols`, `pba-runner`, or the root `pba`
+//! crate). In environments without registry access, the feature resolves
+//! to this stub: the `#[derive(Serialize, Deserialize)]` attributes
+//! compile and expand to nothing, and the marker traits below exist so
+//! generic bounds still typecheck. To link against real serde, point the
+//! `serde` entry of `[workspace.dependencies]` in the root `Cargo.toml`
+//! at the crates.io package instead of this path.
+
+pub use pba_serde_derive_stub::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; the no-op derive
+/// does not implement it).
+pub trait SerializeTrait {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods; the no-op derive
+/// does not implement it).
+pub trait DeserializeTrait<'de> {}
