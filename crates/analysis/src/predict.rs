@@ -6,7 +6,6 @@
 //! predictors are *scales*, not point predictions; experiments assert
 //! shape (monotonicity, ratios, linear fits), not equality.
 
-
 /// `log₂* x` (iterated logarithm), the additive term in Theorem 1's round
 /// bound.
 pub fn log_star(mut x: f64) -> u32 {

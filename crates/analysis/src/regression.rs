@@ -5,7 +5,6 @@
 //! a strong linear fit (R² close to 1) with a positive slope, while a fit
 //! against `m/n` itself should be poor. This module provides the fit.
 
-
 /// Result of fitting `y ≈ intercept + slope · x` by least squares.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,6 +1,5 @@
 //! Replication statistics: summaries of repeated measurements.
 
-
 /// Summary of a sample of `f64` measurements (e.g. the gap over 30 seeded
 /// runs).
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]

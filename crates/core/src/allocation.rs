@@ -1,6 +1,5 @@
 //! Final allocation: loads, optional per-ball assignment, verification.
 
-
 use crate::load::LoadStats;
 use crate::model::ProblemSpec;
 

@@ -140,7 +140,12 @@ impl<P: RoundProtocol> SimState<P> {
     }
 
     /// Execute one round sequentially.
-    pub fn round_seq(&mut self, protocol: &P, round: u32, obs: Observer<'_>) -> Result<RoundRecord> {
+    pub fn round_seq(
+        &mut self,
+        protocol: &P,
+        round: u32,
+        obs: Observer<'_>,
+    ) -> Result<RoundRecord> {
         let ctx = self.context(round);
         let mut timer = obs.map(|_| RoundTimer::start());
         self.gather_seq(protocol, &ctx)?;

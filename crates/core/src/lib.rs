@@ -27,11 +27,14 @@
 //!   [`RunOutcome`] API.
 //! * [`metrics`] — the observability layer: [`MetricsSink`], per-round
 //!   phase timings, run summaries, pool utilization.
+//! * [`binstate`] — the [`BinState`] load-accounting trait shared by the
+//!   one-shot engine and the streaming allocator (`pba-stream`).
 //! * [`load`], [`messages`], [`allocation`], [`trace`] — statistics and
 //!   run records.
 //! * [`mathutil`] — `log* n`, iterated logarithms, and friends.
 
 pub mod allocation;
+pub mod binstate;
 pub mod engine;
 pub mod error;
 pub mod load;
@@ -45,11 +48,13 @@ pub mod sim;
 pub mod trace;
 
 pub use allocation::Allocation;
+pub use binstate::BinState;
 pub use error::{CoreError, Result};
 pub use load::LoadStats;
 pub use messages::{MessageStats, MessageTracking};
 pub use metrics::{
-    EngineMetrics, FanoutSink, MetricsReport, MetricsSink, Phase, RoundTiming, RunMeta, RunSummary,
+    BatchRecord, EngineMetrics, FanoutSink, MetricsReport, MetricsSink, Phase, RoundTiming,
+    RunMeta, RunSummary, StreamMeta,
 };
 pub use model::ProblemSpec;
 pub use protocol::{

@@ -2,7 +2,6 @@
 
 use std::collections::BTreeMap;
 
-
 /// Summary statistics of a final (or intermediate) load vector.
 ///
 /// The headline quantity in the literature is the **gap**: the difference

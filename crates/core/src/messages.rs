@@ -13,7 +13,6 @@
 //! memory) and tracked by default; per-ball sent counts cost `O(m)` memory
 //! and are opt-in via [`MessageTracking::Full`].
 
-
 /// Granularity of message accounting.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

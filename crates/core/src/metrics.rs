@@ -133,14 +133,58 @@ pub struct RunSummary {
     pub wall_nanos: u64,
 }
 
+/// Identity of the streaming allocator a batch callback belongs to.
+///
+/// The streaming analogue of [`RunMeta`]: long-lived [`StreamAllocator`]
+/// sessions (crate `pba-stream`) have no fixed `m`, so their events carry
+/// bin count, policy, and sharding instead of a [`ProblemSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamMeta {
+    /// Number of bins.
+    pub bins: u32,
+    /// RNG seed of the session.
+    pub seed: u64,
+    /// Placement policy name.
+    pub policy: &'static str,
+    /// Shards the bin state is split across (1 for sequential ingestion).
+    pub shards: usize,
+}
+
+/// Per-batch totals delivered to [`MetricsSink::on_batch`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// Zero-based batch sequence number within the session.
+    pub batch: u64,
+    /// Balls that arrived in this batch.
+    pub arrivals: u64,
+    /// Balls that departed in this batch.
+    pub departures: u64,
+    /// Total ball weight placed in this batch (= `arrivals` for unit balls).
+    pub arrival_weight: u64,
+    /// Balls resident after the batch was applied.
+    pub resident: u64,
+    /// Maximum bin load after the batch.
+    pub max_load: u64,
+    /// Gap above `⌈total/bins⌉` after the batch.
+    pub gap: u64,
+    /// Wall-clock nanoseconds to ingest the batch (0 when no sink was
+    /// attached during ingestion — the engine reads no clocks unobserved).
+    pub wall_nanos: u64,
+    /// Per-shard touch counts for this batch (placements applied by each
+    /// shard lane); length equals [`StreamMeta::shards`]. The spread
+    /// across entries is the shard-contention signal.
+    pub shard_touches: Vec<u64>,
+}
+
 /// Receiver for engine observability events.
 ///
 /// Implementations must be `Send + Sync`: seed replication attaches one
-/// sink to many concurrent runs. Every callback carries the [`RunMeta`],
-/// so events from interleaved runs are attributable.
+/// sink to many concurrent runs. Every callback carries the [`RunMeta`]
+/// (or [`StreamMeta`] for streaming events), so events from interleaved
+/// runs are attributable.
 ///
-/// Only [`on_round`](MetricsSink::on_round) is required; the run- and
-/// pool-level callbacks default to no-ops.
+/// Only [`on_round`](MetricsSink::on_round) is required; the run-,
+/// pool-, and batch-level callbacks default to no-ops.
 pub trait MetricsSink: Send + Sync {
     /// One round completed: its record plus the phase wall-clock split.
     fn on_round(&self, meta: &RunMeta, record: &RoundRecord, timing: &RoundTiming);
@@ -154,6 +198,11 @@ pub trait MetricsSink: Send + Sync {
     /// the delta of [`pba_par::ThreadPool::stats`] across the run).
     fn on_pool(&self, meta: &RunMeta, stats: &PoolStats) {
         let _ = (meta, stats);
+    }
+
+    /// One streaming batch was ingested (streaming allocator only).
+    fn on_batch(&self, meta: &StreamMeta, record: &BatchRecord) {
+        let _ = (meta, record);
     }
 }
 
@@ -209,6 +258,12 @@ pub struct MetricsReport {
     pub run_nanos: u64,
     /// Pool utilization summed over runs, if any parallel run reported.
     pub pool: Option<PoolStats>,
+    /// Streaming batches ingested across all sessions.
+    pub batches: u64,
+    /// Balls arrived across all streaming batches.
+    pub batch_arrivals: u64,
+    /// Total streaming batch ingestion wall nanoseconds.
+    pub batch_nanos: u64,
 }
 
 impl MetricsReport {
@@ -222,6 +277,16 @@ impl MetricsReport {
     /// Rounds executed per second of engine run time.
     pub fn rounds_per_sec(&self) -> f64 {
         per_sec(self.rounds, self.run_nanos)
+    }
+
+    /// Streaming batches ingested per second of timed batch ingestion.
+    pub fn batches_per_sec(&self) -> f64 {
+        per_sec(self.batches, self.batch_nanos)
+    }
+
+    /// Streaming ball arrivals placed per second of timed batch ingestion.
+    pub fn stream_balls_per_sec(&self) -> f64 {
+        per_sec(self.batch_arrivals, self.batch_nanos)
     }
 
     /// Fraction of total phase time spent in `phase` (0.0 when untimed).
@@ -322,6 +387,13 @@ impl MetricsSink for EngineMetrics {
             *total += nanos;
         }
     }
+
+    fn on_batch(&self, _meta: &StreamMeta, record: &BatchRecord) {
+        let mut agg = self.inner.lock().unwrap();
+        agg.batches += 1;
+        agg.batch_arrivals += record.arrivals;
+        agg.batch_nanos += record.wall_nanos;
+    }
 }
 
 /// Broadcasts every event to several sinks, in order.
@@ -355,6 +427,12 @@ impl MetricsSink for FanoutSink {
     fn on_pool(&self, meta: &RunMeta, stats: &PoolStats) {
         for s in &self.sinks {
             s.on_pool(meta, stats);
+        }
+    }
+
+    fn on_batch(&self, meta: &StreamMeta, record: &BatchRecord) {
+        for s in &self.sinks {
+            s.on_batch(meta, record);
         }
     }
 }
@@ -471,6 +549,54 @@ mod tests {
         let r = MetricsReport::default();
         assert_eq!(r.balls_per_sec(), 0.0);
         assert_eq!(r.rounds_per_sec(), 0.0);
+        assert_eq!(r.batches_per_sec(), 0.0);
+        assert_eq!(r.stream_balls_per_sec(), 0.0);
         assert_eq!(r.phase_fraction(Phase::Gather), 0.0);
+    }
+
+    #[test]
+    fn engine_metrics_aggregates_batches() {
+        let m = EngineMetrics::new();
+        let smeta = StreamMeta {
+            bins: 64,
+            seed: 1,
+            policy: "two-choice",
+            shards: 2,
+        };
+        let record = BatchRecord {
+            batch: 0,
+            arrivals: 128,
+            departures: 10,
+            arrival_weight: 128,
+            resident: 118,
+            max_load: 4,
+            gap: 2,
+            wall_nanos: 1_000,
+            shard_touches: vec![64, 64],
+        };
+        m.on_batch(&smeta, &record);
+        m.on_batch(&smeta, &BatchRecord { batch: 1, ..record });
+        let r = m.report();
+        assert_eq!(r.batches, 2);
+        assert_eq!(r.batch_arrivals, 256);
+        assert_eq!(r.batch_nanos, 2_000);
+        assert!(r.batches_per_sec() > 0.0);
+        assert!(r.stream_balls_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn fanout_broadcasts_batches() {
+        let a = Arc::new(EngineMetrics::new());
+        let b = Arc::new(EngineMetrics::new());
+        let fan = FanoutSink::new(vec![a.clone(), b.clone()]);
+        let smeta = StreamMeta {
+            bins: 8,
+            seed: 0,
+            policy: "one-choice",
+            shards: 1,
+        };
+        fan.on_batch(&smeta, &BatchRecord::default());
+        assert_eq!(a.report().batches, 1);
+        assert_eq!(b.report().batches, 1);
     }
 }

@@ -1,6 +1,5 @@
 //! Problem specification: `m` balls into `n` bins.
 
-
 use crate::error::{CoreError, Result};
 
 /// Engine-wide cap on ball count: ball ids are `u64` but request buffers

@@ -7,6 +7,7 @@ use std::time::Instant;
 use pba_par::ThreadPool;
 
 use crate::allocation::Allocation;
+use crate::binstate::BinState;
 use crate::engine::SimState;
 use crate::error::{CoreError, Result};
 use crate::load::LoadStats;
@@ -210,9 +211,15 @@ impl RunOutcome {
         LoadStats::from_loads(&self.loads)
     }
 
+    /// The final loads as a [`BinState`] — the load-accounting view shared
+    /// with the streaming allocator.
+    pub fn bin_state(&self) -> &dyn BinState {
+        &self.loads
+    }
+
     /// Maximum final load.
     pub fn max_load(&self) -> u32 {
-        self.loads.iter().copied().max().unwrap_or(0)
+        self.bin_state().max_load() as u32
     }
 
     /// Gap above `⌈m/n⌉` (see [`LoadStats::gap`]); meaningful when

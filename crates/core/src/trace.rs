@@ -6,7 +6,6 @@
 //! sequence `M_i`). The engine therefore records a [`RoundRecord`] per
 //! round when tracing is enabled.
 
-
 use crate::messages::MessageStats;
 
 /// What happened in one synchronous round.

@@ -70,6 +70,17 @@ impl ShardedCounters {
             .sum()
     }
 
+    /// Snapshot of each shard's count, in lane order.
+    ///
+    /// The per-shard spread is the contention signal streaming metrics
+    /// report: a hot shard means its lane applied most of the placements.
+    pub fn values(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// Reset all shards to zero.
     pub fn reset(&self) {
         for s in &self.shards {
@@ -126,6 +137,7 @@ mod tests {
             c.add(lane, 10);
         }
         assert_eq!(c.total(), 80);
+        assert_eq!(c.values(), vec![20, 20, 20, 20]);
         c.reset();
         assert_eq!(c.total(), 0);
     }

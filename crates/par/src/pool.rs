@@ -274,7 +274,9 @@ impl ThreadPool {
             return;
         }
         self.counters.jobs.fetch_add(1, Ordering::Relaxed);
-        self.counters.tasks.fetch_add(tasks as u64, Ordering::Relaxed);
+        self.counters
+            .tasks
+            .fetch_add(tasks as u64, Ordering::Relaxed);
         if tasks == 1 || self.threads == 0 {
             self.counters.timed(self.threads, || {
                 for i in 0..tasks {

@@ -46,6 +46,7 @@ pub mod choices;
 pub mod combinators;
 pub mod par;
 pub mod registry;
+pub mod schedule;
 pub mod seq;
 
 pub use combinators::{AfterRounds, PhaseLimit, Sequenced, WhenRemainingPerBin};
@@ -61,4 +62,5 @@ pub use par::stemann_heavy::StemannHeavy;
 pub use par::threshold_heavy::ThresholdHeavy;
 pub use par::trivial::TrivialRoundRobin;
 pub use registry::{protocol_names, run_by_name};
+pub use schedule::UndershootSchedule;
 pub use seq::{AlwaysGoLeft, GreedyD, OnePlusBeta, WithMemory};

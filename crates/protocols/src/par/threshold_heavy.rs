@@ -22,11 +22,12 @@
 //!
 //! The undershoot exponent `γ = 2/3` is exposed for the E13 ablation.
 
-use pba_core::mathutil::f64_to_u64_floor;
 use pba_core::protocol::{BallContext, BinGrant, ChoiceSink, Flow, NoBallState, RoundContext};
 use pba_core::rng::{Rand64, SplitMix64};
 use pba_core::trace::RoundRecord;
 use pba_core::{ProblemSpec, RoundProtocol};
+
+use crate::schedule::UndershootSchedule;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -38,17 +39,14 @@ enum Phase {
 #[derive(Debug, Clone)]
 pub struct ThresholdHeavy {
     spec: ProblemSpec,
-    /// Undershoot exponent (paper: 2/3).
-    gamma: f64,
-    /// Switch to the light phase once `m̃ ≤ switch_ratio · n` (paper: 2).
-    switch_ratio: f64,
+    /// The undershoot recurrence (paper: `γ = 2/3`).
+    schedule: UndershootSchedule,
     /// Extra per-bin capacity in the light phase (the `O(1)`).
     light_extra: u32,
     /// Cap on the light phase's doubling request degree.
     degree_cap: u32,
     // --- round state ---
     phase: Phase,
-    m_tilde: f64,
     /// Cumulative threshold `T_i` for the current round (floored).
     threshold: u64,
     light_start: u32,
@@ -64,25 +62,21 @@ impl ThresholdHeavy {
     /// Ablation constructor: undershoot `T_i = m/n − (m̃_i/n)^γ` with
     /// `γ ∈ (0, 1)` and update `m̃_{i+1}/n = (m̃_i/n)^γ`.
     pub fn with_gamma(spec: ProblemSpec, gamma: f64) -> Self {
-        assert!(
-            gamma > 0.0 && gamma < 1.0,
-            "gamma must be in (0,1), got {gamma}"
-        );
-        let mut p = Self {
+        let schedule = UndershootSchedule::with_gamma(spec.bins(), spec.balls() as f64, gamma);
+        let phase = if schedule.exhausted() {
+            Phase::Light
+        } else {
+            Phase::Threshold
+        };
+        Self {
             spec,
-            gamma,
-            switch_ratio: 2.0,
+            schedule,
             light_extra: 2,
             degree_cap: 8,
-            phase: Phase::Threshold,
-            m_tilde: spec.balls() as f64,
+            phase,
             threshold: 0,
             light_start: 0,
-        };
-        if p.ratio() <= p.switch_ratio {
-            p.phase = Phase::Light;
         }
-        p
     }
 
     /// Override the light phase's extra capacity (gap bound).
@@ -90,11 +84,6 @@ impl ThresholdHeavy {
         assert!(extra >= 1);
         self.light_extra = extra;
         self
-    }
-
-    /// Current estimate ratio `m̃ / n`.
-    fn ratio(&self) -> f64 {
-        self.m_tilde / self.spec.bins() as f64
     }
 
     /// The light-phase all-or-nothing cap `⌈m/n⌉ + light_extra`.
@@ -110,7 +99,7 @@ impl ThresholdHeavy {
 
     /// The undershoot exponent.
     pub fn gamma(&self) -> f64 {
-        self.gamma
+        self.schedule.gamma()
     }
 }
 
@@ -131,13 +120,11 @@ impl RoundProtocol for ThresholdHeavy {
     fn begin_round(&mut self, ctx: &RoundContext) {
         match self.phase {
             Phase::Threshold => {
-                if self.ratio() <= self.switch_ratio {
+                if self.schedule.exhausted() {
                     self.phase = Phase::Light;
                     self.light_start = ctx.round;
                 } else {
-                    let avg = self.spec.average_load();
-                    let undershoot = self.ratio().powf(self.gamma);
-                    self.threshold = f64_to_u64_floor(avg - undershoot);
+                    self.threshold = self.schedule.threshold(self.spec.average_load());
                 }
             }
             Phase::Light => {}
@@ -191,9 +178,7 @@ impl RoundProtocol for ThresholdHeavy {
 
     fn after_round(&mut self, _ctx: &RoundContext, _record: &RoundRecord) -> Flow {
         if self.phase == Phase::Threshold {
-            // m̃_{i+1}/n = (m̃_i/n)^γ, i.e. m̃_{i+1} = m̃_i^γ · n^{1−γ}.
-            let n = self.spec.bins() as f64;
-            self.m_tilde = n * self.ratio().powf(self.gamma);
+            self.schedule.advance();
         }
         Flow::Continue
     }

@@ -1,0 +1,143 @@
+//! The heavy-case undershoot threshold schedule, factored out of
+//! [`ThresholdHeavy`](crate::ThresholdHeavy) so other consumers (the
+//! `pba-stream` threshold placement policy) can drive the same recurrence.
+//!
+//! The heavily loaded paper sets the cumulative round-`i` threshold below
+//! the running average on purpose:
+//!
+//! ```text
+//! T_i = avg − (m̃_i/n)^γ,     m̃_{i+1}/n = (m̃_i/n)^γ      (paper: γ = 2/3)
+//! ```
+//!
+//! The undershoot keeps every bin saturated w.h.p. (Claim 1), so the
+//! unallocated mass `m̃` contracts doubly exponentially and falls below
+//! `switch_ratio · n` in `O(log log(m/n))` steps, at which point the
+//! caller switches to a light finishing phase.
+
+use pba_core::mathutil::f64_to_u64_floor;
+
+/// The rising-threshold recurrence of the heavily loaded paper.
+///
+/// One instance tracks the unallocated-mass estimate `m̃` across steps
+/// (rounds in the one-shot protocol, batches in the streaming policy).
+/// Per step the caller asks for [`threshold`](Self::threshold) against the
+/// current average load and then calls [`advance`](Self::advance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UndershootSchedule {
+    bins: u32,
+    gamma: f64,
+    switch_ratio: f64,
+    m_tilde: f64,
+}
+
+impl UndershootSchedule {
+    /// Paper parameters: `γ = 2/3`, light switch at `m̃ ≤ 2n`.
+    pub fn new(bins: u32, initial_mass: f64) -> Self {
+        Self::with_gamma(bins, initial_mass, 2.0 / 3.0)
+    }
+
+    /// Ablation constructor with undershoot exponent `γ ∈ (0, 1)`.
+    pub fn with_gamma(bins: u32, initial_mass: f64, gamma: f64) -> Self {
+        assert!(
+            gamma > 0.0 && gamma < 1.0,
+            "gamma must be in (0,1), got {gamma}"
+        );
+        assert!(bins > 0, "schedule needs at least one bin");
+        Self {
+            bins,
+            gamma,
+            switch_ratio: 2.0,
+            m_tilde: initial_mass,
+        }
+    }
+
+    /// The undershoot exponent.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Current estimate ratio `m̃ / n`.
+    pub fn ratio(&self) -> f64 {
+        self.m_tilde / self.bins as f64
+    }
+
+    /// True once `m̃ ≤ switch_ratio · n`: the recurrence has contracted to
+    /// the light regime and the caller should stop undershooting.
+    pub fn exhausted(&self) -> bool {
+        self.ratio() <= self.switch_ratio
+    }
+
+    /// The cumulative threshold `⌊avg − (m̃/n)^γ⌋` for the current step.
+    ///
+    /// `avg` is the relevant average load: `m/n` in the one-shot protocol,
+    /// the projected post-batch average in the streaming policy.
+    pub fn threshold(&self, avg: f64) -> u64 {
+        f64_to_u64_floor(avg - self.ratio().powf(self.gamma))
+    }
+
+    /// Apply one step of the recurrence: `m̃ ← n · (m̃/n)^γ`.
+    pub fn advance(&mut self) {
+        let n = self.bins as f64;
+        self.m_tilde = n * self.ratio().powf(self.gamma);
+    }
+
+    /// Reset the unallocated-mass estimate (streaming sessions restart the
+    /// contraction when a burst raises the resident mass again).
+    pub fn reset_mass(&mut self, mass: f64) {
+        self.m_tilde = mass;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contracts_doubly_exponentially() {
+        let n = 1u32 << 10;
+        let mut s = UndershootSchedule::new(n, (n as f64) * 1024.0);
+        let mut steps = 0;
+        while !s.exhausted() {
+            s.advance();
+            steps += 1;
+            assert!(steps < 64, "schedule failed to contract");
+        }
+        // log log 1024 ≈ 3.3; the recurrence needs O(log log ratio) steps.
+        assert!(steps <= 16, "took {steps} steps");
+    }
+
+    #[test]
+    fn threshold_undershoots_average() {
+        let n = 1u32 << 8;
+        let s = UndershootSchedule::new(n, (n as f64) * 64.0);
+        let avg = 64.0;
+        let t = s.threshold(avg);
+        assert!(t < avg as u64, "threshold {t} must undershoot avg {avg}");
+    }
+
+    #[test]
+    fn matches_inline_recurrence() {
+        // Bit-identical to the arithmetic previously inlined in
+        // ThresholdHeavy: ratio → powf → floor, then m̃ ← n·ratio^γ.
+        let n = 1u32 << 6;
+        let m = (n as u64) << 8;
+        let gamma = 2.0 / 3.0;
+        let mut s = UndershootSchedule::with_gamma(n, m as f64, gamma);
+        let mut m_tilde = m as f64;
+        let avg = m as f64 / n as f64;
+        for _ in 0..8 {
+            let ratio = m_tilde / n as f64;
+            let expect = f64_to_u64_floor(avg - ratio.powf(gamma));
+            assert_eq!(s.threshold(avg), expect);
+            m_tilde = n as f64 * ratio.powf(gamma);
+            s.advance();
+            assert_eq!(s.ratio(), m_tilde / n as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn rejects_gamma_one() {
+        let _ = UndershootSchedule::with_gamma(8, 64.0, 1.0);
+    }
+}

@@ -7,6 +7,7 @@
 //! pba-run <experiment-id> [--scale ...] [--out DIR] [--trace F.jsonl]
 //! pba-run protocol <name> --m M --n N [--seed S] [--parallel] [--trace F.jsonl]
 //! pba-run protocols            # list protocol names
+//! pba-run stream [--policy P] [--n N] [--batch 8n] …   # streaming allocator
 //! pba-run bench [--scale ...] [--out DIR]   # self-timed registry bench
 //! ```
 
@@ -17,7 +18,8 @@ use pba_core::metrics::{EngineMetrics, FanoutSink, MetricsSink, Phase};
 use pba_core::{ExecutorKind, ProblemSpec, RunConfig};
 use pba_protocols::{protocol_names, run_by_name};
 use pba_runner::json::{executor_str, u64_array, JsonObject};
-use pba_runner::{all_experiments, experiment_by_id, JsonlTrace, RunOptions, Scale};
+use pba_runner::{all_experiments, experiment_by_id, JsonlTrace, RunOptions, Scale, Table};
+use pba_stream::{PolicyKind, StreamAllocator, WeightDist, Workload, WorkloadCfg, WorkloadKind};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,9 +37,12 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   pba-run list
   pba-run all [--scale smoke|default|full] [--out DIR] [--trace FILE.jsonl]
-  pba-run <experiment-id e01..e14> [--scale ...] [--out DIR] [--trace FILE.jsonl]
+  pba-run <experiment-id e01..e17> [--scale ...] [--out DIR] [--trace FILE.jsonl]
   pba-run protocol <name> --m M --n N [--seed S] [--parallel] [--trace FILE.jsonl]
   pba-run protocols
+  pba-run stream [--policy one-choice|two-choice|batched-two-choice|threshold]
+                 [--n N] [--batch B | Kn] [--batches K] [--workload uniform|zipf|burst]
+                 [--churn F] [--shards S] [--seed S] [--parallel] [--trace FILE.jsonl]
   pba-run bench [--scale smoke|default|full] [--out DIR]";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -66,15 +71,55 @@ fn run(args: &[String]) -> Result<(), String> {
             flush_trace(trace)
         }
         "protocol" => run_protocol(&args[1..]),
+        "stream" => run_stream_cmd(&args[1..]),
         "bench" => run_bench(&args[1..]),
         id => {
-            let e = experiment_by_id(id).ok_or_else(|| format!("unknown experiment '{id}'"))?;
+            let e = experiment_by_id(id).ok_or_else(|| unknown_command_message(id))?;
             let flags = RunFlags::parse(&args[1..])?;
             let trace = flags.open_trace()?;
             run_experiment(e.as_ref(), &flags, trace.clone())?;
             flush_trace(trace)
         }
     }
+}
+
+/// Error text for an unrecognized first argument: name the valid range
+/// and, when something known is close, suggest it.
+fn unknown_command_message(id: &str) -> String {
+    const COMMANDS: [&str; 6] = ["list", "all", "protocol", "protocols", "stream", "bench"];
+    let lowered = id.to_lowercase();
+    let best = all_experiments()
+        .iter()
+        .map(|e| e.id())
+        .chain(COMMANDS)
+        .map(|c| (edit_distance(&lowered, c), c))
+        .min()
+        .filter(|&(d, _)| d <= 2);
+    let hint = match best {
+        Some((_, c)) => format!("did you mean '{c}'? "),
+        None => String::new(),
+    };
+    format!(
+        "unknown experiment or command '{id}': {hint}valid experiment ids are \
+         e01..e17 (see `pba-run list`)"
+    )
+}
+
+/// Levenshtein distance, for the did-you-mean suggestion.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = Vec::with_capacity(b.len() + 1);
+        cur.push(i + 1);
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur.push((prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
 }
 
 /// Flags shared by the experiment-running commands.
@@ -268,10 +313,218 @@ fn run_protocol(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse a batch size: an absolute count (`4096`) or a multiple of the
+/// bin count (`8n`, `n`).
+fn parse_batch_size(spec: &str, n: u32) -> Result<u64, String> {
+    let s = spec.trim();
+    let value = if let Some(mult) = s.strip_suffix(['n', 'N']) {
+        let mult: u64 = if mult.is_empty() {
+            1
+        } else {
+            mult.parse().map_err(|_| {
+                format!("bad --batch '{spec}' (absolute count or multiple like '8n')")
+            })?
+        };
+        mult.checked_mul(n as u64)
+            .ok_or_else(|| format!("--batch '{spec}' overflows"))?
+    } else {
+        s.parse()
+            .map_err(|_| format!("bad --batch '{spec}' (absolute count or multiple like '8n')"))?
+    };
+    if value == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    Ok(value)
+}
+
+/// `pba-run stream` — drive a synthetic workload through a long-lived
+/// [`StreamAllocator`] and print a paper-style checkpoint table plus a
+/// throughput summary.
+fn run_stream_cmd(args: &[String]) -> Result<(), String> {
+    let mut policy = PolicyKind::BatchedTwoChoice;
+    let mut n: u32 = 1 << 10;
+    let mut batch_spec = "4n".to_string();
+    let mut batches: u64 = 32;
+    let mut workload = "uniform".to_string();
+    let mut churn = 0.0f64;
+    let mut shards: usize = 1;
+    let mut seed = 0u64;
+    let mut parallel = false;
+    let mut trace_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--policy" => {
+                let v = it.next().ok_or("--policy needs a value")?;
+                policy = PolicyKind::parse(v).ok_or_else(|| {
+                    let names: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
+                    format!("unknown policy '{v}' (choose from: {})", names.join(", "))
+                })?;
+            }
+            "--n" => {
+                n = it
+                    .next()
+                    .ok_or("--n needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --n")?;
+            }
+            "--batch" => batch_spec = it.next().ok_or("--batch needs a value")?.clone(),
+            "--batches" => {
+                batches = it
+                    .next()
+                    .ok_or("--batches needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --batches")?;
+            }
+            "--workload" => workload = it.next().ok_or("--workload needs a value")?.clone(),
+            "--churn" => {
+                churn = it
+                    .next()
+                    .ok_or("--churn needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --churn")?;
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --shards")?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --seed")?;
+            }
+            "--parallel" => parallel = true,
+            "--trace" => {
+                trace_path = Some(it.next().ok_or("--trace needs a value")?.clone());
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if n == 0 {
+        return Err("--n must be at least 1".into());
+    }
+    if batches == 0 {
+        return Err("--batches must be at least 1".into());
+    }
+    if !(0.0..=1.0).contains(&churn) {
+        return Err("--churn must be in [0, 1]".into());
+    }
+    let b = parse_batch_size(&batch_spec, n)?;
+    let kind = match workload.as_str() {
+        "uniform" => WorkloadKind::Uniform,
+        "zipf" => WorkloadKind::Zipf { s: 1.2, max: 32 },
+        "burst" => WorkloadKind::Burst {
+            period: 8,
+            factor: 4,
+        },
+        other => {
+            return Err(format!(
+                "unknown workload '{other}' (choose from: uniform, zipf, burst)"
+            ))
+        }
+    };
+    let cfg = WorkloadCfg {
+        kind,
+        batch: b,
+        churn,
+        weights: WeightDist::Constant(1),
+    };
+
+    let metrics = Arc::new(EngineMetrics::new());
+    let trace = match &trace_path {
+        None => None,
+        Some(path) => Some(Arc::new(
+            JsonlTrace::create(path).map_err(|e| format!("--trace {path}: {e}"))?,
+        )),
+    };
+    let sink: Arc<dyn MetricsSink> = match &trace {
+        None => metrics.clone(),
+        Some(t) => Arc::new(FanoutSink::new(vec![
+            metrics.clone() as Arc<dyn MetricsSink>,
+            t.clone() as Arc<dyn MetricsSink>,
+        ])),
+    };
+    let mut alloc = StreamAllocator::new(n, seed, policy)
+        .with_shards(shards)
+        .with_metrics(sink);
+    if parallel {
+        alloc = alloc.parallel();
+    }
+    // Distinct salt keeps workload draws off the placement streams.
+    let mut traffic = Workload::new(cfg, seed ^ 0x57AEA3);
+
+    let started = std::time::Instant::now();
+    let records: Vec<_> = (0..batches)
+        .map(|_| alloc.ingest(&traffic.next_batch()).record)
+        .collect();
+    let elapsed = started.elapsed();
+    if let Some(t) = &trace {
+        t.flush().map_err(|e| format!("trace flush: {e}"))?;
+    }
+
+    let mut table = Table::new(
+        format!(
+            "Streaming {}: {batches} batches of b = {batch_spec} ({b} arrivals), \
+             n = {n}, churn {churn}",
+            policy.name()
+        ),
+        &[
+            "batch",
+            "arrivals",
+            "departures",
+            "resident",
+            "max load",
+            "gap",
+        ],
+    );
+    let step = (batches / 8).max(1);
+    for (t, r) in records.iter().enumerate() {
+        let t = t as u64;
+        if t.is_multiple_of(step) || t == batches - 1 {
+            table.push_row(vec![
+                t.to_string(),
+                r.arrivals.to_string(),
+                r.departures.to_string(),
+                r.resident.to_string(),
+                r.max_load.to_string(),
+                r.gap.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.to_markdown());
+
+    let report = metrics.report();
+    let last = records.last().expect("batches >= 1");
+    let mode = if parallel { ", parallel" } else { "" };
+    println!("policy:     {} ({shards} shard(s){mode})", policy.name());
+    println!("workload:   {workload}, b = {b}, churn {churn}, seed {seed}");
+    println!(
+        "resident:   {} balls in {n} bins (max load {}, gap {})",
+        last.resident, last.max_load, last.gap
+    );
+    println!("wall time:  {elapsed:.2?}");
+    println!(
+        "throughput: {:.1} batches/s, {:.0} balls/s",
+        report.batches_per_sec(),
+        report.stream_balls_per_sec()
+    );
+    if let Some(path) = &trace_path {
+        println!("trace:      {path}");
+    }
+    Ok(())
+}
+
 /// Criterion-free self-timing benchmark of the protocol registry: every
 /// protocol at `m = n`, sequential and parallel executors, `reps` seeds
-/// each, measured by the engine's own [`EngineMetrics`]. Writes
-/// `BENCH_<scale>.json` and prints a summary table.
+/// each, measured by the engine's own [`EngineMetrics`]; then every
+/// streaming placement policy ingesting 32n-ball batches, sequential and
+/// parallel (batches/s, balls/s per lane). Writes `BENCH_<scale>.json`
+/// and prints both summary tables.
 fn run_bench(args: &[String]) -> Result<(), String> {
     let flags = RunFlags::parse(args)?;
     if flags.trace_path.is_some() {
@@ -341,6 +594,73 @@ fn run_bench(args: &[String]) -> Result<(), String> {
         }
     }
 
+    // Streaming throughput: every placement policy ingesting 32n-ball
+    // batches (32n ≥ the allocator's parallel cutoff at every scale), so
+    // the parallel rows genuinely exercise the pool.
+    let stream_b = 32 * n as u64;
+    let stream_batches = 8u64;
+    eprintln!(
+        "benchmarking {} stream policies at n = {n}, b = 32n, {reps} seeds…",
+        PolicyKind::ALL.len()
+    );
+    println!();
+    println!(
+        "{:<22} {:<12} {:>12} {:>12} {:>14}",
+        "stream policy", "ingest", "batches/s", "balls/s", "balls/s/lane"
+    );
+    let mut stream_entries = Vec::new();
+    for kind in PolicyKind::ALL {
+        for parallel in [false, true] {
+            // Live-load two-choice is defined by sequential ingestion; a
+            // "parallel" row would just repeat the sequential numbers.
+            if parallel && matches!(kind, PolicyKind::TwoChoice) {
+                continue;
+            }
+            let lanes = if parallel {
+                pba_par::global_pool().lanes() as u64
+            } else {
+                1
+            };
+            let metrics = Arc::new(EngineMetrics::new());
+            for rep in 0..reps {
+                let mut alloc = StreamAllocator::new(n, 91_000 + rep, kind)
+                    .with_shards(lanes as usize)
+                    .with_metrics(metrics.clone());
+                if parallel {
+                    alloc = alloc.parallel();
+                }
+                let mut traffic = Workload::new(WorkloadCfg::uniform(stream_b), 92_000 + rep);
+                for _ in 0..stream_batches {
+                    alloc.ingest(&traffic.next_batch());
+                }
+            }
+            let report = metrics.report();
+            let ingest = if parallel { "parallel" } else { "sequential" };
+            let balls_per_sec = report.stream_balls_per_sec();
+            println!(
+                "{:<22} {:<12} {:>12.1} {:>12.0} {:>14.0}",
+                kind.name(),
+                ingest,
+                report.batches_per_sec(),
+                balls_per_sec,
+                balls_per_sec / lanes as f64
+            );
+            stream_entries.push(
+                JsonObject::new()
+                    .str("policy", kind.name())
+                    .str("ingest", ingest)
+                    .u64("lanes", lanes)
+                    .u64("batches", report.batches)
+                    .u64("balls", report.batch_arrivals)
+                    .u64("batch_nanos", report.batch_nanos)
+                    .f64("batches_per_sec", report.batches_per_sec())
+                    .f64("balls_per_sec", balls_per_sec)
+                    .f64("balls_per_sec_per_lane", balls_per_sec / lanes as f64)
+                    .finish(),
+            );
+        }
+    }
+
     let doc = JsonObject::new()
         .str("bench", "pba protocol registry")
         .str("scale", scale_name)
@@ -349,6 +669,9 @@ fn run_bench(args: &[String]) -> Result<(), String> {
         .u64("reps", reps)
         .raw("phases", &phase_names_json())
         .raw("entries", &format!("[{}]", entries.join(",")))
+        .u64("stream_batch", stream_b)
+        .u64("stream_batches", stream_batches)
+        .raw("stream_entries", &format!("[{}]", stream_entries.join(",")))
         .finish();
     let dir = flags.out_dir.as_deref().unwrap_or(".");
     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;

@@ -118,15 +118,28 @@ impl PerfSummary {
     /// One-paragraph markdown rendering (throughput + phase split).
     pub fn to_markdown(&self) -> String {
         let e = &self.engine;
-        let mut out = format!(
-            "*Perf.* {} runs, {} rounds, {} balls in {}; {} balls/s, {} rounds/s",
-            e.runs,
-            e.rounds,
-            e.placed,
-            fmt_duration(self.wall_nanos),
-            fmt_rate(e.balls_per_sec()),
-            fmt_rate(e.rounds_per_sec()),
-        );
+        let mut out = if e.runs == 0 && e.batches > 0 {
+            // Streaming experiments drive the batch allocator, not the
+            // round engine: report batch throughput instead.
+            format!(
+                "*Perf.* {} batches, {} arrivals in {}; {} batches/s, {} balls/s",
+                e.batches,
+                e.batch_arrivals,
+                fmt_duration(self.wall_nanos),
+                fmt_rate(e.batches_per_sec()),
+                fmt_rate(e.stream_balls_per_sec()),
+            )
+        } else {
+            format!(
+                "*Perf.* {} runs, {} rounds, {} balls in {}; {} balls/s, {} rounds/s",
+                e.runs,
+                e.rounds,
+                e.placed,
+                fmt_duration(self.wall_nanos),
+                fmt_rate(e.balls_per_sec()),
+                fmt_rate(e.rounds_per_sec()),
+            )
+        };
         if e.phase_nanos.iter().any(|&n| n > 0) {
             let split: Vec<String> = Phase::ALL
                 .iter()
@@ -228,7 +241,7 @@ impl ExperimentReport {
 /// attach the harness's [`EngineMetrics`] aggregator and fill
 /// [`ExperimentReport::perf`] with throughput and phase-split numbers.
 pub trait Experiment: Sync {
-    /// Stable id (`"e01"`…`"e14"`).
+    /// Stable id (`"e01"`…`"e17"`).
     fn id(&self) -> &'static str;
     /// Short title for listings.
     fn title(&self) -> &'static str;
@@ -280,6 +293,9 @@ pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
         Box::new(experiments::e12_batched::E12),
         Box::new(experiments::e13_ablation::E13),
         Box::new(experiments::e14_preliminaries::E14),
+        Box::new(experiments::e15_stream_batches::E15),
+        Box::new(experiments::e16_churn::E16),
+        Box::new(experiments::e17_weighted::E17),
     ]
 }
 
@@ -296,7 +312,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ordered() {
         let all = all_experiments();
-        assert_eq!(all.len(), 14);
+        assert_eq!(all.len(), 17);
         for (i, e) in all.iter().enumerate() {
             assert_eq!(e.id(), format!("e{:02}", i + 1));
             assert!(!e.title().is_empty());

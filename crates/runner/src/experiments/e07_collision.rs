@@ -46,8 +46,9 @@ impl Experiment for E07 {
         for &n in &ns {
             for &c in &cs {
                 let s = spec(n as u64, n);
-                let outcomes =
-                    replicate_outcomes_with(s, 7000, reps, opts, || Collision::with_params(s, 2, c));
+                let outcomes = replicate_outcomes_with(s, 7000, reps, opts, || {
+                    Collision::with_params(s, 2, c)
+                });
                 let rounds = round_summary(&outcomes);
                 let max_load = outcomes.iter().map(|o| o.max_load()).max().unwrap();
                 assert!(max_load <= c, "collision bound violated: {max_load} > {c}");

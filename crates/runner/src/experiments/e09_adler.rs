@@ -40,7 +40,8 @@ impl Experiment for E09 {
             ],
         );
         for &r in &rounds {
-            let outcomes = replicate_outcomes_with(s, 9000, reps, opts, || AdlerGreedy::new(s, 2, r));
+            let outcomes =
+                replicate_outcomes_with(s, 9000, reps, opts, || AdlerGreedy::new(s, 2, r));
             let mean =
                 outcomes.iter().map(|o| o.max_load() as f64).sum::<f64>() / outcomes.len() as f64;
             let max = outcomes.iter().map(|o| o.max_load()).max().unwrap();

@@ -48,9 +48,7 @@ impl Experiment for E10 {
                 );
                 continue;
             }
-            let cfg = opts
-                .config(10_000)
-                .with_tracking(MessageTracking::Full);
+            let cfg = opts.config(10_000).with_tracking(MessageTracking::Full);
             let out = run_by_name(name, s, cfg)
                 .expect("registered name")
                 .unwrap_or_else(|e| panic!("{name}: {e}"));

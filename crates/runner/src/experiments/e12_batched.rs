@@ -40,7 +40,8 @@ impl Experiment for E12 {
             &["B", "batches", "gap (mean)", "gap (max)"],
         );
         for (label, b) in &batches {
-            let outcomes = replicate_outcomes_with(s, 12_000, reps, opts, || BatchedTwoChoice::new(s, *b));
+            let outcomes =
+                replicate_outcomes_with(s, 12_000, reps, opts, || BatchedTwoChoice::new(s, *b));
             let gaps = gap_summary(&outcomes);
             table.push_row(vec![
                 label.clone(),

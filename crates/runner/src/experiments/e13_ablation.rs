@@ -49,8 +49,9 @@ impl Experiment for E13 {
             ],
         );
         for &gamma in &gammas {
-            let outcomes =
-                replicate_outcomes_with(s, 13_000, reps, opts, || ThresholdHeavy::with_gamma(s, gamma));
+            let outcomes = replicate_outcomes_with(s, 13_000, reps, opts, || {
+                ThresholdHeavy::with_gamma(s, gamma)
+            });
             let rounds = round_summary(&outcomes);
             let gaps = gap_summary(&outcomes);
             // Total (bin, round) pairs where a bin missed its threshold —

@@ -1,4 +1,4 @@
-//! The reproduced experiments E1–E14 (see `DESIGN.md` §5 for the index).
+//! The reproduced experiments E1–E17 (see `DESIGN.md` §5 for the index).
 
 pub mod e01_naive;
 pub mod e02_two_choice;
@@ -14,9 +14,15 @@ pub mod e11_fixed_threshold;
 pub mod e12_batched;
 pub mod e13_ablation;
 pub mod e14_preliminaries;
+pub mod e15_stream_batches;
+pub mod e16_churn;
+pub mod e17_weighted;
 
 use pba_analysis::Summary;
-use pba_core::ProblemSpec;
+use pba_core::{BatchRecord, ProblemSpec};
+use pba_stream::{PolicyKind, StreamAllocator, Workload, WorkloadCfg};
+
+use crate::experiment::RunOptions;
 
 /// `ProblemSpec` constructor that panics with context (experiment sizes
 /// are static and always valid).
@@ -32,6 +38,56 @@ pub(crate) fn gap_summary(outcomes: &[pba_core::RunOutcome]) -> Summary {
 /// Summarize the round counts of a batch of outcomes.
 pub(crate) fn round_summary(outcomes: &[pba_core::RunOutcome]) -> Summary {
     Summary::from_u64(outcomes.iter().map(|o| o.rounds as u64))
+}
+
+/// One streaming session for the streaming experiments (E15–E17).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StreamRun {
+    /// Number of bins.
+    pub bins: u32,
+    /// Placement policy.
+    pub policy: PolicyKind,
+    /// Traffic description (churn applies only after `warmup`).
+    pub cfg: WorkloadCfg,
+    /// Batches ingested with churn forced to zero (population build-up).
+    pub warmup: u64,
+    /// Total batches, warmup included.
+    pub batches: u64,
+}
+
+/// Drive one streaming session and return every per-batch record.
+///
+/// Stream runs are replicated across the global pool (see
+/// [`crate::replicate::replicate`]), so each session ingests
+/// sequentially — nesting pool fan-outs would deadlock-prone-serialize —
+/// and determinism comes from the allocator's counter-based streams.
+/// An `opts.metrics` sink observes every batch of every replication.
+pub(crate) fn run_stream(run: &StreamRun, seed: u64, opts: &RunOptions) -> Vec<BatchRecord> {
+    let mut alloc = StreamAllocator::new(run.bins, seed, run.policy);
+    if let Some(sink) = &opts.metrics {
+        alloc = alloc.with_metrics(sink.clone());
+    }
+    let mut cfg = run.cfg;
+    let churn = cfg.churn;
+    if run.warmup > 0 {
+        cfg.churn = 0.0;
+    }
+    // Distinct workload stream: traffic randomness must not correlate
+    // with placement randomness under the shared session seed.
+    let mut traffic = Workload::new(cfg, seed ^ 0x57AEA3_u64);
+    (0..run.batches)
+        .map(|t| {
+            if t == run.warmup {
+                traffic.set_churn(churn);
+            }
+            alloc.ingest(&traffic.next_batch()).record
+        })
+        .collect()
+}
+
+/// Summarize the gaps of the final batch record of each replication.
+pub(crate) fn final_gap_summary(records: &[Vec<BatchRecord>]) -> Summary {
+    Summary::from_u64(records.iter().filter_map(|r| r.last().map(|b| b.gap)))
 }
 
 #[cfg(test)]

@@ -10,7 +10,9 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::Mutex;
 
-use pba_core::metrics::{MetricsSink, Phase, RoundTiming, RunMeta, RunSummary};
+use pba_core::metrics::{
+    BatchRecord, MetricsSink, Phase, RoundTiming, RunMeta, RunSummary, StreamMeta,
+};
 use pba_core::trace::RoundRecord;
 use pba_core::ExecutorKind;
 use pba_par::PoolStats;
@@ -136,17 +138,20 @@ fn meta_fields(event: &str, meta: &RunMeta) -> JsonObject {
 /// A [`MetricsSink`] that streams every engine event as one JSON object
 /// per line (JSON Lines), the format behind `pba-run … --trace out.jsonl`.
 ///
-/// Three event kinds share a file, discriminated by the `"event"` field:
+/// Four event kinds share a file, discriminated by the `"event"` field:
 ///
 /// * `"round"` — the full [`RoundRecord`] plus per-phase nanoseconds
 ///   (`gather_nanos`, `count_scan_nanos`, `grant_nanos`,
 ///   `resolve_commit_nanos`, `total_nanos`);
 /// * `"run"` — end-of-run totals ([`RunSummary`]);
 /// * `"pool"` — thread-pool utilization delta ([`PoolStats`], parallel
-///   executors only).
+///   executors only);
+/// * `"batch"` — one streaming batch ([`BatchRecord`], `pba-run stream`
+///   and the streaming experiments E15–E17).
 ///
 /// Every line carries the run identity (`protocol`, `seed`, `m`, `n`,
-/// `executor`, `lanes`), so traces of replicated runs interleave safely.
+/// `executor`, `lanes` — or `policy`, `seed`, `n`, `shards` for batch
+/// events), so traces of replicated runs interleave safely.
 pub struct JsonlTrace {
     out: Mutex<BufWriter<File>>,
 }
@@ -213,6 +218,26 @@ impl MetricsSink for JsonlTrace {
             .u64("tasks", stats.tasks)
             .u64("busy_nanos_total", stats.total_busy_nanos())
             .raw("busy_nanos", &u64_array(&stats.busy_nanos))
+            .finish();
+        self.write_line(&line);
+    }
+
+    fn on_batch(&self, meta: &StreamMeta, record: &BatchRecord) {
+        let line = JsonObject::new()
+            .str("event", "batch")
+            .str("policy", meta.policy)
+            .u64("seed", meta.seed)
+            .u64("n", meta.bins as u64)
+            .u64("shards", meta.shards as u64)
+            .u64("batch", record.batch)
+            .u64("arrivals", record.arrivals)
+            .u64("departures", record.departures)
+            .u64("arrival_weight", record.arrival_weight)
+            .u64("resident", record.resident)
+            .u64("max_load", record.max_load)
+            .u64("gap", record.gap)
+            .u64("wall_nanos", record.wall_nanos)
+            .raw("shard_touches", &u64_array(&record.shard_touches))
             .finish();
         self.write_line(&line);
     }

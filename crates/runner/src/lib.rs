@@ -1,6 +1,6 @@
 //! # `pba-runner` — experiment harness
 //!
-//! Regenerates every reproduced result (experiments E1–E14 of
+//! Regenerates every reproduced result (experiments E1–E17 of
 //! `DESIGN.md`): workload construction, parameter sweeps, seed
 //! replication, theory-vs-measured tables, and the `pba-run` CLI.
 //!
@@ -9,6 +9,7 @@
 //! pba-run all --scale default  # run everything, print markdown tables
 //! pba-run e03 --scale full     # one experiment at full scale
 //! pba-run protocol collision --m 65536 --n 65536
+//! pba-run stream --policy batched-two-choice --batch 8n
 //! ```
 //!
 //! Every experiment implements [`Experiment`]: it owns its workload

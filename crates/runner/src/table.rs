@@ -1,6 +1,5 @@
 //! Minimal table model with markdown and CSV rendering.
 
-
 /// A rectangular results table.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,314 @@
+//! The long-lived [`StreamAllocator`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use pba_core::{BatchRecord, BinState, MetricsSink, StreamMeta};
+use pba_par::{global_pool, par_map_indexed, ShardedCounters, ThreadPool};
+
+use crate::arrival_stream;
+use crate::batch::{Batch, BatchOutcome};
+use crate::loads::ShardedLoads;
+use crate::policy::{PlacementPolicy, PolicyKind};
+
+/// Below this many arrivals a batch is decided and applied on one lane:
+/// the pool dispatch overhead outweighs two probes per ball.
+const PAR_CUTOFF: usize = 8 * 1024;
+
+/// A long-lived online allocator: ingest [`Batch`]es of arrivals and
+/// departures against persistent sharded bin state.
+///
+/// # Determinism
+///
+/// Arrival `i` of batch `t` draws from the counter-based stream
+/// `arrival_stream(seed, t, i)`, and snapshot policies decide from the
+/// batch-start loads only; applies are commutative atomic adds. Placements
+/// are therefore **identical** for any shard count, any lane count, and
+/// sequential vs parallel ingestion — only throughput changes. (The
+/// [`TwoChoice`](crate::TwoChoice) policy reads live loads and is defined
+/// by its one-lane sequential semantics; it ingests serially.)
+///
+/// # Examples
+///
+/// ```
+/// use pba_stream::{Batch, PolicyKind, StreamAllocator};
+///
+/// let mut alloc = StreamAllocator::new(64, 42, PolicyKind::BatchedTwoChoice);
+/// let out = alloc.ingest(&Batch::unit_arrivals(0, 640));
+/// assert_eq!(out.placements.len(), 640);
+/// assert_eq!(out.record.resident, 640);
+/// // One 10n-sized batch decides from an all-zero snapshot, so the gap
+/// // is one-choice-like; subsequent batches would tighten it.
+/// assert!(out.record.gap <= 16, "gap {}", out.record.gap);
+/// ```
+pub struct StreamAllocator {
+    bins: u32,
+    seed: u64,
+    policy: Box<dyn PlacementPolicy>,
+    loads: ShardedLoads,
+    /// Resident ball id → (bin, weight); consulted on departure.
+    resident: HashMap<u64, (u32, u64)>,
+    batch_seq: u64,
+    metrics: Option<Arc<dyn MetricsSink>>,
+    parallel: bool,
+}
+
+impl StreamAllocator {
+    /// A fresh allocator with one shard and sequential ingestion.
+    pub fn new(bins: u32, seed: u64, kind: PolicyKind) -> Self {
+        Self {
+            bins,
+            seed,
+            policy: kind.build(bins),
+            loads: ShardedLoads::new(bins, 1),
+            resident: HashMap::new(),
+            batch_seq: 0,
+            metrics: None,
+            parallel: false,
+        }
+    }
+
+    /// Re-shard the (empty) bin state across `shards` lanes.
+    ///
+    /// Must be called before the first batch: resharding live state would
+    /// be a data migration, which the allocator deliberately does not do.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert_eq!(self.batch_seq, 0, "cannot reshard after ingestion began");
+        self.loads = ShardedLoads::new(self.bins, shards);
+        self
+    }
+
+    /// Attach a metrics sink receiving one
+    /// [`on_batch`](MetricsSink::on_batch) event per ingested batch.
+    /// Placements are unaffected; only per-batch wall clocks start being
+    /// read.
+    pub fn with_metrics(mut self, sink: Arc<dyn MetricsSink>) -> Self {
+        self.metrics = Some(sink);
+        self
+    }
+
+    /// Ingest snapshot-policy batches on the global thread pool.
+    pub fn parallel(mut self) -> Self {
+        self.parallel = true;
+        self
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> u32 {
+        self.bins
+    }
+
+    /// Batches ingested so far.
+    pub fn batches(&self) -> u64 {
+        self.batch_seq
+    }
+
+    /// Balls currently resident.
+    pub fn resident(&self) -> u64 {
+        self.resident.len() as u64
+    }
+
+    /// The live bin state (shared accounting trait with the engine).
+    pub fn bin_state(&self) -> &dyn BinState {
+        &self.loads
+    }
+
+    /// Identity carried by every metrics event this allocator emits.
+    pub fn meta(&self) -> StreamMeta {
+        StreamMeta {
+            bins: self.bins,
+            seed: self.seed,
+            policy: self.policy.name(),
+            shards: self.loads.shards(),
+        }
+    }
+
+    /// Apply one batch: departures leave, then every arrival is placed.
+    ///
+    /// Returns the chosen bins (arrival order) and the batch statistics;
+    /// the same record goes to the attached sink, if any.
+    pub fn ingest(&mut self, batch: &Batch) -> BatchOutcome {
+        // No sink → no clock reads, matching the engine's zero-cost rule.
+        let start = self.metrics.as_ref().map(|_| Instant::now());
+
+        let mut departed = 0u64;
+        for id in &batch.departures {
+            if let Some((bin, weight)) = self.resident.remove(id) {
+                self.loads.sub(bin, weight);
+                departed += 1;
+            }
+        }
+
+        let arrivals = &batch.arrivals;
+        let arrival_weight: u64 = arrivals.iter().map(|b| b.weight).sum();
+        let projected_avg = (self.loads.total_load() + arrival_weight) as f64 / self.bins as f64;
+        self.policy
+            .begin_batch(self.batch_seq, arrival_weight, projected_avg);
+
+        let touches = ShardedCounters::new(self.loads.shards());
+        let placements = if self.policy.needs_live_loads() {
+            self.place_live(arrivals, &touches)
+        } else {
+            self.place_snapshot(arrivals, &touches)
+        };
+
+        for (ball, &bin) in arrivals.iter().zip(&placements) {
+            self.resident.insert(ball.id, (bin, ball.weight));
+        }
+
+        let record = BatchRecord {
+            batch: self.batch_seq,
+            arrivals: arrivals.len() as u64,
+            departures: departed,
+            arrival_weight,
+            resident: self.resident.len() as u64,
+            max_load: self.loads.max_load(),
+            gap: self.loads.gap(),
+            wall_nanos: start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            shard_touches: touches.values(),
+        };
+        if let Some(sink) = &self.metrics {
+            sink.on_batch(&self.meta(), &record);
+        }
+        self.batch_seq += 1;
+        BatchOutcome { placements, record }
+    }
+
+    /// Sequential path for live-load policies: each placement is visible
+    /// to the next decision (classic Greedy semantics, batch size 1).
+    fn place_live(&mut self, arrivals: &[crate::Ball], touches: &ShardedCounters) -> Vec<u32> {
+        arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, ball)| {
+                let mut rng = arrival_stream(self.seed, self.batch_seq, i as u64);
+                let bin = self.policy.place(&self.loads, &mut rng);
+                let (shard, _) = self.loads.locate(bin);
+                self.loads.add(bin, ball.weight);
+                touches.add(shard, 1);
+                bin
+            })
+            .collect()
+    }
+
+    /// Snapshot path: decide every arrival against the batch-start loads
+    /// (read-only, so decisions parallelize), then apply the commutative
+    /// adds — in parallel through atomic shard views when enabled.
+    fn place_snapshot(&mut self, arrivals: &[crate::Ball], touches: &ShardedCounters) -> Vec<u32> {
+        let seed = self.seed;
+        let batch_seq = self.batch_seq;
+        let decide = |i: usize| -> u32 {
+            let mut rng = arrival_stream(seed, batch_seq, i as u64);
+            self.policy.place(&self.loads, &mut rng)
+        };
+        let pool: Option<&'static ThreadPool> =
+            (self.parallel && arrivals.len() >= PAR_CUTOFF).then(global_pool);
+        let placements = match pool {
+            Some(pool) => par_map_indexed(pool, arrivals.len(), 1024, decide),
+            None => (0..arrivals.len()).map(decide).collect(),
+        };
+        let pairs: Vec<(u32, u64)> = placements
+            .iter()
+            .zip(arrivals)
+            .map(|(&bin, ball)| (bin, ball.weight))
+            .collect();
+        match pool {
+            Some(pool) => self.loads.apply_parallel(pool, &pairs, touches),
+            None => self.loads.apply_sequential(&pairs, touches),
+        }
+        placements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ball;
+    use pba_core::EngineMetrics;
+
+    #[test]
+    fn ingest_places_every_arrival() {
+        let mut alloc = StreamAllocator::new(16, 7, PolicyKind::TwoChoice);
+        let out = alloc.ingest(&Batch::unit_arrivals(0, 160));
+        assert_eq!(out.placements.len(), 160);
+        assert!(out.placements.iter().all(|&b| b < 16));
+        assert_eq!(out.record.arrivals, 160);
+        assert_eq!(out.record.resident, 160);
+        assert_eq!(alloc.bin_state().total_load(), 160);
+    }
+
+    #[test]
+    fn departures_free_capacity() {
+        let mut alloc = StreamAllocator::new(8, 1, PolicyKind::OneChoice);
+        alloc.ingest(&Batch::unit_arrivals(0, 64));
+        let out = alloc.ingest(&Batch {
+            arrivals: vec![],
+            departures: (0..32).collect(),
+        });
+        assert_eq!(out.record.departures, 32);
+        assert_eq!(out.record.resident, 32);
+        assert_eq!(alloc.bin_state().total_load(), 32);
+        // Unknown ids are ignored, not double-counted.
+        let out = alloc.ingest(&Batch {
+            arrivals: vec![],
+            departures: vec![0, 1, 999],
+        });
+        assert_eq!(out.record.departures, 0);
+    }
+
+    #[test]
+    fn weighted_balls_contribute_weight() {
+        let mut alloc = StreamAllocator::new(4, 2, PolicyKind::BatchedTwoChoice);
+        let out = alloc.ingest(&Batch {
+            arrivals: vec![Ball::weighted(0, 10), Ball::weighted(1, 3)],
+            departures: vec![],
+        });
+        assert_eq!(out.record.arrival_weight, 13);
+        assert_eq!(alloc.bin_state().total_load(), 13);
+        alloc.ingest(&Batch {
+            arrivals: vec![],
+            departures: vec![0],
+        });
+        assert_eq!(alloc.bin_state().total_load(), 3);
+    }
+
+    #[test]
+    fn metrics_sink_sees_batches_without_perturbing_placements() {
+        let run = |sink: Option<Arc<EngineMetrics>>| {
+            let mut alloc = StreamAllocator::new(32, 5, PolicyKind::BatchedTwoChoice);
+            if let Some(s) = &sink {
+                alloc = alloc.with_metrics(s.clone());
+            }
+            let mut all = Vec::new();
+            for t in 0..4u64 {
+                all.extend(alloc.ingest(&Batch::unit_arrivals(t * 100, 100)).placements);
+            }
+            all
+        };
+        let bare = run(None);
+        let sink = Arc::new(EngineMetrics::new());
+        let observed = run(Some(sink.clone()));
+        assert_eq!(bare, observed, "sink must not perturb placements");
+        let report = sink.report();
+        assert_eq!(report.batches, 4);
+        assert_eq!(report.batch_arrivals, 400);
+        assert!(report.batch_nanos > 0, "attached sink must be timed");
+    }
+
+    #[test]
+    fn shard_touches_cover_all_placements() {
+        let mut alloc = StreamAllocator::new(64, 9, PolicyKind::OneChoice).with_shards(4);
+        let out = alloc.ingest(&Batch::unit_arrivals(0, 500));
+        assert_eq!(out.record.shard_touches.len(), 4);
+        assert_eq!(out.record.shard_touches.iter().sum::<u64>(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "reshard")]
+    fn resharding_after_ingestion_panics() {
+        let mut alloc = StreamAllocator::new(8, 0, PolicyKind::OneChoice);
+        alloc.ingest(&Batch::unit_arrivals(0, 8));
+        let _ = alloc.with_shards(2);
+    }
+}

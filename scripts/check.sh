@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full local gate: every build surface the workspace supports must stay
-# green — the default zero-dependency build, the test suite, the
-# no-default-features build, and the serde-feature build (which compiles
-# the cfg_attr derive sites against the vendored no-op serde stub).
+# green — formatting, clippy lints (as errors), the default
+# zero-dependency build, the test suite, the no-default-features build,
+# and the serde-feature build (which compiles the cfg_attr derive sites
+# against the vendored no-op serde stub).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,6 +12,8 @@ run() {
     "$@"
 }
 
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release
 run cargo test -q --workspace
 run cargo build --no-default-features

@@ -35,6 +35,7 @@ pub use pba_core as core;
 pub use pba_par as par;
 pub use pba_protocols as protocols;
 pub use pba_runner as runner;
+pub use pba_stream as stream;
 
 /// Commonly used items, re-exported for `use pba::prelude::*`.
 pub mod prelude {
@@ -48,4 +49,5 @@ pub mod prelude {
         ParallelTwoChoice, SingleChoice, StemannHeavy, ThresholdHeavy, TrivialRoundRobin,
         WithMemory,
     };
+    pub use pba_stream::{Batch, PolicyKind, StreamAllocator, WeightDist, Workload, WorkloadCfg};
 }

@@ -1,0 +1,313 @@
+//! Integration: every line the `--trace` JSONL sink emits parses back as
+//! JSON and carries the documented keys with the documented types, for
+//! all four event kinds (`round`, `run`, `pool`, `batch`).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use pba::core::{ProblemSpec, RunConfig};
+use pba::prelude::*;
+use pba::runner::JsonlTrace;
+
+/// A parsed JSON value — just enough structure for the trace schema.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+/// Minimal recursive-descent JSON parser (the workspace is
+/// zero-dependency, so the test supplies its own reader). Strict enough
+/// to reject truncated or malformed lines.
+fn parse_json(s: &str) -> Result<Json, String> {
+    let bytes: Vec<char> = s.chars().collect();
+    let mut pos = 0usize;
+    let v = parse_value(&bytes, &mut pos)?;
+    skip_ws(&bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[char], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end".into()),
+        Some('{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("non-string key {other:?}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&':') {
+                    return Err(format!("expected ':' at {pos}"));
+                }
+                *pos += 1;
+                map.insert(key, parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    other => return Err(format!("expected ',' or ']', got {other:?}")),
+                }
+            }
+        }
+        Some('"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some('"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(out));
+                    }
+                    Some('\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some('"') => out.push('"'),
+                            Some('\\') => out.push('\\'),
+                            Some('n') => out.push('\n'),
+                            Some('r') => out.push('\r'),
+                            Some('t') => out.push('\t'),
+                            Some('u') => {
+                                let hex: String = b[*pos + 1..*pos + 5].iter().collect();
+                                let code =
+                                    u32::from_str_radix(&hex, 16).map_err(|e| e.to_string())?;
+                                out.push(char::from_u32(code).ok_or("bad codepoint")?);
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        out.push(c);
+                        *pos += 1;
+                    }
+                }
+            }
+        }
+        Some('t') if b[*pos..].starts_with(&['t', 'r', 'u', 'e']) => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some('f') if b[*pos..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some('n') if b[*pos..].starts_with(&['n', 'u', 'l', 'l']) => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len() && matches!(b[*pos], '0'..='9' | '-' | '+' | '.' | 'e' | 'E') {
+                *pos += 1;
+            }
+            let text: String = b[start..*pos].iter().collect();
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number '{text}'"))
+        }
+    }
+}
+
+fn obj(v: &Json) -> &BTreeMap<String, Json> {
+    match v {
+        Json::Obj(m) => m,
+        other => panic!("expected object, got {other:?}"),
+    }
+}
+
+fn expect_num(m: &BTreeMap<String, Json>, key: &str) -> f64 {
+    match m.get(key) {
+        Some(Json::Num(x)) => *x,
+        other => panic!("key '{key}' should be a number, got {other:?}"),
+    }
+}
+
+fn expect_str<'a>(m: &'a BTreeMap<String, Json>, key: &str) -> &'a str {
+    match m.get(key) {
+        Some(Json::Str(s)) => s,
+        other => panic!("key '{key}' should be a string, got {other:?}"),
+    }
+}
+
+fn expect_num_array(m: &BTreeMap<String, Json>, key: &str) -> Vec<f64> {
+    match m.get(key) {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|v| match v {
+                Json::Num(x) => *x,
+                other => panic!("'{key}' element should be a number, got {other:?}"),
+            })
+            .collect(),
+        other => panic!("key '{key}' should be an array, got {other:?}"),
+    }
+}
+
+const ROUND_NUM_KEYS: [&str; 19] = [
+    "seed",
+    "m",
+    "n",
+    "lanes",
+    "round",
+    "active_before",
+    "requests",
+    "granted",
+    "committed",
+    "wasted_grants",
+    "underloaded_bins",
+    "unfilled_want",
+    "max_load",
+    "msg_requests",
+    "msg_responses",
+    "msg_commits",
+    "gather_nanos",
+    "count_scan_nanos",
+    "grant_nanos",
+];
+
+const BATCH_NUM_KEYS: [&str; 11] = [
+    "seed",
+    "n",
+    "shards",
+    "batch",
+    "arrivals",
+    "departures",
+    "arrival_weight",
+    "resident",
+    "max_load",
+    "gap",
+    "wall_nanos",
+];
+
+#[test]
+fn every_trace_line_parses_with_documented_schema() {
+    let dir = std::env::temp_dir().join("pba_trace_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("trace_{}.jsonl", std::process::id()));
+    let trace = Arc::new(JsonlTrace::create(&path).unwrap());
+
+    // Engine events (round/run, plus pool under the parallel executor).
+    let spec = ProblemSpec::new(1 << 12, 1 << 8).unwrap();
+    pba::protocols::run_by_name(
+        "collision",
+        spec,
+        RunConfig::seeded(3).parallel().with_metrics(trace.clone()),
+    )
+    .expect("registry name")
+    .expect("run succeeds");
+
+    // Streaming batch events, departures included.
+    let mut alloc = StreamAllocator::new(64, 9, PolicyKind::BatchedTwoChoice)
+        .with_shards(4)
+        .with_metrics(trace.clone());
+    let mut traffic = Workload::new(WorkloadCfg::uniform(256).with_churn(0.5), 11);
+    for _ in 0..3 {
+        alloc.ingest(&traffic.next_batch());
+    }
+
+    trace.flush().unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let mut rounds = 0usize;
+    let mut runs = 0usize;
+    let mut batches = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let parsed = parse_json(line)
+            .unwrap_or_else(|e| panic!("line {lineno} is not valid JSON ({e}): {line}"));
+        let m = obj(&parsed);
+        match expect_str(m, "event") {
+            "round" => {
+                rounds += 1;
+                expect_str(m, "protocol");
+                expect_str(m, "executor");
+                for key in ROUND_NUM_KEYS {
+                    expect_num(m, key);
+                }
+                assert!(expect_num(m, "total_nanos") >= expect_num(m, "resolve_commit_nanos"));
+            }
+            "run" => {
+                runs += 1;
+                expect_str(m, "protocol");
+                expect_str(m, "executor");
+                for key in ["seed", "m", "n", "lanes", "rounds", "placed", "unallocated"] {
+                    expect_num(m, key);
+                }
+                assert!(expect_num(m, "wall_nanos") > 0.0);
+            }
+            "pool" => {
+                for key in ["jobs", "tasks", "busy_nanos_total"] {
+                    expect_num(m, key);
+                }
+                let lanes = expect_num(m, "lanes") as usize;
+                assert_eq!(expect_num_array(m, "busy_nanos").len(), lanes);
+            }
+            "batch" => {
+                batches += 1;
+                assert_eq!(expect_str(m, "policy"), "batched-two-choice");
+                for key in BATCH_NUM_KEYS {
+                    expect_num(m, key);
+                }
+                let touches = expect_num_array(m, "shard_touches");
+                assert_eq!(touches.len(), expect_num(m, "shards") as usize);
+                assert_eq!(
+                    touches.iter().sum::<f64>(),
+                    expect_num(m, "arrivals"),
+                    "shard touches must cover every placement"
+                );
+            }
+            other => panic!("line {lineno}: unknown event kind '{other}'"),
+        }
+    }
+    assert!(rounds > 0, "no round events traced");
+    assert_eq!(runs, 1, "expected exactly one run event");
+    assert_eq!(batches, 3, "expected one batch event per ingested batch");
+}
