@@ -28,6 +28,7 @@ use std::sync::atomic::Ordering;
 use pba_par::{as_atomic_u32, Chunking, ThreadPool};
 
 use crate::error::{CoreError, Result};
+use crate::faults::{FaultCtx, FaultPlan, FaultRecord, FaultSession, FaultStats};
 use crate::messages::{MessageLedger, MessageStats, MessageTracking};
 use crate::metrics::{MetricsSink, Phase, RoundTimer, RunMeta};
 use crate::model::ProblemSpec;
@@ -57,6 +58,10 @@ pub(crate) struct SimState<P: RoundProtocol> {
     pub assignment: Option<Vec<u32>>,
     pub ledger: MessageLedger,
     pub placed: u64,
+    /// Fault-injection state; `None` is the zero-overhead path (every
+    /// fault branch below is gated on this option, and the fault code
+    /// reads no clocks — decisions come from counter streams only).
+    faults: Option<FaultSession>,
     // Scratch (reused across rounds).
     next_active: Vec<u32>,
     req_bins: Vec<u32>,
@@ -82,6 +87,10 @@ struct GatherChunk {
     /// the global arrival rank of the chunk's first request to each bin.
     counts: Vec<u32>,
     out_of_range: Option<u64>,
+    /// Fault events injected while gathering this chunk (all-zero on the
+    /// no-fault path; summed into the session tally after the join, so
+    /// per-round totals match the sequential executor exactly).
+    faults: FaultRecord,
 }
 
 /// Output of one resolve chunk in the parallel executor.
@@ -98,6 +107,7 @@ impl<P: RoundProtocol> SimState<P> {
         seed: u64,
         tracking: MessageTracking,
         track_assignment: bool,
+        faults: Option<FaultPlan>,
     ) -> Self {
         let n = spec.bins() as usize;
         let m = spec.balls();
@@ -110,6 +120,7 @@ impl<P: RoundProtocol> SimState<P> {
             assignment: track_assignment.then(|| vec![u32::MAX; m as usize]),
             ledger: MessageLedger::new(tracking, spec.bins(), m),
             placed: 0,
+            faults: faults.map(|plan| FaultSession::new(plan, m, spec.bins())),
             next_active: Vec::with_capacity(m as usize),
             req_bins: Vec::new(),
             req_offsets: Vec::new(),
@@ -119,6 +130,35 @@ impl<P: RoundProtocol> SimState<P> {
             taken: vec![0; n],
             loads_before: Vec::new(),
         }
+    }
+
+    /// Injected-fault totals, `Some` iff the run is fault-injected.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(FaultSession::stats)
+    }
+
+    /// Crashed bins accept nothing and want nothing: zero their grants and
+    /// back their (always-unfilled) demand out of the underload counters.
+    /// No-op without faults; called after `grants_seq`/`grants_par`.
+    fn apply_crash_grants(&mut self, underloaded: &mut u32, unfilled: &mut u64) {
+        if let Some(session) = self.faults.as_ref() {
+            for &bin in session.crashed_bins() {
+                let b = bin as usize;
+                let arrivals = self.counts[b];
+                if arrivals < self.want[b] {
+                    *underloaded -= 1;
+                    *unfilled -= (self.want[b] - arrivals) as u64;
+                }
+                self.accept[b] = 0;
+                self.want[b] = 0;
+            }
+        }
+    }
+
+    /// Close the round on the fault session (fold tallies into totals) and
+    /// return the round's fault record, if any fault fired.
+    fn end_fault_round(&mut self, round: u32) -> Option<FaultRecord> {
+        self.faults.as_mut().and_then(|s| s.end_round(round))
     }
 
     /// Snapshot loads for `pick_commit`'s `load_before` field.
@@ -148,7 +188,11 @@ impl<P: RoundProtocol> SimState<P> {
     ) -> Result<RoundRecord> {
         let ctx = self.context(round);
         let mut timer = obs.map(|_| RoundTimer::start());
-        self.gather_seq(protocol, &ctx)?;
+        if self.faults.is_some() {
+            self.gather_faulty_seq(protocol, &ctx)?;
+        } else {
+            self.gather_seq(protocol, &ctx)?;
+        }
         if let Some(t) = timer.as_mut() {
             t.lap(Phase::Gather);
         }
@@ -156,13 +200,18 @@ impl<P: RoundProtocol> SimState<P> {
         if let Some(t) = timer.as_mut() {
             t.lap(Phase::CountScan);
         }
-        let (underloaded_bins, unfilled_want) = self.grants_seq(protocol, &ctx);
+        let (mut underloaded_bins, mut unfilled_want) = self.grants_seq(protocol, &ctx);
+        self.apply_crash_grants(&mut underloaded_bins, &mut unfilled_want);
         if let Some(t) = timer.as_mut() {
             t.lap(Phase::Grant);
         }
         let record = self.resolve_seq(protocol, &ctx, underloaded_bins, unfilled_want);
+        let fault_record = self.end_fault_round(round);
         if let (Some((sink, meta)), Some(mut t)) = (obs, timer) {
             t.lap(Phase::ResolveCommit);
+            if let Some(f) = fault_record.as_ref() {
+                sink.on_fault(meta, f);
+            }
             sink.on_round(meta, &record, &t.finish());
         }
         Ok(record)
@@ -189,6 +238,53 @@ impl<P: RoundProtocol> SimState<P> {
             if let Some(b) = sink.out_of_range() {
                 out_of_range.get_or_insert(b);
             }
+            self.req_offsets.push(self.req_bins.len() as u32);
+        }
+        if let Some(bin) = out_of_range {
+            return Err(CoreError::BinOutOfRange {
+                bin,
+                n: n as u64,
+                round: ctx.round,
+            });
+        }
+        Ok(())
+    }
+
+    /// `gather_seq` under an armed fault session: deferred and straggling
+    /// balls skip the round with zero requests (degree 0 keeps them in the
+    /// active set), and each emitted choice passes through the session's
+    /// crash-redraw + drop filter before it counts as delivered.
+    fn gather_faulty_seq(&mut self, protocol: &P, ctx: &RoundContext) -> Result<()> {
+        let n = self.spec.bins();
+        self.req_bins.clear();
+        self.req_offsets.clear();
+        self.req_offsets.push(0);
+        let mut out_of_range = None;
+        let session = self.faults.as_mut().expect("faulty gather needs a session");
+        session.begin_round(ctx.round);
+        let (fctx, ball_fault, tally) = session.split();
+        let mut raw: Vec<u32> = Vec::with_capacity(8);
+        for &ball in &self.active {
+            let st = &mut ball_fault[ball as usize];
+            if !fctx.admit(ctx.round, ball, st, tally) {
+                self.req_offsets.push(self.req_bins.len() as u32);
+                continue;
+            }
+            raw.clear();
+            let mut rng = ball_stream(self.seed, ctx.round, ball as u64);
+            let mut sink = ChoiceSink::new(&mut raw, n);
+            protocol.ball_choices(
+                ctx,
+                BallContext { ball },
+                &mut self.ball_state[ball as usize],
+                &mut rng,
+                &mut sink,
+            );
+            if let Some(b) = sink.out_of_range() {
+                out_of_range.get_or_insert(b);
+            }
+            fctx.deliver(ctx.round, ball, &mut raw, st, tally);
+            self.req_bins.extend_from_slice(&raw);
             self.req_offsets.push(self.req_bins.len() as u32);
         }
         if let Some(bin) = out_of_range {
@@ -324,46 +420,115 @@ impl<P: RoundProtocol> SimState<P> {
         let mut timer = obs.map(|_| RoundTimer::start());
         self.snapshot_loads();
         let n = self.spec.bins() as usize;
+        let nbins = self.spec.bins();
         let chunking = Chunking::new(self.active.len(), MIN_CHUNK, pool.lanes() * 2);
 
         // --- Phase 1+2 (parallel): gather chunk requests and count the
-        // chunk's per-bin arrivals.
+        // chunk's per-bin arrivals. The fault borrows (decision context +
+        // per-ball retry states) are scoped to this block so the later
+        // phases can take `&mut self` again.
         let active = &self.active;
         let state_ptr = self.ball_state.as_mut_ptr() as usize;
         let seed = self.seed;
-        let mut chunks: Vec<GatherChunk> =
-            pba_par::par_map_indexed(pool, chunking.chunks(), 1, |ci| {
-                let r = chunking.range(ci);
-                let start = r.start;
-                let mut bins = Vec::with_capacity(r.len() + r.len() / 2);
-                let mut degrees = Vec::with_capacity(r.len());
-                let mut out_of_range = None;
-                for &ball in &active[r] {
-                    let mut rng = ball_stream(seed, ctx.round, ball as u64);
-                    let before = bins.len();
-                    let mut sink = ChoiceSink::new(&mut bins, self.spec.bins());
-                    // SAFETY: each ball id appears in exactly one chunk, so
-                    // state slots are touched by exactly one task.
-                    let state =
-                        unsafe { &mut *(state_ptr as *mut P::BallState).add(ball as usize) };
-                    protocol.ball_choices(&ctx, BallContext { ball }, state, &mut rng, &mut sink);
-                    if let Some(b) = sink.out_of_range() {
-                        out_of_range.get_or_insert(b);
-                    }
-                    degrees.push((bins.len() - before) as u32);
-                }
-                let mut counts = vec![0u32; n];
-                for &b in &bins {
-                    counts[b as usize] += 1;
-                }
-                GatherChunk {
-                    start,
-                    bins,
-                    degrees,
-                    counts,
-                    out_of_range,
-                }
+        let chunks: Vec<GatherChunk> = {
+            let fault = self.faults.as_mut().map(|s| {
+                s.begin_round(round);
+                s.split()
             });
+            let (fctx, fault_ptr, fault_tally): (Option<FaultCtx<'_>>, usize, _) = match fault {
+                Some((c, balls, tally)) => (Some(c), balls.as_mut_ptr() as usize, Some(tally)),
+                None => (None, 0, None),
+            };
+            let chunks: Vec<GatherChunk> =
+                pba_par::par_map_indexed(pool, chunking.chunks(), 1, |ci| {
+                    let r = chunking.range(ci);
+                    let start = r.start;
+                    let mut bins = Vec::with_capacity(r.len() + r.len() / 2);
+                    let mut degrees = Vec::with_capacity(r.len());
+                    let mut out_of_range = None;
+                    let mut faults = FaultRecord::default();
+                    match fctx {
+                        None => {
+                            for &ball in &active[r] {
+                                let mut rng = ball_stream(seed, ctx.round, ball as u64);
+                                let before = bins.len();
+                                let mut sink = ChoiceSink::new(&mut bins, nbins);
+                                // SAFETY: each ball id appears in exactly one
+                                // chunk, so state slots are touched by exactly
+                                // one task.
+                                let state = unsafe {
+                                    &mut *(state_ptr as *mut P::BallState).add(ball as usize)
+                                };
+                                protocol.ball_choices(
+                                    &ctx,
+                                    BallContext { ball },
+                                    state,
+                                    &mut rng,
+                                    &mut sink,
+                                );
+                                if let Some(b) = sink.out_of_range() {
+                                    out_of_range.get_or_insert(b);
+                                }
+                                degrees.push((bins.len() - before) as u32);
+                            }
+                        }
+                        Some(fc) => {
+                            let mut raw: Vec<u32> = Vec::with_capacity(8);
+                            for &ball in &active[r] {
+                                // SAFETY: one chunk per ball id — both the
+                                // protocol state and the fault retry state
+                                // slot are touched by exactly one task.
+                                let st = unsafe {
+                                    &mut *(fault_ptr as *mut crate::faults::BallFault)
+                                        .add(ball as usize)
+                                };
+                                if !fc.admit(ctx.round, ball, st, &mut faults) {
+                                    degrees.push(0);
+                                    continue;
+                                }
+                                raw.clear();
+                                let mut rng = ball_stream(seed, ctx.round, ball as u64);
+                                let mut sink = ChoiceSink::new(&mut raw, nbins);
+                                let state = unsafe {
+                                    &mut *(state_ptr as *mut P::BallState).add(ball as usize)
+                                };
+                                protocol.ball_choices(
+                                    &ctx,
+                                    BallContext { ball },
+                                    state,
+                                    &mut rng,
+                                    &mut sink,
+                                );
+                                if let Some(b) = sink.out_of_range() {
+                                    out_of_range.get_or_insert(b);
+                                }
+                                fc.deliver(ctx.round, ball, &mut raw, st, &mut faults);
+                                bins.extend_from_slice(&raw);
+                                degrees.push(raw.len() as u32);
+                            }
+                        }
+                    }
+                    let mut counts = vec![0u32; n];
+                    for &b in &bins {
+                        counts[b as usize] += 1;
+                    }
+                    GatherChunk {
+                        start,
+                        bins,
+                        degrees,
+                        counts,
+                        out_of_range,
+                        faults,
+                    }
+                });
+            if let Some(tally) = fault_tally {
+                for c in &chunks {
+                    tally.merge(&c.faults);
+                }
+            }
+            chunks
+        };
+        let mut chunks = chunks;
 
         let mut requests = 0u64;
         for c in &chunks {
@@ -396,7 +561,8 @@ impl<P: RoundProtocol> SimState<P> {
         }
 
         // --- Phase 3: grants.
-        let (underloaded_bins, unfilled_want) = self.grants_par(protocol, &ctx, pool);
+        let (mut underloaded_bins, mut unfilled_want) = self.grants_par(protocol, &ctx, pool);
+        self.apply_crash_grants(&mut underloaded_bins, &mut unfilled_want);
         // Granted = first min(arrivals, grant) arrivals per bin.
         for ((t, &a), &c) in self.taken.iter_mut().zip(&self.accept).zip(&self.counts) {
             *t = a.min(c);
@@ -528,8 +694,12 @@ impl<P: RoundProtocol> SimState<P> {
             underloaded_bins,
             unfilled_want,
         );
+        let fault_record = self.end_fault_round(round);
         if let (Some((sink, meta)), Some(mut t)) = (obs, timer) {
             t.lap(Phase::ResolveCommit);
+            if let Some(f) = fault_record.as_ref() {
+                sink.on_fault(meta, f);
+            }
             sink.on_round(meta, &record, &t.finish());
         }
         Ok(record)
@@ -685,7 +855,7 @@ mod tests {
         parallel: bool,
     ) -> (Vec<u32>, u32) {
         let pool = ThreadPool::new(3);
-        let mut state = SimState::<Q>::new(spec, seed, MessageTracking::PerBin, true);
+        let mut state = SimState::<Q>::new(spec, seed, MessageTracking::PerBin, true, None);
         let mut protocol = Q::default();
         let mut round = 0;
         while !state.active.is_empty() {
@@ -801,7 +971,7 @@ mod tests {
     #[test]
     fn out_of_range_bin_is_an_error() {
         let spec = ProblemSpec::new(100, 8).unwrap();
-        let mut state = SimState::<BadBins>::new(spec, 1, MessageTracking::Totals, false);
+        let mut state = SimState::<BadBins>::new(spec, 1, MessageTracking::Totals, false, None);
         let err = state.round_seq(&BadBins, 0, None).unwrap_err();
         assert!(matches!(err, CoreError::BinOutOfRange { bin: 13, .. }));
     }
@@ -810,7 +980,7 @@ mod tests {
     fn out_of_range_bin_is_an_error_parallel() {
         let spec = ProblemSpec::new(100_000, 8).unwrap();
         let pool = ThreadPool::new(2);
-        let mut state = SimState::<BadBins>::new(spec, 1, MessageTracking::Totals, false);
+        let mut state = SimState::<BadBins>::new(spec, 1, MessageTracking::Totals, false, None);
         let err = state.round_par(&BadBins, 0, &pool, None).unwrap_err();
         assert!(matches!(err, CoreError::BinOutOfRange { bin: 13, .. }));
     }
@@ -818,7 +988,7 @@ mod tests {
     #[test]
     fn message_accounting_counts_requests_and_commits() {
         let spec = ProblemSpec::new(64, 8).unwrap();
-        let mut state = SimState::<Uniform1>::new(spec, 3, MessageTracking::Full, false);
+        let mut state = SimState::<Uniform1>::new(spec, 3, MessageTracking::Full, false, None);
         let rec = state.round_seq(&Uniform1, 0, None).unwrap();
         // Every active ball sent exactly one request; every request got a
         // response.
@@ -841,8 +1011,8 @@ mod tests {
     fn parallel_message_accounting_matches_sequential() {
         let spec = ProblemSpec::new(200_000, 32).unwrap();
         let pool = ThreadPool::new(3);
-        let mut seq = SimState::<Uniform1>::new(spec, 3, MessageTracking::Full, false);
-        let mut par = SimState::<Uniform1>::new(spec, 3, MessageTracking::Full, false);
+        let mut seq = SimState::<Uniform1>::new(spec, 3, MessageTracking::Full, false, None);
+        let mut par = SimState::<Uniform1>::new(spec, 3, MessageTracking::Full, false, None);
         let rec_seq = seq.round_seq(&Uniform1, 0, None).unwrap();
         let rec_par = par.round_par(&Uniform1, 0, &pool, None).unwrap();
         assert_eq!(rec_seq, rec_par);
@@ -854,7 +1024,7 @@ mod tests {
     fn granted_equals_min_of_arrivals_and_capacity() {
         // 100 balls, 1 bin, capacity ceil(100/1)=100: all granted round 0.
         let spec = ProblemSpec::new(100, 1).unwrap();
-        let mut state = SimState::<Uniform1>::new(spec, 3, MessageTracking::Totals, false);
+        let mut state = SimState::<Uniform1>::new(spec, 3, MessageTracking::Totals, false, None);
         let rec = state.round_seq(&Uniform1, 0, None).unwrap();
         assert_eq!(rec.granted, 100);
         assert_eq!(rec.committed, 100);

@@ -27,6 +27,9 @@
 //!   [`RunOutcome`] API.
 //! * [`metrics`] — the observability layer: [`MetricsSink`], per-round
 //!   phase timings, run summaries, pool utilization.
+//! * [`faults`] — deterministic fault injection ([`FaultPlan`]): message
+//!   drops with capped-backoff retries, crashed bins, straggler lanes,
+//!   and streaming shard-domain failures.
 //! * [`binstate`] — the [`BinState`] load-accounting trait shared by the
 //!   one-shot engine and the streaming allocator (`pba-stream`).
 //! * [`load`], [`messages`], [`allocation`], [`trace`] — statistics and
@@ -37,6 +40,7 @@ pub mod allocation;
 pub mod binstate;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod load;
 pub mod mathutil;
 pub mod messages;
@@ -50,6 +54,7 @@ pub mod trace;
 pub use allocation::Allocation;
 pub use binstate::BinState;
 pub use error::{CoreError, Result};
+pub use faults::{FaultPlan, FaultRecord, FaultStats, StragglerSpec};
 pub use load::LoadStats;
 pub use messages::{MessageStats, MessageTracking};
 pub use metrics::{

@@ -31,6 +31,7 @@ use std::time::Instant;
 
 use pba_par::PoolStats;
 
+use crate::faults::{FaultRecord, FaultStats};
 use crate::model::ProblemSpec;
 use crate::sim::ExecutorKind;
 use crate::trace::RoundRecord;
@@ -174,6 +175,11 @@ pub struct BatchRecord {
     /// shard lane); length equals [`StreamMeta::shards`]. The spread
     /// across entries is the shard-contention signal.
     pub shard_touches: Vec<u64>,
+    /// Virtual fault domains unavailable during this batch (0 without an
+    /// armed [`FaultPlan`](crate::FaultPlan)).
+    pub failed_domains: u64,
+    /// Arrivals redirected away from failed domains in this batch.
+    pub fault_redirects: u64,
 }
 
 /// Receiver for engine observability events.
@@ -202,6 +208,14 @@ pub trait MetricsSink: Send + Sync {
 
     /// One streaming batch was ingested (streaming allocator only).
     fn on_batch(&self, meta: &StreamMeta, record: &BatchRecord) {
+        let _ = (meta, record);
+    }
+
+    /// One round injected at least one fault (fault-injected runs only;
+    /// delivered immediately before that round's
+    /// [`on_round`](MetricsSink::on_round)). Rounds without faults emit
+    /// nothing, so the no-fault path stays silent.
+    fn on_fault(&self, meta: &RunMeta, record: &FaultRecord) {
         let _ = (meta, record);
     }
 }
@@ -264,6 +278,12 @@ pub struct MetricsReport {
     pub batch_arrivals: u64,
     /// Total streaming batch ingestion wall nanoseconds.
     pub batch_nanos: u64,
+    /// Rounds that injected at least one fault.
+    pub fault_rounds: u64,
+    /// Injected-fault totals across all observed rounds (`crashed_bins`
+    /// is per-run state and stays 0 here; read it from
+    /// [`RunOutcome::faults`](crate::RunOutcome) instead).
+    pub faults: FaultStats,
 }
 
 impl MetricsReport {
@@ -394,6 +414,12 @@ impl MetricsSink for EngineMetrics {
         agg.batch_arrivals += record.arrivals;
         agg.batch_nanos += record.wall_nanos;
     }
+
+    fn on_fault(&self, _meta: &RunMeta, record: &FaultRecord) {
+        let mut agg = self.inner.lock().unwrap();
+        agg.fault_rounds += 1;
+        agg.faults.absorb(record);
+    }
 }
 
 /// Broadcasts every event to several sinks, in order.
@@ -433,6 +459,12 @@ impl MetricsSink for FanoutSink {
     fn on_batch(&self, meta: &StreamMeta, record: &BatchRecord) {
         for s in &self.sinks {
             s.on_batch(meta, record);
+        }
+    }
+
+    fn on_fault(&self, meta: &RunMeta, record: &FaultRecord) {
+        for s in &self.sinks {
+            s.on_fault(meta, record);
         }
     }
 }
@@ -573,6 +605,7 @@ mod tests {
             gap: 2,
             wall_nanos: 1_000,
             shard_touches: vec![64, 64],
+            ..BatchRecord::default()
         };
         m.on_batch(&smeta, &record);
         m.on_batch(&smeta, &BatchRecord { batch: 1, ..record });
@@ -582,6 +615,40 @@ mod tests {
         assert_eq!(r.batch_nanos, 2_000);
         assert!(r.batches_per_sec() > 0.0);
         assert!(r.stream_balls_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn engine_metrics_aggregates_fault_rounds() {
+        let m = EngineMetrics::new();
+        let record = FaultRecord {
+            round: 3,
+            dropped_requests: 5,
+            crash_lost: 1,
+            ..FaultRecord::default()
+        };
+        m.on_fault(&meta(), &record);
+        m.on_fault(&meta(), &record);
+        let r = m.report();
+        assert_eq!(r.fault_rounds, 2);
+        assert_eq!(r.faults.dropped_requests, 10);
+        assert_eq!(r.faults.crash_lost, 2);
+        assert_eq!(r.faults.crashed_bins, 0);
+    }
+
+    #[test]
+    fn fanout_broadcasts_faults() {
+        let a = Arc::new(EngineMetrics::new());
+        let b = Arc::new(EngineMetrics::new());
+        let fan = FanoutSink::new(vec![a.clone(), b.clone()]);
+        fan.on_fault(
+            &meta(),
+            &FaultRecord {
+                straggler_balls: 7,
+                ..FaultRecord::default()
+            },
+        );
+        assert_eq!(a.report().faults.straggler_balls, 7);
+        assert_eq!(b.report().fault_rounds, 1);
     }
 
     #[test]

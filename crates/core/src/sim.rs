@@ -10,6 +10,7 @@ use crate::allocation::Allocation;
 use crate::binstate::BinState;
 use crate::engine::SimState;
 use crate::error::{CoreError, Result};
+use crate::faults::{FaultPlan, FaultStats};
 use crate::load::LoadStats;
 use crate::messages::{MessageStats, MessageTracking};
 use crate::metrics::{MetricsSink, RunMeta, RunSummary};
@@ -65,6 +66,10 @@ pub struct RunConfig {
     /// pool counters. `None` (the default) is the zero-cost path: the
     /// engine performs no clock reads.
     pub metrics: Option<Arc<dyn MetricsSink>>,
+    /// Deterministic fault injection. `None` (the default) is the
+    /// zero-overhead path: every fault branch in the engine is gated on
+    /// this option and no fault state is allocated.
+    pub faults: Option<FaultPlan>,
 }
 
 impl RunConfig {
@@ -79,6 +84,7 @@ impl RunConfig {
             record_trace: true,
             max_rounds: None,
             metrics: None,
+            faults: None,
         }
     }
 
@@ -149,6 +155,21 @@ impl RunConfig {
         self.metrics = None;
         self
     }
+
+    /// Arm deterministic fault injection: the engine drops requests,
+    /// crashes bins, and delays straggler lanes exactly as `plan`
+    /// prescribes, with retries and capped backoff. Identical
+    /// `(seed, plan)` pairs inject identical faults on every executor.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Disarm fault injection (back to the zero-overhead path).
+    pub fn without_faults(mut self) -> Self {
+        self.faults = None;
+        self
+    }
 }
 
 impl std::fmt::Debug for RunConfig {
@@ -168,6 +189,7 @@ impl std::fmt::Debug for RunConfig {
                     "None"
                 },
             )
+            .field("faults", &self.faults)
             .finish()
     }
 }
@@ -203,6 +225,9 @@ pub struct RunOutcome {
     pub max_ball_sent: Option<u32>,
     /// Per-round history, if recorded.
     pub trace: Option<RunTrace>,
+    /// Injected-fault totals (`Some` iff the run was fault-injected; the
+    /// no-fault path records nothing).
+    pub faults: Option<FaultStats>,
 }
 
 impl RunOutcome {
@@ -333,6 +358,7 @@ impl Simulator {
             self.config.seed,
             self.config.tracking,
             self.config.track_assignment,
+            self.config.faults,
         );
         let budget = self
             .config
@@ -427,6 +453,7 @@ impl Simulator {
         Ok(RunOutcome {
             spec: self.spec,
             protocol: protocol.name(),
+            faults: state.fault_stats(),
             loads: state.loads,
             assignment: state.assignment,
             rounds: round,

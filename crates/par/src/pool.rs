@@ -445,6 +445,51 @@ mod tests {
         assert_eq!(count.into_inner(), 5);
     }
 
+    /// Stress: many consecutive panicking jobs — varying which lane's
+    /// task blows up, multiple panics per job, panics in the final task —
+    /// interleaved with healthy jobs. The pool must re-raise every time,
+    /// never wedge a worker, keep running healthy jobs to completion, and
+    /// keep its job/task counters consistent throughout.
+    #[test]
+    fn panic_stress_survives_repeated_crashing_jobs() {
+        let pool = ThreadPool::new(4);
+        let before = pool.stats();
+        let healthy = AtomicUsize::new(0);
+        let mut jobs = 0u64;
+        let mut tasks = 0u64;
+        for round in 0..50usize {
+            // A crashing job: the panicking index moves each round so
+            // every lane gets to be the one that unwinds, including the
+            // last task of the batch.
+            let n = 64 + round;
+            let bad = round % n;
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run_indexed(n, |i| {
+                    // Several tasks may panic in the same job; all must
+                    // be contained by the workers.
+                    if i == bad || (round % 7 == 0 && i % 13 == 0) {
+                        panic!("chaos round {round} task {i}");
+                    }
+                });
+            }));
+            assert!(result.is_err(), "round {round}: panic was swallowed");
+            jobs += 1;
+            tasks += n as u64;
+            // A healthy job straight after must run all tasks on the
+            // same, still-live workers.
+            pool.run_indexed(32, |_| {
+                healthy.fetch_add(1, Ordering::Relaxed);
+            });
+            jobs += 1;
+            tasks += 32;
+        }
+        assert_eq!(healthy.into_inner(), 50 * 32);
+        let delta = pool.stats().since(&before);
+        assert_eq!(delta.jobs, jobs, "job counter drifted across panics");
+        assert_eq!(delta.tasks, tasks, "task counter drifted across panics");
+        assert_eq!(pool.lanes(), 5, "lane count changed (4 workers + caller)");
+    }
+
     #[test]
     fn global_pool_works() {
         let sum = AtomicU64::new(0);

@@ -140,4 +140,105 @@ mod tests {
     fn rejects_gamma_one() {
         let _ = UndershootSchedule::with_gamma(8, 64.0, 1.0);
     }
+
+    // Property-style cases below use the workspace's hand-rolled seeded
+    // generator (same style as `tests/properties.rs`): a fixed master
+    // seed per property, so failures name a replayable case.
+
+    use pba_core::rng::{Rand64, SplitMix64};
+
+    const CASES: u64 = 64;
+
+    fn case_rng(tag: u64, case: u64) -> SplitMix64 {
+        SplitMix64::new(0x9e37_79b9_7f4a_7c15 ^ (tag << 32) ^ case)
+    }
+
+    /// A random heavy instance: `n ∈ [1, 4096]`, `m/n ∈ [4, 4096)`,
+    /// `γ ∈ (0.2, 0.95)`.
+    fn heavy_case(rng: &mut SplitMix64) -> (u32, f64, f64) {
+        let n = 1 + rng.below(4096);
+        let ratio = 4.0 + rng.unit_f64() * 4092.0;
+        let gamma = 0.2 + rng.unit_f64() * 0.75;
+        (n, ratio, gamma)
+    }
+
+    /// Thresholds rise monotonically along the contraction: each
+    /// `advance` shrinks the undershoot term `(m̃/n)^γ`, so the cumulative
+    /// threshold against a fixed average never falls — bins are never
+    /// asked to give back capacity they already granted.
+    #[test]
+    fn property_thresholds_are_monotone_under_advance() {
+        for case in 0..CASES {
+            let mut rng = case_rng(11, case);
+            let (n, ratio, gamma) = heavy_case(&mut rng);
+            let mut s = UndershootSchedule::with_gamma(n, n as f64 * ratio, gamma);
+            let mut prev = s.threshold(ratio);
+            let mut steps = 0u32;
+            while !s.exhausted() {
+                s.advance();
+                let t = s.threshold(ratio);
+                assert!(
+                    t >= prev,
+                    "case {case} (n={n} ratio={ratio} gamma={gamma}): \
+                     threshold fell {prev} → {t} at step {steps}"
+                );
+                prev = t;
+                steps += 1;
+                assert!(steps < 512, "case {case}: no contraction");
+            }
+        }
+    }
+
+    /// Conservation: the cumulative threshold never promises more than
+    /// the instance holds (`n · T ≤ m`, i.e. `T ≤ avg`), and while the
+    /// heavy phase is live the undershoot is strict (`T < avg`), at every
+    /// step of the contraction.
+    #[test]
+    fn property_thresholds_conserve_total_mass() {
+        for case in 0..CASES {
+            let mut rng = case_rng(12, case);
+            let (n, ratio, gamma) = heavy_case(&mut rng);
+            let mut s = UndershootSchedule::with_gamma(n, n as f64 * ratio, gamma);
+            loop {
+                let t = s.threshold(ratio);
+                assert!(
+                    (t as f64) <= ratio,
+                    "case {case} (n={n} ratio={ratio} gamma={gamma}): \
+                     threshold {t} overshoots the average"
+                );
+                assert!(
+                    (t as f64) < ratio || ratio == ratio.floor(),
+                    "case {case}: undershoot vanished before exhaustion"
+                );
+                if s.exhausted() {
+                    break;
+                }
+                s.advance();
+            }
+        }
+    }
+
+    /// Exhaustion is absorbing: once the estimate contracts into the
+    /// light regime it never climbs back out under further `advance`
+    /// calls (callers may keep stepping the schedule harmlessly).
+    #[test]
+    fn property_exhaustion_is_absorbing() {
+        for case in 0..CASES {
+            let mut rng = case_rng(13, case);
+            let (n, ratio, gamma) = heavy_case(&mut rng);
+            let mut s = UndershootSchedule::with_gamma(n, n as f64 * ratio, gamma);
+            while !s.exhausted() {
+                s.advance();
+            }
+            for step in 0..8 {
+                s.advance();
+                assert!(
+                    s.exhausted(),
+                    "case {case} (n={n} ratio={ratio} gamma={gamma}): \
+                     un-exhausted after {step} extra steps (ratio {})",
+                    s.ratio()
+                );
+            }
+        }
+    }
 }

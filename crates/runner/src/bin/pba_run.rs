@@ -18,7 +18,10 @@ use pba_core::metrics::{EngineMetrics, FanoutSink, MetricsSink, Phase};
 use pba_core::{ExecutorKind, ProblemSpec, RunConfig};
 use pba_protocols::{protocol_names, run_by_name};
 use pba_runner::json::{executor_str, u64_array, JsonObject};
-use pba_runner::{all_experiments, experiment_by_id, JsonlTrace, RunOptions, Scale, Table};
+use pba_runner::{
+    all_experiments, describe_fault_plan, experiment_by_id, parse_fault_spec, JsonlTrace,
+    RunOptions, Scale, Table,
+};
 use pba_stream::{PolicyKind, StreamAllocator, WeightDist, Workload, WorkloadCfg, WorkloadKind};
 
 fn main() -> ExitCode {
@@ -37,13 +40,18 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   pba-run list
   pba-run all [--scale smoke|default|full] [--out DIR] [--trace FILE.jsonl]
-  pba-run <experiment-id e01..e17> [--scale ...] [--out DIR] [--trace FILE.jsonl]
+  pba-run <experiment-id e01..e19> [--scale ...] [--out DIR] [--trace FILE.jsonl]
   pba-run protocol <name> --m M --n N [--seed S] [--parallel] [--trace FILE.jsonl]
+                 [--faults SPEC]
   pba-run protocols
   pba-run stream [--policy one-choice|two-choice|batched-two-choice|threshold]
                  [--n N] [--batch B | Kn] [--batches K] [--workload uniform|zipf|burst]
                  [--churn F] [--shards S] [--seed S] [--parallel] [--trace FILE.jsonl]
-  pba-run bench [--scale smoke|default|full] [--out DIR]";
+                 [--faults SPEC]
+  pba-run bench [--scale smoke|default|full] [--out DIR]
+
+fault spec: comma-separated key=value clauses, e.g.
+  --faults drop=0.1,crash=0.02,straggle=8x0.2,domains=8x0.3,seed=7";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -101,7 +109,7 @@ fn unknown_command_message(id: &str) -> String {
     };
     format!(
         "unknown experiment or command '{id}': {hint}valid experiment ids are \
-         e01..e17 (see `pba-run list`)"
+         e01..e19 (see `pba-run list`)"
     )
 }
 
@@ -209,9 +217,15 @@ fn run_protocol(args: &[String]) -> Result<(), String> {
     let mut seed = 0u64;
     let mut parallel = false;
     let mut trace_path: Option<String> = None;
+    let mut faults = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--faults" => {
+                faults = Some(parse_fault_spec(
+                    it.next().ok_or("--faults needs a value")?,
+                )?);
+            }
             "--m" => {
                 m = it
                     .next()
@@ -244,6 +258,9 @@ fn run_protocol(args: &[String]) -> Result<(), String> {
     let mut cfg = RunConfig::seeded(seed);
     if parallel {
         cfg = cfg.parallel();
+    }
+    if let Some(plan) = faults {
+        cfg = cfg.with_faults(plan);
     }
     let metrics = Arc::new(EngineMetrics::new());
     let trace = match &trace_path {
@@ -278,6 +295,22 @@ fn run_protocol(args: &[String]) -> Result<(), String> {
     );
     println!("max load:   {} (gap {})", stats.max(), out.gap());
     println!("load stats: {stats}");
+    if let Some(plan) = &faults {
+        println!("faults:     {}", describe_fault_plan(plan));
+    }
+    if let Some(f) = &out.faults {
+        println!(
+            "fault hits: {} dropped, {} crash-lost ({} redraws), {} straggled, \
+             {} deferred, {} escalations, {} crashed bins",
+            f.dropped_requests,
+            f.crash_lost,
+            f.crash_redraws,
+            f.straggler_balls,
+            f.deferred_balls,
+            f.backoff_escalations,
+            f.crashed_bins
+        );
+    }
     println!(
         "messages:   {} total ({} requests, {} responses, {} commits)",
         out.messages.total(),
@@ -351,9 +384,15 @@ fn run_stream_cmd(args: &[String]) -> Result<(), String> {
     let mut seed = 0u64;
     let mut parallel = false;
     let mut trace_path: Option<String> = None;
+    let mut faults = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--faults" => {
+                faults = Some(parse_fault_spec(
+                    it.next().ok_or("--faults needs a value")?,
+                )?);
+            }
             "--policy" => {
                 let v = it.next().ok_or("--policy needs a value")?;
                 policy = PolicyKind::parse(v).ok_or_else(|| {
@@ -455,6 +494,9 @@ fn run_stream_cmd(args: &[String]) -> Result<(), String> {
     if parallel {
         alloc = alloc.parallel();
     }
+    if let Some(plan) = faults {
+        alloc = alloc.with_faults(plan);
+    }
     // Distinct salt keeps workload draws off the placement streams.
     let mut traffic = Workload::new(cfg, seed ^ 0x57AEA3);
 
@@ -503,6 +545,14 @@ fn run_stream_cmd(args: &[String]) -> Result<(), String> {
     let mode = if parallel { ", parallel" } else { "" };
     println!("policy:     {} ({shards} shard(s){mode})", policy.name());
     println!("workload:   {workload}, b = {b}, churn {churn}, seed {seed}");
+    if let Some(plan) = &faults {
+        let redirects: u64 = records.iter().map(|r| r.fault_redirects).sum();
+        let faulted = records.iter().filter(|r| r.failed_domains > 0).count();
+        println!(
+            "faults:     {} — {faulted}/{batches} batches degraded, {redirects} redirects",
+            describe_fault_plan(plan)
+        );
+    }
     println!(
         "resident:   {} balls in {n} bins (max load {}, gap {})",
         last.resident, last.max_load, last.gap

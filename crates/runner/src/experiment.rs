@@ -241,7 +241,7 @@ impl ExperimentReport {
 /// attach the harness's [`EngineMetrics`] aggregator and fill
 /// [`ExperimentReport::perf`] with throughput and phase-split numbers.
 pub trait Experiment: Sync {
-    /// Stable id (`"e01"`…`"e17"`).
+    /// Stable id (`"e01"`…`"e19"`).
     fn id(&self) -> &'static str;
     /// Short title for listings.
     fn title(&self) -> &'static str;
@@ -296,6 +296,8 @@ pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
         Box::new(experiments::e15_stream_batches::E15),
         Box::new(experiments::e16_churn::E16),
         Box::new(experiments::e17_weighted::E17),
+        Box::new(experiments::e18_message_loss::E18),
+        Box::new(experiments::e19_shard_failures::E19),
     ]
 }
 
@@ -312,7 +314,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ordered() {
         let all = all_experiments();
-        assert_eq!(all.len(), 17);
+        assert_eq!(all.len(), 19);
         for (i, e) in all.iter().enumerate() {
             assert_eq!(e.id(), format!("e{:02}", i + 1));
             assert!(!e.title().is_empty());

@@ -46,6 +46,7 @@ impl Experiment for E15 {
                 cfg: WorkloadCfg::uniform(b),
                 warmup: 0,
                 batches: total_ratio / mult,
+                faults: None,
             };
             let records = replicate(15_000, reps, |seed| run_stream(&run, seed, opts));
             let gaps = final_gap_summary(&records);

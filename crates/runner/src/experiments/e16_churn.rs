@@ -37,6 +37,7 @@ impl Experiment for E16 {
             cfg: WorkloadCfg::uniform(b).with_churn(1.0),
             warmup,
             batches: warmup + churn_batches,
+            faults: None,
         };
         let records = replicate(16_000, reps, |seed| run_stream(&run, seed, opts));
 

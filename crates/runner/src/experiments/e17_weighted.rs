@@ -64,6 +64,7 @@ impl Experiment for E17 {
                 cfg: WorkloadCfg::uniform(b).with_weights(dist),
                 warmup: 0,
                 batches,
+                faults: None,
             };
             let records = replicate(17_000, reps, |seed| run_stream(&run, seed, opts));
             let gaps = final_gap_summary(&records);

@@ -1,4 +1,4 @@
-//! The reproduced experiments E1–E17 (see `DESIGN.md` §5 for the index).
+//! The reproduced experiments E1–E19 (see `DESIGN.md` §5 for the index).
 
 pub mod e01_naive;
 pub mod e02_two_choice;
@@ -17,9 +17,11 @@ pub mod e14_preliminaries;
 pub mod e15_stream_batches;
 pub mod e16_churn;
 pub mod e17_weighted;
+pub mod e18_message_loss;
+pub mod e19_shard_failures;
 
 use pba_analysis::Summary;
-use pba_core::{BatchRecord, ProblemSpec};
+use pba_core::{BatchRecord, FaultPlan, ProblemSpec};
 use pba_stream::{PolicyKind, StreamAllocator, Workload, WorkloadCfg};
 
 use crate::experiment::RunOptions;
@@ -53,6 +55,8 @@ pub(crate) struct StreamRun {
     pub warmup: u64,
     /// Total batches, warmup included.
     pub batches: u64,
+    /// Fault plan armed on the allocator (E19), if any.
+    pub faults: Option<FaultPlan>,
 }
 
 /// Drive one streaming session and return every per-batch record.
@@ -66,6 +70,9 @@ pub(crate) fn run_stream(run: &StreamRun, seed: u64, opts: &RunOptions) -> Vec<B
     let mut alloc = StreamAllocator::new(run.bins, seed, run.policy);
     if let Some(sink) = &opts.metrics {
         alloc = alloc.with_metrics(sink.clone());
+    }
+    if let Some(plan) = run.faults {
+        alloc = alloc.with_faults(plan);
     }
     let mut cfg = run.cfg;
     let churn = cfg.churn;

@@ -14,7 +14,7 @@ use pba_core::metrics::{
     BatchRecord, MetricsSink, Phase, RoundTiming, RunMeta, RunSummary, StreamMeta,
 };
 use pba_core::trace::RoundRecord;
-use pba_core::ExecutorKind;
+use pba_core::{ExecutorKind, FaultRecord};
 use pba_par::PoolStats;
 
 /// Escape `s` for inclusion inside a JSON string literal (quotes not
@@ -138,16 +138,19 @@ fn meta_fields(event: &str, meta: &RunMeta) -> JsonObject {
 /// A [`MetricsSink`] that streams every engine event as one JSON object
 /// per line (JSON Lines), the format behind `pba-run … --trace out.jsonl`.
 ///
-/// Four event kinds share a file, discriminated by the `"event"` field:
+/// Five event kinds share a file, discriminated by the `"event"` field:
 ///
 /// * `"round"` — the full [`RoundRecord`] plus per-phase nanoseconds
 ///   (`gather_nanos`, `count_scan_nanos`, `grant_nanos`,
 ///   `resolve_commit_nanos`, `total_nanos`);
+/// * `"fault"` — injected-fault counts for one round ([`FaultRecord`],
+///   fault-injected runs only, emitted immediately before that round's
+///   `"round"` line and only when at least one fault fired);
 /// * `"run"` — end-of-run totals ([`RunSummary`]);
 /// * `"pool"` — thread-pool utilization delta ([`PoolStats`], parallel
 ///   executors only);
 /// * `"batch"` — one streaming batch ([`BatchRecord`], `pba-run stream`
-///   and the streaming experiments E15–E17).
+///   and the streaming experiments E15–E19).
 ///
 /// Every line carries the run identity (`protocol`, `seed`, `m`, `n`,
 /// `executor`, `lanes` — or `policy`, `seed`, `n`, `shards` for batch
@@ -202,6 +205,19 @@ impl MetricsSink for JsonlTrace {
         self.write_line(&line);
     }
 
+    fn on_fault(&self, meta: &RunMeta, record: &FaultRecord) {
+        let line = meta_fields("fault", meta)
+            .u64("round", record.round as u64)
+            .u64("dropped_requests", record.dropped_requests)
+            .u64("crash_redraws", record.crash_redraws)
+            .u64("crash_lost", record.crash_lost)
+            .u64("straggler_balls", record.straggler_balls)
+            .u64("deferred_balls", record.deferred_balls)
+            .u64("backoff_escalations", record.backoff_escalations)
+            .finish();
+        self.write_line(&line);
+    }
+
     fn on_run(&self, meta: &RunMeta, summary: &RunSummary) {
         let line = meta_fields("run", meta)
             .u64("rounds", summary.rounds as u64)
@@ -238,6 +254,8 @@ impl MetricsSink for JsonlTrace {
             .u64("gap", record.gap)
             .u64("wall_nanos", record.wall_nanos)
             .raw("shard_touches", &u64_array(&record.shard_touches))
+            .u64("failed_domains", record.failed_domains)
+            .u64("fault_redirects", record.fault_redirects)
             .finish();
         self.write_line(&line);
     }
@@ -285,14 +303,24 @@ mod tests {
             lanes: 1,
         };
         sink.on_round(&meta, &RoundRecord::default(), &RoundTiming::default());
+        sink.on_fault(
+            &meta,
+            &FaultRecord {
+                round: 2,
+                dropped_requests: 5,
+                ..Default::default()
+            },
+        );
         sink.on_run(&meta, &RunSummary::default());
         sink.flush().unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2);
+        assert_eq!(lines.len(), 3);
         assert!(lines[0].contains(r#""event":"round""#));
         assert!(lines[0].contains(r#""gather_nanos":0"#));
-        assert!(lines[1].contains(r#""event":"run""#));
+        assert!(lines[1].contains(r#""event":"fault""#));
+        assert!(lines[1].contains(r#""dropped_requests":5"#));
+        assert!(lines[2].contains(r#""event":"run""#));
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'));
         }

@@ -1,8 +1,9 @@
 //! # `pba-runner` — experiment harness
 //!
-//! Regenerates every reproduced result (experiments E1–E17 of
+//! Regenerates every reproduced result (experiments E1–E19 of
 //! `DESIGN.md`): workload construction, parameter sweeps, seed
-//! replication, theory-vs-measured tables, and the `pba-run` CLI.
+//! replication, theory-vs-measured tables, fault-injection specs, and
+//! the `pba-run` CLI.
 //!
 //! ```text
 //! pba-run list                 # all experiments with one-line claims
@@ -20,6 +21,7 @@
 
 pub mod experiment;
 pub mod experiments;
+pub mod faultspec;
 pub mod json;
 pub mod replicate;
 pub mod table;
@@ -27,6 +29,7 @@ pub mod table;
 pub use experiment::{
     all_experiments, experiment_by_id, Experiment, ExperimentReport, PerfSummary, RunOptions, Scale,
 };
+pub use faultspec::{describe_fault_plan, parse_fault_spec};
 pub use json::JsonlTrace;
 pub use replicate::{replicate, replicate_outcomes, replicate_outcomes_with, run_once_with};
 pub use table::Table;

@@ -1,10 +1,11 @@
 //! The long-lived [`StreamAllocator`].
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use pba_core::{BatchRecord, BinState, MetricsSink, StreamMeta};
+use pba_core::{BatchRecord, BinState, FaultPlan, MetricsSink, StreamMeta};
 use pba_par::{global_pool, par_map_indexed, ShardedCounters, ThreadPool};
 
 use crate::arrival_stream;
@@ -52,6 +53,9 @@ pub struct StreamAllocator {
     batch_seq: u64,
     metrics: Option<Arc<dyn MetricsSink>>,
     parallel: bool,
+    /// Fault injection; only the shard-domain failure component applies
+    /// to streaming. `None` is the zero-overhead path.
+    faults: Option<FaultPlan>,
 }
 
 impl StreamAllocator {
@@ -66,6 +70,7 @@ impl StreamAllocator {
             batch_seq: 0,
             metrics: None,
             parallel: false,
+            faults: None,
         }
     }
 
@@ -91,6 +96,18 @@ impl StreamAllocator {
     /// Ingest snapshot-policy batches on the global thread pool.
     pub fn parallel(mut self) -> Self {
         self.parallel = true;
+        self
+    }
+
+    /// Arm fault injection. Streaming honours the plan's shard-domain
+    /// failure component ([`FaultPlan::with_shard_failures`]): each batch
+    /// draws a failed-domain mask from `(plan.seed, batch)`, and any
+    /// placement landing in a failed domain is redirected — cyclically —
+    /// to the next bin in a live domain. The redirect is a pure function
+    /// of `(bin, mask)`, so placements stay identical across shard
+    /// counts and sequential vs parallel ingestion.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -146,11 +163,18 @@ impl StreamAllocator {
         self.policy
             .begin_batch(self.batch_seq, arrival_weight, projected_avg);
 
+        // Deterministic in (plan.seed, batch) only; zero when unarmed.
+        let fault_mask = match &self.faults {
+            Some(plan) if plan.has_domain_faults() => plan.failed_domains(self.batch_seq),
+            _ => 0,
+        };
+        let redirects = AtomicU64::new(0);
+
         let touches = ShardedCounters::new(self.loads.shards());
         let placements = if self.policy.needs_live_loads() {
-            self.place_live(arrivals, &touches)
+            self.place_live(arrivals, &touches, fault_mask, &redirects)
         } else {
-            self.place_snapshot(arrivals, &touches)
+            self.place_snapshot(arrivals, &touches, fault_mask, &redirects)
         };
 
         for (ball, &bin) in arrivals.iter().zip(&placements) {
@@ -167,6 +191,8 @@ impl StreamAllocator {
             gap: self.loads.gap(),
             wall_nanos: start.map_or(0, |t| t.elapsed().as_nanos() as u64),
             shard_touches: touches.values(),
+            failed_domains: u64::from(fault_mask.count_ones()),
+            fault_redirects: redirects.into_inner(),
         };
         if let Some(sink) = &self.metrics {
             sink.on_batch(&self.meta(), &record);
@@ -177,13 +203,28 @@ impl StreamAllocator {
 
     /// Sequential path for live-load policies: each placement is visible
     /// to the next decision (classic Greedy semantics, batch size 1).
-    fn place_live(&mut self, arrivals: &[crate::Ball], touches: &ShardedCounters) -> Vec<u32> {
+    fn place_live(
+        &mut self,
+        arrivals: &[crate::Ball],
+        touches: &ShardedCounters,
+        fault_mask: u64,
+        redirects: &AtomicU64,
+    ) -> Vec<u32> {
+        let faults = self.faults;
+        let bins = self.bins;
         arrivals
             .iter()
             .enumerate()
             .map(|(i, ball)| {
                 let mut rng = arrival_stream(self.seed, self.batch_seq, i as u64);
-                let bin = self.policy.place(&self.loads, &mut rng);
+                let mut bin = self.policy.place(&self.loads, &mut rng);
+                if fault_mask != 0 {
+                    let live = faults.as_ref().unwrap().redirect(bin, fault_mask, bins);
+                    if live != bin {
+                        redirects.fetch_add(1, Ordering::Relaxed);
+                        bin = live;
+                    }
+                }
                 let (shard, _) = self.loads.locate(bin);
                 self.loads.add(bin, ball.weight);
                 touches.add(shard, 1);
@@ -195,12 +236,28 @@ impl StreamAllocator {
     /// Snapshot path: decide every arrival against the batch-start loads
     /// (read-only, so decisions parallelize), then apply the commutative
     /// adds — in parallel through atomic shard views when enabled.
-    fn place_snapshot(&mut self, arrivals: &[crate::Ball], touches: &ShardedCounters) -> Vec<u32> {
+    fn place_snapshot(
+        &mut self,
+        arrivals: &[crate::Ball],
+        touches: &ShardedCounters,
+        fault_mask: u64,
+        redirects: &AtomicU64,
+    ) -> Vec<u32> {
         let seed = self.seed;
         let batch_seq = self.batch_seq;
+        let faults = self.faults;
+        let bins = self.bins;
         let decide = |i: usize| -> u32 {
             let mut rng = arrival_stream(seed, batch_seq, i as u64);
-            self.policy.place(&self.loads, &mut rng)
+            let bin = self.policy.place(&self.loads, &mut rng);
+            if fault_mask == 0 {
+                return bin;
+            }
+            let live = faults.as_ref().unwrap().redirect(bin, fault_mask, bins);
+            if live != bin {
+                redirects.fetch_add(1, Ordering::Relaxed);
+            }
+            live
         };
         let pool: Option<&'static ThreadPool> =
             (self.parallel && arrivals.len() >= PAR_CUTOFF).then(global_pool);
@@ -302,6 +359,58 @@ mod tests {
         let out = alloc.ingest(&Batch::unit_arrivals(0, 500));
         assert_eq!(out.record.shard_touches.len(), 4);
         assert_eq!(out.record.shard_touches.iter().sum::<u64>(), 500);
+    }
+
+    #[test]
+    fn domain_faults_redirect_off_failed_domains() {
+        let plan = FaultPlan::new(0xFA01).with_shard_failures(8, 0.4);
+        let mut alloc =
+            StreamAllocator::new(64, 11, PolicyKind::BatchedTwoChoice).with_faults(plan);
+        let mut saw_fault_batch = false;
+        for t in 0..8u64 {
+            let mask = plan.failed_domains(t);
+            let out = alloc.ingest(&Batch::unit_arrivals(t * 1000, 640));
+            assert_eq!(out.record.failed_domains, u64::from(mask.count_ones()));
+            if mask != 0 {
+                saw_fault_batch = true;
+                for &bin in &out.placements {
+                    assert_eq!(
+                        (mask >> plan.domain_of(bin, 64)) & 1,
+                        0,
+                        "placement {bin} landed in a failed domain"
+                    );
+                }
+            } else {
+                assert_eq!(out.record.fault_redirects, 0);
+            }
+        }
+        assert!(saw_fault_batch, "0.4 over 8 domains × 8 batches must fire");
+    }
+
+    #[test]
+    fn faulted_placements_identical_across_shard_counts() {
+        let plan = FaultPlan::new(7).with_shard_failures(4, 0.5);
+        let run = |shards: usize| {
+            let mut alloc = StreamAllocator::new(32, 3, PolicyKind::BatchedTwoChoice)
+                .with_shards(shards)
+                .with_faults(plan);
+            let mut all = Vec::new();
+            for t in 0..6u64 {
+                all.extend(alloc.ingest(&Batch::unit_arrivals(t * 100, 100)).placements);
+            }
+            all
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+    }
+
+    #[test]
+    fn unfaulted_batches_report_zero_fault_fields() {
+        let mut alloc = StreamAllocator::new(16, 4, PolicyKind::TwoChoice);
+        let out = alloc.ingest(&Batch::unit_arrivals(0, 200));
+        assert_eq!(out.record.failed_domains, 0);
+        assert_eq!(out.record.fault_redirects, 0);
     }
 
     #[test]

@@ -16,6 +16,7 @@ run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release
 run cargo test -q --workspace
+run cargo test -q --test chaos --test golden_loads
 run cargo build --no-default-features
 run cargo build --workspace --features serde
 

@@ -23,9 +23,10 @@ fn all_experiments_run_at_smoke_scale() {
             .unwrap_or_else(|| panic!("{}: perf not aggregated", e.id()));
         assert!(perf.wall_nanos > 0, "{}: zero wall time", e.id());
         // e02 benchmarks a non-engine sequential baseline; the streaming
-        // experiments (e15–e17) drive the batch allocator instead of the
-        // round engine; every other experiment must show engine throughput.
-        if matches!(e.id(), "e15" | "e16" | "e17") {
+        // experiments (e15–e17, e19) drive the batch allocator instead of
+        // the round engine; every other experiment must show engine
+        // throughput.
+        if matches!(e.id(), "e15" | "e16" | "e17" | "e19") {
             assert!(perf.engine.batches > 0, "{}: no batches seen", e.id());
             assert!(
                 perf.engine.batches_per_sec() > 0.0,

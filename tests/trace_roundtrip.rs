@@ -1,6 +1,6 @@
 //! Integration: every line the `--trace` JSONL sink emits parses back as
 //! JSON and carries the documented keys with the documented types, for
-//! all four event kinds (`round`, `run`, `pool`, `batch`).
+//! all five event kinds (`round`, `fault`, `run`, `pool`, `batch`).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -213,7 +213,7 @@ const ROUND_NUM_KEYS: [&str; 19] = [
     "grant_nanos",
 ];
 
-const BATCH_NUM_KEYS: [&str; 11] = [
+const BATCH_NUM_KEYS: [&str; 13] = [
     "seed",
     "n",
     "shards",
@@ -224,7 +224,23 @@ const BATCH_NUM_KEYS: [&str; 11] = [
     "resident",
     "max_load",
     "gap",
+    "failed_domains",
+    "fault_redirects",
     "wall_nanos",
+];
+
+const FAULT_NUM_KEYS: [&str; 11] = [
+    "seed",
+    "m",
+    "n",
+    "lanes",
+    "round",
+    "dropped_requests",
+    "crash_redraws",
+    "crash_lost",
+    "straggler_balls",
+    "deferred_balls",
+    "backoff_escalations",
 ];
 
 #[test]
@@ -244,6 +260,18 @@ fn every_trace_line_parses_with_documented_schema() {
     .expect("registry name")
     .expect("run succeeds");
 
+    // A fault-injected run so `fault` events appear in the trace. A
+    // drop-only plan keeps any capacity-constrained protocol feasible.
+    pba::protocols::run_by_name(
+        "collision",
+        spec,
+        RunConfig::seeded(4)
+            .with_faults(FaultPlan::new(9).with_drop_prob(0.2))
+            .with_metrics(trace.clone()),
+    )
+    .expect("registry name")
+    .expect("faulted run succeeds");
+
     // Streaming batch events, departures included.
     let mut alloc = StreamAllocator::new(64, 9, PolicyKind::BatchedTwoChoice)
         .with_shards(4)
@@ -258,6 +286,7 @@ fn every_trace_line_parses_with_documented_schema() {
     std::fs::remove_file(&path).ok();
 
     let mut rounds = 0usize;
+    let mut faults = 0usize;
     let mut runs = 0usize;
     let mut batches = 0usize;
     for (lineno, line) in text.lines().enumerate() {
@@ -273,6 +302,14 @@ fn every_trace_line_parses_with_documented_schema() {
                     expect_num(m, key);
                 }
                 assert!(expect_num(m, "total_nanos") >= expect_num(m, "resolve_commit_nanos"));
+            }
+            "fault" => {
+                faults += 1;
+                expect_str(m, "protocol");
+                expect_str(m, "executor");
+                for key in FAULT_NUM_KEYS {
+                    expect_num(m, key);
+                }
             }
             "run" => {
                 runs += 1;
@@ -308,6 +345,7 @@ fn every_trace_line_parses_with_documented_schema() {
         }
     }
     assert!(rounds > 0, "no round events traced");
-    assert_eq!(runs, 1, "expected exactly one run event");
+    assert!(faults > 0, "the 20% drop plan must trace fault events");
+    assert_eq!(runs, 2, "expected one run event per engine run");
     assert_eq!(batches, 3, "expected one batch event per ingested batch");
 }
