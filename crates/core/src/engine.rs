@@ -1,54 +1,50 @@
 //! Round execution: gather requests, count arrivals, grant, resolve,
 //! commit.
 //!
-//! Two executors share all data structures:
+//! One backend-parameterized [`SimState::round`] drives every round
+//! through the unified kernels in [`crate::exec`]:
 //!
-//! * **Sequential** — one pass per phase, bit-for-bit deterministic given
-//!   the seed. Acceptance is resolved in *canonical request order* (balls
-//!   in id order, each ball's requests in emission order), which is a
-//!   legitimate instance of the papers' "bins accept an arbitrary subset".
-//! * **Parallel** — the same semantics as chunked data-parallel passes on
-//!   [`pba_par`], and **bit-identical to the sequential executor**. The
-//!   active set is split into fixed chunks; each chunk gathers its balls'
-//!   requests into a chunk-local buffer (per-ball RNG streams are
-//!   counter-based, so any lane regenerates the same choices), counts its
-//!   per-bin arrivals, and — after a cheap serial exclusive scan of the
-//!   per-chunk counts that assigns every request its global *arrival
-//!   rank* — resolves and commits its own balls. A request is accepted
-//!   iff its rank is below the bin's grant: exactly the sequential
-//!   executor's first-`grant`-arrivals rule, with no serial O(m) work
-//!   and no flat request buffer.
+//! * The active set is split into deterministic chunks
+//!   ([`Backend::chunking`]); the serial backend is the one-chunk instance
+//!   of the identical code, so sequential and parallel execution are
+//!   **bit-identical by construction**. Acceptance is resolved by *global
+//!   arrival rank* (a serial exclusive scan over per-chunk per-bin counts
+//!   gives each chunk a rank base): a request is accepted iff its rank is
+//!   below the bin's grant — exactly the canonical-request-order
+//!   first-`grant`-arrivals rule, a legitimate instance of the papers'
+//!   "bins accept an arbitrary subset".
+//! * Per-ball RNG streams are counter-based, so any lane regenerates the
+//!   same choices; fault decisions are counter streams too (see
+//!   [`crate::faults`]), which is what lets the chunked kernel reproduce
+//!   the faulty path bit-for-bit at any lane count.
 //!
-//! The `SimState` struct owns workhorse buffers that are reused across
-//! rounds (no per-round allocation on the sequential path; the parallel
-//! path allocates only chunk-local buffers).
+//! `SimState` owns the per-chunk [`LaneScratch`] arenas and all workhorse
+//! buffers, reused across rounds: after the first (warm-up) round, a
+//! steady-state round performs **zero heap allocations** on either
+//! backend — enforced by `tests/alloc_steady_state.rs`.
 
-use std::sync::atomic::Ordering;
-
-use pba_par::{as_atomic_u32, Chunking, ThreadPool};
+use pba_par::{as_atomic_u32, DisjointClaims, DisjointIndexMut};
 
 use crate::error::{CoreError, Result};
-use crate::faults::{FaultCtx, FaultPlan, FaultRecord, FaultSession, FaultStats};
+use crate::exec::{
+    gather_chunk, grant_range, resolve_chunk, Backend, ExecTuning, Faulty, GatherShared,
+    LaneScratch, NoFaults, ResolveShared,
+};
+use crate::faults::{FaultPlan, FaultRecord, FaultSession, FaultStats};
 use crate::messages::{MessageLedger, MessageStats, MessageTracking};
 use crate::metrics::{MetricsSink, Phase, RoundTimer, RunMeta};
 use crate::model::ProblemSpec;
-use crate::protocol::{BallContext, ChoiceSink, CommitOption, RoundContext, RoundProtocol};
-use crate::rng::ball_stream;
+use crate::protocol::{RoundContext, RoundProtocol};
 use crate::trace::RoundRecord;
 
-/// A per-run observer handed into the round executors: the metrics sink
+/// A per-run observer handed into the round executor: the metrics sink
 /// plus the run identity it reports under. `None` is the zero-cost
-/// disabled path — the executors then construct no [`RoundTimer`] and
-/// perform no clock reads.
+/// disabled path — the executor then constructs no [`RoundTimer`] and
+/// performs no clock reads.
 pub(crate) type Observer<'a> = Option<(&'a dyn MetricsSink, &'a RunMeta)>;
 
-/// Minimum active balls per parallel chunk; below `PAR_CUTOFF` total the
-/// parallel executor falls back to the sequential path for the round.
-const MIN_CHUNK: usize = 16 * 1024;
-const PAR_CUTOFF: usize = 64 * 1024;
-
 /// Mutable simulation state: loads, active set, per-ball protocol state,
-/// message ledger, and reusable scratch buffers.
+/// message ledger, and reusable scratch arenas.
 pub(crate) struct SimState<P: RoundProtocol> {
     pub spec: ProblemSpec,
     pub seed: u64,
@@ -62,10 +58,16 @@ pub(crate) struct SimState<P: RoundProtocol> {
     /// fault branch below is gated on this option, and the fault code
     /// reads no clocks — decisions come from counter streams only).
     faults: Option<FaultSession>,
-    // Scratch (reused across rounds).
+    /// Chunk-geometry knobs (`RunConfig::with_chunking`).
+    tuning: ExecTuning,
+    // Scratch (reused across rounds; allocation-free after warm-up).
+    /// One arena per chunk slot; grows to the backend's chunk count on the
+    /// first round and is reused verbatim afterwards.
+    scratch: Vec<LaneScratch>,
+    /// Debug-build verifier of the one-chunk-per-ball-id invariant behind
+    /// the `DisjointIndexMut` accesses (no-op in release builds).
+    claims: DisjointClaims,
     next_active: Vec<u32>,
-    req_bins: Vec<u32>,
-    req_offsets: Vec<u32>,
     counts: Vec<u32>,
     accept: Vec<u32>,
     want: Vec<u32>,
@@ -75,32 +77,6 @@ pub(crate) struct SimState<P: RoundProtocol> {
     loads_before: Vec<u32>,
 }
 
-/// One chunk's gathered requests in the parallel executor.
-struct GatherChunk {
-    /// First index into `active` covered by this chunk.
-    start: usize,
-    /// Flat per-request bin ids, ball-major within the chunk.
-    bins: Vec<u32>,
-    /// Per-ball request counts, aligned with `active[start..]`.
-    degrees: Vec<u32>,
-    /// Per-bin arrival counts of this chunk; after the exclusive scan,
-    /// the global arrival rank of the chunk's first request to each bin.
-    counts: Vec<u32>,
-    out_of_range: Option<u64>,
-    /// Fault events injected while gathering this chunk (all-zero on the
-    /// no-fault path; summed into the session tally after the join, so
-    /// per-round totals match the sequential executor exactly).
-    faults: FaultRecord,
-}
-
-/// Output of one resolve chunk in the parallel executor.
-struct ResolveChunk {
-    still_active: Vec<u32>,
-    committed: u64,
-    wasted: u64,
-    commit_msgs: u64,
-}
-
 impl<P: RoundProtocol> SimState<P> {
     pub fn new(
         spec: ProblemSpec,
@@ -108,6 +84,7 @@ impl<P: RoundProtocol> SimState<P> {
         tracking: MessageTracking,
         track_assignment: bool,
         faults: Option<FaultPlan>,
+        tuning: ExecTuning,
     ) -> Self {
         let n = spec.bins() as usize;
         let m = spec.balls();
@@ -121,9 +98,10 @@ impl<P: RoundProtocol> SimState<P> {
             ledger: MessageLedger::new(tracking, spec.bins(), m),
             placed: 0,
             faults: faults.map(|plan| FaultSession::new(plan, m, spec.bins())),
+            tuning,
+            scratch: Vec::new(),
+            claims: DisjointClaims::new(m as usize),
             next_active: Vec::with_capacity(m as usize),
-            req_bins: Vec::new(),
-            req_offsets: Vec::new(),
             counts: vec![0; n],
             accept: vec![0; n],
             want: vec![0; n],
@@ -139,7 +117,7 @@ impl<P: RoundProtocol> SimState<P> {
 
     /// Crashed bins accept nothing and want nothing: zero their grants and
     /// back their (always-unfilled) demand out of the underload counters.
-    /// No-op without faults; called after `grants_seq`/`grants_par`.
+    /// No-op without faults; called after the grant phase.
     fn apply_crash_grants(&mut self, underloaded: &mut u32, unfilled: &mut u64) {
         if let Some(session) = self.faults.as_ref() {
             for &bin in session.crashed_bins() {
@@ -179,367 +157,90 @@ impl<P: RoundProtocol> SimState<P> {
         }
     }
 
-    /// Execute one round sequentially.
-    pub fn round_seq(
-        &mut self,
-        protocol: &P,
-        round: u32,
-        obs: Observer<'_>,
-    ) -> Result<RoundRecord> {
-        let ctx = self.context(round);
-        let mut timer = obs.map(|_| RoundTimer::start());
-        if self.faults.is_some() {
-            self.gather_faulty_seq(protocol, &ctx)?;
-        } else {
-            self.gather_seq(protocol, &ctx)?;
-        }
-        if let Some(t) = timer.as_mut() {
-            t.lap(Phase::Gather);
-        }
-        self.count_arrivals_seq();
-        if let Some(t) = timer.as_mut() {
-            t.lap(Phase::CountScan);
-        }
-        let (mut underloaded_bins, mut unfilled_want) = self.grants_seq(protocol, &ctx);
-        self.apply_crash_grants(&mut underloaded_bins, &mut unfilled_want);
-        if let Some(t) = timer.as_mut() {
-            t.lap(Phase::Grant);
-        }
-        let record = self.resolve_seq(protocol, &ctx, underloaded_bins, unfilled_want);
-        let fault_record = self.end_fault_round(round);
-        if let (Some((sink, meta)), Some(mut t)) = (obs, timer) {
-            t.lap(Phase::ResolveCommit);
-            if let Some(f) = fault_record.as_ref() {
-                sink.on_fault(meta, f);
-            }
-            sink.on_round(meta, &record, &t.finish());
-        }
-        Ok(record)
-    }
-
-    // ----- sequential phases -------------------------------------------
-
-    fn gather_seq(&mut self, protocol: &P, ctx: &RoundContext) -> Result<()> {
-        let n = self.spec.bins();
-        self.req_bins.clear();
-        self.req_offsets.clear();
-        self.req_offsets.push(0);
-        let mut out_of_range = None;
-        for &ball in &self.active {
-            let mut rng = ball_stream(self.seed, ctx.round, ball as u64);
-            let mut sink = ChoiceSink::new(&mut self.req_bins, n);
-            protocol.ball_choices(
-                ctx,
-                BallContext { ball },
-                &mut self.ball_state[ball as usize],
-                &mut rng,
-                &mut sink,
-            );
-            if let Some(b) = sink.out_of_range() {
-                out_of_range.get_or_insert(b);
-            }
-            self.req_offsets.push(self.req_bins.len() as u32);
-        }
-        if let Some(bin) = out_of_range {
-            return Err(CoreError::BinOutOfRange {
-                bin,
-                n: n as u64,
-                round: ctx.round,
-            });
-        }
-        Ok(())
-    }
-
-    /// `gather_seq` under an armed fault session: deferred and straggling
-    /// balls skip the round with zero requests (degree 0 keeps them in the
-    /// active set), and each emitted choice passes through the session's
-    /// crash-redraw + drop filter before it counts as delivered.
-    fn gather_faulty_seq(&mut self, protocol: &P, ctx: &RoundContext) -> Result<()> {
-        let n = self.spec.bins();
-        self.req_bins.clear();
-        self.req_offsets.clear();
-        self.req_offsets.push(0);
-        let mut out_of_range = None;
-        let session = self.faults.as_mut().expect("faulty gather needs a session");
-        session.begin_round(ctx.round);
-        let (fctx, ball_fault, tally) = session.split();
-        let mut raw: Vec<u32> = Vec::with_capacity(8);
-        for &ball in &self.active {
-            let st = &mut ball_fault[ball as usize];
-            if !fctx.admit(ctx.round, ball, st, tally) {
-                self.req_offsets.push(self.req_bins.len() as u32);
-                continue;
-            }
-            raw.clear();
-            let mut rng = ball_stream(self.seed, ctx.round, ball as u64);
-            let mut sink = ChoiceSink::new(&mut raw, n);
-            protocol.ball_choices(
-                ctx,
-                BallContext { ball },
-                &mut self.ball_state[ball as usize],
-                &mut rng,
-                &mut sink,
-            );
-            if let Some(b) = sink.out_of_range() {
-                out_of_range.get_or_insert(b);
-            }
-            fctx.deliver(ctx.round, ball, &mut raw, st, tally);
-            self.req_bins.extend_from_slice(&raw);
-            self.req_offsets.push(self.req_bins.len() as u32);
-        }
-        if let Some(bin) = out_of_range {
-            return Err(CoreError::BinOutOfRange {
-                bin,
-                n: n as u64,
-                round: ctx.round,
-            });
-        }
-        Ok(())
-    }
-
-    fn count_arrivals_seq(&mut self) {
-        self.counts.fill(0);
-        for &bin in &self.req_bins {
-            self.counts[bin as usize] += 1;
-        }
-    }
-
-    fn grants_seq(&mut self, protocol: &P, ctx: &RoundContext) -> (u32, u64) {
-        let mut underloaded = 0u32;
-        let mut unfilled = 0u64;
-        for bin in 0..self.spec.bins() {
-            let i = bin as usize;
-            let arrivals = self.counts[i];
-            let g = protocol.bin_grant(ctx, bin, self.loads[i], arrivals);
-            self.accept[i] = g.accept.min(arrivals);
-            self.want[i] = g.want;
-            if arrivals < g.want {
-                underloaded += 1;
-                unfilled += (g.want - arrivals) as u64;
-            }
-        }
-        (underloaded, unfilled)
-    }
-
-    fn resolve_seq(
-        &mut self,
-        protocol: &P,
-        ctx: &RoundContext,
-        underloaded_bins: u32,
-        unfilled_want: u64,
-    ) -> RoundRecord {
-        self.snapshot_loads();
-        self.taken.fill(0);
-        self.next_active.clear();
-        let mut committed = 0u64;
-        let mut wasted = 0u64;
-        let mut commit_msgs = 0u64;
-        let mut options: Vec<CommitOption> = Vec::new();
-
-        for (i, &ball) in self.active.iter().enumerate() {
-            let start = self.req_offsets[i] as usize;
-            let end = self.req_offsets[i + 1] as usize;
-            let mut commit: Option<u32> = None;
-            let mut accepts = 0u32;
-            if P::NEEDS_COMMIT_CHOICE {
-                options.clear();
-            }
-            for &bin in &self.req_bins[start..end] {
-                let b = bin as usize;
-                let slot = self.taken[b];
-                if slot < self.accept[b] {
-                    self.taken[b] = slot + 1;
-                    accepts += 1;
-                    if P::NEEDS_COMMIT_CHOICE {
-                        options.push(CommitOption {
-                            bin,
-                            slot,
-                            load_before: self.loads_before[b],
-                        });
-                    } else if commit.is_none() {
-                        commit = Some(protocol.redirect(ctx, bin, slot));
-                    } else {
-                        wasted += 1;
-                    }
-                }
-            }
-            if P::NEEDS_COMMIT_CHOICE && !options.is_empty() {
-                let pick = protocol
-                    .pick_commit(ctx, BallContext { ball }, &options)
-                    .min(options.len() - 1);
-                let chosen = options[pick];
-                commit = Some(protocol.redirect(ctx, chosen.bin, chosen.slot));
-                wasted += (options.len() - 1) as u64;
-            }
-            commit_msgs += accepts as u64;
-            let degree = (end - start) as u32;
-            if let Some(sent) = self.ledger.per_ball_sent.as_mut() {
-                sent[ball as usize] += degree + accepts;
-            }
-            if let Some(target) = commit {
-                self.loads[target as usize] += 1;
-                committed += 1;
-                if let Some(a) = self.assignment.as_mut() {
-                    a[ball as usize] = target;
-                }
-            } else {
-                self.next_active.push(ball);
-            }
-        }
-
-        let requests = self.req_bins.len() as u64;
-        self.finish_round(
-            ctx,
-            requests,
-            committed,
-            wasted,
-            commit_msgs,
-            underloaded_bins,
-            unfilled_want,
-        )
-    }
-
-    // ----- parallel round ------------------------------------------------
-
-    /// Execute one round on the pool (falls back to the sequential path
-    /// for small active sets).
+    /// Execute one round on `backend`.
     ///
-    /// Five phases; only the exclusive scan over per-chunk bin counts
-    /// (`O(chunks·n)`) and the final bookkeeping (`O(n)`) are serial.
-    pub fn round_par(
+    /// Rounds whose active set is below the configured `par_cutoff` (or
+    /// whose pool has a single lane) run on the serial backend — which is
+    /// the same kernel with exactly one chunk, so the fallback cannot
+    /// change results. Only the exclusive scan over per-chunk bin counts
+    /// (`O(chunks·n)`) and the final merge (`O(m')`) are serial.
+    pub fn round(
         &mut self,
         protocol: &P,
         round: u32,
-        pool: &ThreadPool,
+        backend: Backend<'_>,
         obs: Observer<'_>,
     ) -> Result<RoundRecord> {
-        if self.active.len() < PAR_CUTOFF || pool.lanes() <= 1 {
-            return self.round_seq(protocol, round, obs);
-        }
         let ctx = self.context(round);
         let mut timer = obs.map(|_| RoundTimer::start());
         self.snapshot_loads();
+        let tuning = self.tuning;
         let n = self.spec.bins() as usize;
-        let nbins = self.spec.bins();
-        let chunking = Chunking::new(self.active.len(), MIN_CHUNK, pool.lanes() * 2);
 
-        // --- Phase 1+2 (parallel): gather chunk requests and count the
-        // chunk's per-bin arrivals. The fault borrows (decision context +
-        // per-ball retry states) are scoped to this block so the later
-        // phases can take `&mut self` again.
-        let active = &self.active;
-        let state_ptr = self.ball_state.as_mut_ptr() as usize;
-        let seed = self.seed;
-        let chunks: Vec<GatherChunk> = {
-            let fault = self.faults.as_mut().map(|s| {
-                s.begin_round(round);
-                s.split()
-            });
-            let (fctx, fault_ptr, fault_tally): (Option<FaultCtx<'_>>, usize, _) = match fault {
-                Some((c, balls, tally)) => (Some(c), balls.as_mut_ptr() as usize, Some(tally)),
-                None => (None, 0, None),
+        // Effective backend for this round: fall back to serial below the
+        // fan-out cutoff.
+        let eff = match backend {
+            Backend::Pool(pool) if self.active.len() >= tuning.par_cutoff && pool.lanes() > 1 => {
+                Backend::Pool(pool)
+            }
+            _ => Backend::Serial,
+        };
+        let chunking = eff.chunking(self.active.len(), tuning.min_chunk);
+        let nchunks = chunking.chunks();
+        while self.scratch.len() < nchunks {
+            self.scratch.push(LaneScratch::new());
+        }
+        self.claims.begin();
+
+        // --- Phase 1+2: gather chunk requests and count the chunk's
+        // per-bin arrivals (parallel on a pool backend).
+        {
+            let shared = GatherShared {
+                protocol,
+                ctx: &ctx,
+                seed: self.seed,
+                n_bins: self.spec.bins(),
+                active: &self.active,
+                states: DisjointIndexMut::new(&mut self.ball_state),
+                claims: &self.claims,
             };
-            let chunks: Vec<GatherChunk> =
-                pba_par::par_map_indexed(pool, chunking.chunks(), 1, |ci| {
-                    let r = chunking.range(ci);
-                    let start = r.start;
-                    let mut bins = Vec::with_capacity(r.len() + r.len() / 2);
-                    let mut degrees = Vec::with_capacity(r.len());
-                    let mut out_of_range = None;
-                    let mut faults = FaultRecord::default();
-                    match fctx {
-                        None => {
-                            for &ball in &active[r] {
-                                let mut rng = ball_stream(seed, ctx.round, ball as u64);
-                                let before = bins.len();
-                                let mut sink = ChoiceSink::new(&mut bins, nbins);
-                                // SAFETY: each ball id appears in exactly one
-                                // chunk, so state slots are touched by exactly
-                                // one task.
-                                let state = unsafe {
-                                    &mut *(state_ptr as *mut P::BallState).add(ball as usize)
-                                };
-                                protocol.ball_choices(
-                                    &ctx,
-                                    BallContext { ball },
-                                    state,
-                                    &mut rng,
-                                    &mut sink,
-                                );
-                                if let Some(b) = sink.out_of_range() {
-                                    out_of_range.get_or_insert(b);
-                                }
-                                degrees.push((bins.len() - before) as u32);
-                            }
-                        }
-                        Some(fc) => {
-                            let mut raw: Vec<u32> = Vec::with_capacity(8);
-                            for &ball in &active[r] {
-                                // SAFETY: one chunk per ball id — both the
-                                // protocol state and the fault retry state
-                                // slot are touched by exactly one task.
-                                let st = unsafe {
-                                    &mut *(fault_ptr as *mut crate::faults::BallFault)
-                                        .add(ball as usize)
-                                };
-                                if !fc.admit(ctx.round, ball, st, &mut faults) {
-                                    degrees.push(0);
-                                    continue;
-                                }
-                                raw.clear();
-                                let mut rng = ball_stream(seed, ctx.round, ball as u64);
-                                let mut sink = ChoiceSink::new(&mut raw, nbins);
-                                let state = unsafe {
-                                    &mut *(state_ptr as *mut P::BallState).add(ball as usize)
-                                };
-                                protocol.ball_choices(
-                                    &ctx,
-                                    BallContext { ball },
-                                    state,
-                                    &mut rng,
-                                    &mut sink,
-                                );
-                                if let Some(b) = sink.out_of_range() {
-                                    out_of_range.get_or_insert(b);
-                                }
-                                fc.deliver(ctx.round, ball, &mut raw, st, &mut faults);
-                                bins.extend_from_slice(&raw);
-                                degrees.push(raw.len() as u32);
-                            }
-                        }
+            let scratch = DisjointIndexMut::new(&mut self.scratch[..nchunks]);
+            match self.faults.as_mut() {
+                None => {
+                    let admission = NoFaults;
+                    eff.run(nchunks, |ci| {
+                        // SAFETY: one task per chunk slot (indices are
+                        // distinct by construction of `run`).
+                        let arena = unsafe { scratch.index_mut(ci) };
+                        gather_chunk(&shared, &admission, chunking.range(ci), arena);
+                    });
+                }
+                Some(session) => {
+                    session.begin_round(round);
+                    let (fctx, ball_fault, tally) = session.split();
+                    let admission = Faulty::new(fctx, ball_fault);
+                    eff.run(nchunks, |ci| {
+                        // SAFETY: one task per chunk slot.
+                        let arena = unsafe { scratch.index_mut(ci) };
+                        gather_chunk(&shared, &admission, chunking.range(ci), arena);
+                    });
+                    for arena in &self.scratch[..nchunks] {
+                        tally.merge(&arena.faults);
                     }
-                    let mut counts = vec![0u32; n];
-                    for &b in &bins {
-                        counts[b as usize] += 1;
-                    }
-                    GatherChunk {
-                        start,
-                        bins,
-                        degrees,
-                        counts,
-                        out_of_range,
-                        faults,
-                    }
-                });
-            if let Some(tally) = fault_tally {
-                for c in &chunks {
-                    tally.merge(&c.faults);
                 }
             }
-            chunks
-        };
-        let mut chunks = chunks;
+        }
 
         let mut requests = 0u64;
-        for c in &chunks {
-            if let Some(bin) = c.out_of_range {
+        for arena in &self.scratch[..nchunks] {
+            if let Some(bin) = arena.out_of_range {
                 return Err(CoreError::BinOutOfRange {
                     bin,
                     n: n as u64,
                     round: ctx.round,
                 });
             }
-            requests += c.bins.len() as u64;
+            requests += arena.bins.len() as u64;
         }
         if let Some(t) = timer.as_mut() {
             t.lap(Phase::Gather);
@@ -549,8 +250,8 @@ impl<P: RoundProtocol> SimState<P> {
         // `self.counts`; each chunk's `counts` becomes its per-bin rank
         // base (the number of arrivals to that bin in earlier chunks).
         self.counts.fill(0);
-        for chunk in chunks.iter_mut() {
-            for (base, total) in chunk.counts.iter_mut().zip(self.counts.iter_mut()) {
+        for arena in self.scratch[..nchunks].iter_mut() {
+            for (base, total) in arena.counts.iter_mut().zip(self.counts.iter_mut()) {
                 let c = *base;
                 *base = *total;
                 *total += c;
@@ -561,7 +262,7 @@ impl<P: RoundProtocol> SimState<P> {
         }
 
         // --- Phase 3: grants.
-        let (mut underloaded_bins, mut unfilled_want) = self.grants_par(protocol, &ctx, pool);
+        let (mut underloaded_bins, mut unfilled_want) = self.grants(protocol, &ctx, eff);
         self.apply_crash_grants(&mut underloaded_bins, &mut unfilled_want);
         // Granted = first min(arrivals, grant) arrivals per bin.
         for ((t, &a), &c) in self.taken.iter_mut().zip(&self.accept).zip(&self.counts) {
@@ -571,118 +272,43 @@ impl<P: RoundProtocol> SimState<P> {
             t.lap(Phase::Grant);
         }
 
-        // --- Phase 4 (parallel): fused rank assignment + resolve +
-        // commit, chunk-local. A request's global arrival rank is its
-        // chunk's base for that bin plus the running chunk-local count;
-        // acceptance iff rank < grant — identical to the sequential
-        // first-`grant`-arrivals rule.
-        let active = &self.active;
-        let accept = &self.accept;
-        let loads_before = &self.loads_before;
-        let loads_atomic = as_atomic_u32(&mut self.loads);
-        let assignment_ptr = self
-            .assignment
-            .as_mut()
-            .map(|a| a.as_mut_ptr() as usize)
-            .unwrap_or(0);
-        let has_assignment = assignment_ptr != 0;
-        let sent_ptr = self
-            .ledger
-            .per_ball_sent
-            .as_mut()
-            .map(|s| s.as_mut_ptr() as usize)
-            .unwrap_or(0);
-        let has_sent = sent_ptr != 0;
-        let chunks_ref = &mut chunks;
-
-        let results: Vec<ResolveChunk> = {
-            // Hand each task exclusive access to its chunk through a raw
-            // pointer (disjoint indices).
-            let chunks_ptr = chunks_ref.as_mut_ptr() as usize;
-            let total = chunks_ref.len();
-            pba_par::par_map_indexed(pool, total, 1, |ci| {
-                // SAFETY: one task per chunk index.
-                let chunk = unsafe { &mut *(chunks_ptr as *mut GatherChunk).add(ci) };
-                let mut still_active = Vec::new();
-                let mut committed = 0u64;
-                let mut wasted = 0u64;
-                let mut commit_msgs = 0u64;
-                let mut options: Vec<CommitOption> = Vec::new();
-                let mut req_idx = 0usize;
-                for (k, &degree) in chunk.degrees.iter().enumerate() {
-                    let ball = active[chunk.start + k];
-                    let mut commit: Option<u32> = None;
-                    let mut accepts = 0u32;
-                    if P::NEEDS_COMMIT_CHOICE {
-                        options.clear();
-                    }
-                    for _ in 0..degree {
-                        let bin = chunk.bins[req_idx];
-                        req_idx += 1;
-                        let b = bin as usize;
-                        let rank = chunk.counts[b];
-                        chunk.counts[b] = rank + 1;
-                        if rank < accept[b] {
-                            accepts += 1;
-                            if P::NEEDS_COMMIT_CHOICE {
-                                options.push(CommitOption {
-                                    bin,
-                                    slot: rank,
-                                    load_before: loads_before[b],
-                                });
-                            } else if commit.is_none() {
-                                commit = Some(protocol.redirect(&ctx, bin, rank));
-                            } else {
-                                wasted += 1;
-                            }
-                        }
-                    }
-                    if P::NEEDS_COMMIT_CHOICE && !options.is_empty() {
-                        let pick = protocol
-                            .pick_commit(&ctx, BallContext { ball }, &options)
-                            .min(options.len() - 1);
-                        let chosen = options[pick];
-                        commit = Some(protocol.redirect(&ctx, chosen.bin, chosen.slot));
-                        wasted += (options.len() - 1) as u64;
-                    }
-                    commit_msgs += accepts as u64;
-                    if has_sent {
-                        // SAFETY: one task per ball id (disjoint chunks).
-                        unsafe {
-                            *(sent_ptr as *mut u32).add(ball as usize) += degree + accepts;
-                        }
-                    }
-                    if let Some(target) = commit {
-                        loads_atomic[target as usize].fetch_add(1, Ordering::Relaxed);
-                        committed += 1;
-                        if has_assignment {
-                            // SAFETY: one task per ball id.
-                            unsafe {
-                                *(assignment_ptr as *mut u32).add(ball as usize) = target;
-                            }
-                        }
-                    } else {
-                        still_active.push(ball);
-                    }
-                }
-                ResolveChunk {
-                    still_active,
-                    committed,
-                    wasted,
-                    commit_msgs,
-                }
-            })
-        };
+        // --- Phase 4: fused rank assignment + resolve + commit,
+        // chunk-local (parallel on a pool backend).
+        {
+            let shared = ResolveShared {
+                protocol,
+                ctx: &ctx,
+                active: &self.active,
+                accept: &self.accept,
+                loads_before: &self.loads_before,
+                loads: as_atomic_u32(&mut self.loads),
+                assignment: self
+                    .assignment
+                    .as_mut()
+                    .map(|a| DisjointIndexMut::new(a.as_mut_slice())),
+                sent: self
+                    .ledger
+                    .per_ball_sent
+                    .as_mut()
+                    .map(|s| DisjointIndexMut::new(s.as_mut_slice())),
+            };
+            let scratch = DisjointIndexMut::new(&mut self.scratch[..nchunks]);
+            eff.run(nchunks, |ci| {
+                // SAFETY: one task per chunk slot.
+                let arena = unsafe { scratch.index_mut(ci) };
+                resolve_chunk(&shared, arena);
+            });
+        }
 
         self.next_active.clear();
         let mut committed = 0u64;
         let mut wasted = 0u64;
         let mut commit_msgs = 0u64;
-        for c in &results {
-            self.next_active.extend_from_slice(&c.still_active);
-            committed += c.committed;
-            wasted += c.wasted;
-            commit_msgs += c.commit_msgs;
+        for arena in &self.scratch[..nchunks] {
+            self.next_active.extend_from_slice(&arena.still_active);
+            committed += arena.committed;
+            wasted += arena.wasted;
+            commit_msgs += arena.commit_msgs;
         }
 
         let record = self.finish_round(
@@ -705,41 +331,30 @@ impl<P: RoundProtocol> SimState<P> {
         Ok(record)
     }
 
-    fn grants_par(&mut self, protocol: &P, ctx: &RoundContext, pool: &ThreadPool) -> (u32, u64) {
+    /// Grant phase: serial below the cutoff (or on the serial backend),
+    /// chunked `par_reduce` over bins otherwise. Both paths run
+    /// [`grant_range`].
+    fn grants(&mut self, protocol: &P, ctx: &RoundContext, backend: Backend<'_>) -> (u32, u64) {
         let n = self.spec.bins() as usize;
-        if n < PAR_CUTOFF {
-            return self.grants_seq(protocol, ctx);
-        }
+        let tuning = self.tuning;
         let counts = &self.counts;
         let loads = &self.loads;
-        let accept_ptr = self.accept.as_mut_ptr() as usize;
-        let want_ptr = self.want.as_mut_ptr() as usize;
-        let (underloaded, unfilled) = pba_par::par_reduce(
-            pool,
-            n,
-            MIN_CHUNK,
-            || (0u32, 0u64),
-            |acc, r| {
-                let (mut ub, mut uw) = acc;
-                for i in r {
-                    let arrivals = counts[i];
-                    let g = protocol.bin_grant(ctx, i as u32, loads[i], arrivals);
-                    // SAFETY: disjoint chunk indices; the caller holds
-                    // exclusive access to both arrays for the round.
-                    unsafe {
-                        *(accept_ptr as *mut u32).add(i) = g.accept.min(arrivals);
-                        *(want_ptr as *mut u32).add(i) = g.want;
-                    }
-                    if arrivals < g.want {
-                        ub += 1;
-                        uw += (g.want - arrivals) as u64;
-                    }
-                }
-                (ub, uw)
-            },
-            |a, b| (a.0 + b.0, a.1 + b.1),
-        );
-        (underloaded, unfilled)
+        let accept = DisjointIndexMut::new(&mut self.accept);
+        let want = DisjointIndexMut::new(&mut self.want);
+        match backend.pool() {
+            Some(pool) if n >= tuning.par_cutoff => pba_par::par_reduce(
+                pool,
+                n,
+                tuning.min_chunk,
+                || (0u32, 0u64),
+                |acc, r| {
+                    let (ub, uw) = grant_range(protocol, ctx, r, counts, loads, &accept, &want);
+                    (acc.0 + ub, acc.1 + uw)
+                },
+                |a, b| (a.0 + b.0, a.1 + b.1),
+            ),
+            _ => grant_range(protocol, ctx, 0..n, counts, loads, &accept, &want),
+        }
     }
 
     /// Shared bookkeeping after resolution: ledger updates, active-set
@@ -789,8 +404,9 @@ impl<P: RoundProtocol> SimState<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{BinGrant, Flow, NoBallState, RoundProtocol};
+    use crate::protocol::{BallContext, BinGrant, ChoiceSink, Flow, NoBallState, RoundProtocol};
     use crate::rng::{Rand64, SplitMix64};
+    use pba_par::ThreadPool;
 
     /// Degree-1 uniform choice, threshold = ceil(m/n) forever.
     struct Uniform1;
@@ -849,23 +465,40 @@ mod tests {
         }
     }
 
+    fn new_state<Q: RoundProtocol>(
+        spec: ProblemSpec,
+        seed: u64,
+        tracking: MessageTracking,
+        track_assignment: bool,
+    ) -> SimState<Q> {
+        SimState::new(
+            spec,
+            seed,
+            tracking,
+            track_assignment,
+            None,
+            ExecTuning::default(),
+        )
+    }
+
     fn run_generic<Q: RoundProtocol + Default>(
         spec: ProblemSpec,
         seed: u64,
         parallel: bool,
     ) -> (Vec<u32>, u32) {
         let pool = ThreadPool::new(3);
-        let mut state = SimState::<Q>::new(spec, seed, MessageTracking::PerBin, true, None);
+        let mut state = new_state::<Q>(spec, seed, MessageTracking::PerBin, true);
         let mut protocol = Q::default();
         let mut round = 0;
         while !state.active.is_empty() {
             let ctx = state.context(round);
             protocol.begin_round(&ctx);
-            let rec = if parallel {
-                state.round_par(&protocol, round, &pool, None).unwrap()
+            let backend = if parallel {
+                Backend::Pool(&pool)
             } else {
-                state.round_seq(&protocol, round, None).unwrap()
+                Backend::Serial
             };
+            let rec = state.round(&protocol, round, backend, None).unwrap();
             let _ = protocol.after_round(&ctx, &rec);
             round += 1;
             assert!(round < 10_000, "did not converge");
@@ -937,6 +570,36 @@ mod tests {
         assert_ne!(a.0, b.0);
     }
 
+    #[test]
+    fn custom_chunking_still_matches_defaults_bit_for_bit() {
+        // Tiny chunks + a tiny cutoff force genuine fan-out at a size the
+        // default tuning would run serially; results must not move.
+        let spec = ProblemSpec::new(50_000, 64).unwrap();
+        let pool = ThreadPool::new(3);
+        let tuned = ExecTuning {
+            min_chunk: 1024,
+            par_cutoff: 2048,
+        };
+        let run = |tuning: ExecTuning, backend_pool: bool| {
+            let mut state =
+                SimState::<Uniform2>::new(spec, 9, MessageTracking::Totals, false, None, tuning);
+            let mut round = 0;
+            while !state.active.is_empty() {
+                let backend = if backend_pool {
+                    Backend::Pool(&pool)
+                } else {
+                    Backend::Serial
+                };
+                state.round(&Uniform2, round, backend, None).unwrap();
+                round += 1;
+            }
+            (state.loads.clone(), round)
+        };
+        let base = run(ExecTuning::default(), false);
+        assert_eq!(base, run(tuned, true), "tuned parallel diverged");
+        assert_eq!(base, run(tuned, false), "tuned serial diverged");
+    }
+
     /// Protocol that emits an out-of-range bin.
     struct BadBins;
     impl RoundProtocol for BadBins {
@@ -971,8 +634,8 @@ mod tests {
     #[test]
     fn out_of_range_bin_is_an_error() {
         let spec = ProblemSpec::new(100, 8).unwrap();
-        let mut state = SimState::<BadBins>::new(spec, 1, MessageTracking::Totals, false, None);
-        let err = state.round_seq(&BadBins, 0, None).unwrap_err();
+        let mut state = new_state::<BadBins>(spec, 1, MessageTracking::Totals, false);
+        let err = state.round(&BadBins, 0, Backend::Serial, None).unwrap_err();
         assert!(matches!(err, CoreError::BinOutOfRange { bin: 13, .. }));
     }
 
@@ -980,16 +643,18 @@ mod tests {
     fn out_of_range_bin_is_an_error_parallel() {
         let spec = ProblemSpec::new(100_000, 8).unwrap();
         let pool = ThreadPool::new(2);
-        let mut state = SimState::<BadBins>::new(spec, 1, MessageTracking::Totals, false, None);
-        let err = state.round_par(&BadBins, 0, &pool, None).unwrap_err();
+        let mut state = new_state::<BadBins>(spec, 1, MessageTracking::Totals, false);
+        let err = state
+            .round(&BadBins, 0, Backend::Pool(&pool), None)
+            .unwrap_err();
         assert!(matches!(err, CoreError::BinOutOfRange { bin: 13, .. }));
     }
 
     #[test]
     fn message_accounting_counts_requests_and_commits() {
         let spec = ProblemSpec::new(64, 8).unwrap();
-        let mut state = SimState::<Uniform1>::new(spec, 3, MessageTracking::Full, false, None);
-        let rec = state.round_seq(&Uniform1, 0, None).unwrap();
+        let mut state = new_state::<Uniform1>(spec, 3, MessageTracking::Full, false);
+        let rec = state.round(&Uniform1, 0, Backend::Serial, None).unwrap();
         // Every active ball sent exactly one request; every request got a
         // response.
         assert_eq!(rec.messages.requests, 64);
@@ -1011,10 +676,10 @@ mod tests {
     fn parallel_message_accounting_matches_sequential() {
         let spec = ProblemSpec::new(200_000, 32).unwrap();
         let pool = ThreadPool::new(3);
-        let mut seq = SimState::<Uniform1>::new(spec, 3, MessageTracking::Full, false, None);
-        let mut par = SimState::<Uniform1>::new(spec, 3, MessageTracking::Full, false, None);
-        let rec_seq = seq.round_seq(&Uniform1, 0, None).unwrap();
-        let rec_par = par.round_par(&Uniform1, 0, &pool, None).unwrap();
+        let mut seq = new_state::<Uniform1>(spec, 3, MessageTracking::Full, false);
+        let mut par = new_state::<Uniform1>(spec, 3, MessageTracking::Full, false);
+        let rec_seq = seq.round(&Uniform1, 0, Backend::Serial, None).unwrap();
+        let rec_par = par.round(&Uniform1, 0, Backend::Pool(&pool), None).unwrap();
         assert_eq!(rec_seq, rec_par);
         assert_eq!(seq.ledger.per_ball_sent, par.ledger.per_ball_sent);
         assert_eq!(seq.ledger.per_bin_received, par.ledger.per_bin_received);
@@ -1024,8 +689,8 @@ mod tests {
     fn granted_equals_min_of_arrivals_and_capacity() {
         // 100 balls, 1 bin, capacity ceil(100/1)=100: all granted round 0.
         let spec = ProblemSpec::new(100, 1).unwrap();
-        let mut state = SimState::<Uniform1>::new(spec, 3, MessageTracking::Totals, false, None);
-        let rec = state.round_seq(&Uniform1, 0, None).unwrap();
+        let mut state = new_state::<Uniform1>(spec, 3, MessageTracking::Totals, false);
+        let rec = state.round(&Uniform1, 0, Backend::Serial, None).unwrap();
         assert_eq!(rec.granted, 100);
         assert_eq!(rec.committed, 100);
         assert!(state.active.is_empty());

@@ -1,0 +1,526 @@
+//! Unified execution layer: one round kernel, any backend.
+//!
+//! The engine's round shape — gather choices, count arrivals, grant,
+//! resolve/commit — used to exist in four copies (sequential/parallel ×
+//! faulty/pristine). This module collapses them to **one kernel per
+//! phase**, parameterized along two orthogonal axes:
+//!
+//! * [`Backend`] — *where* chunks run: [`Backend::Serial`] executes every
+//!   chunk inline on the calling thread; [`Backend::Pool`] distributes
+//!   chunks over a [`ThreadPool`]. The sequential path is literally the
+//!   one-chunk instance of the chunked kernel, which is why the two are
+//!   bit-identical by construction rather than by parallel maintenance.
+//! * [`Admission`] — *what* filters requests: [`NoFaults`] is a zero-sized
+//!   passthrough whose branches constant-fold away, [`Faulty`] routes every
+//!   ball through the fault session's admit/deliver filters.
+//!
+//! ```text
+//!             ┌────────────────────── one round ──────────────────────┐
+//!   chunk 0 → │ gather+count │     │ grant  │ │ resolve+commit │      │
+//!   chunk 1 → │ gather+count │ scan│ grant  │ │ resolve+commit │ merge│
+//!   chunk k → │ gather+count │     │ grant  │ │ resolve+commit │      │
+//!             └───────────────────────────────────────────────────────┘
+//!               parallel       serial  parallel   parallel       serial
+//!               (LaneScratch)  O(k·n)  (bins)     (LaneScratch)  O(m')
+//! ```
+//!
+//! Each chunk writes exclusively into its own [`LaneScratch`] arena, owned
+//! by `SimState` and reused across rounds, so the steady-state round
+//! performs **zero heap allocations** (pinned by
+//! `tests/alloc_steady_state.rs`). Cross-array per-ball writes (protocol
+//! state, fault state, assignment, message counts) go through
+//! [`DisjointIndexMut`], whose one-task-per-index contract is checked in
+//! debug builds by a [`DisjointClaims`] table.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use pba_par::{Chunking, DisjointClaims, DisjointIndexMut, ThreadPool};
+
+use crate::faults::{BallFault, FaultCtx, FaultRecord};
+use crate::protocol::{BallContext, ChoiceSink, CommitOption, RoundContext, RoundProtocol};
+use crate::rng::ball_stream;
+
+/// Default minimum number of active balls assigned to one parallel chunk.
+pub const DEFAULT_MIN_CHUNK: usize = 16 * 1024;
+
+/// Default minimum active-set size for a round to fan out at all; below
+/// it the round runs serially (one chunk) regardless of backend.
+pub const DEFAULT_PAR_CUTOFF: usize = 64 * 1024;
+
+/// Chunk-geometry knobs for the round kernel, configurable per run via
+/// `RunConfig::with_chunking`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecTuning {
+    /// Minimum items per parallel chunk.
+    pub min_chunk: usize,
+    /// Minimum active items for a round to use the parallel backend.
+    pub par_cutoff: usize,
+}
+
+impl Default for ExecTuning {
+    fn default() -> Self {
+        Self {
+            min_chunk: DEFAULT_MIN_CHUNK,
+            par_cutoff: DEFAULT_PAR_CUTOFF,
+        }
+    }
+}
+
+/// Where a round's chunks execute.
+///
+/// The round kernel itself is backend-agnostic: `Serial` runs the identical
+/// chunked code inline (with exactly one chunk), `Pool` fans chunks out over
+/// the pool's lanes. Results are bit-identical because chunk boundaries and
+/// per-ball RNG streams are pure functions of the input, never of timing.
+#[derive(Clone, Copy)]
+pub enum Backend<'p> {
+    /// Execute inline on the calling thread.
+    Serial,
+    /// Distribute chunks over a thread pool (the caller participates).
+    Pool(&'p ThreadPool),
+}
+
+impl<'p> Backend<'p> {
+    /// Number of execution lanes this backend can use.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        match self {
+            Backend::Serial => 1,
+            Backend::Pool(pool) => pool.lanes(),
+        }
+    }
+
+    /// The pool, if this backend has one.
+    #[inline]
+    pub fn pool(&self) -> Option<&'p ThreadPool> {
+        match self {
+            Backend::Serial => None,
+            Backend::Pool(pool) => Some(pool),
+        }
+    }
+
+    /// Deterministic chunk geometry for a pass over `len` items: one chunk
+    /// on the serial backend, up to `2 × lanes` chunks on a pool.
+    pub fn chunking(&self, len: usize, min_chunk: usize) -> Chunking {
+        let max_chunks = match self {
+            Backend::Serial => 1,
+            Backend::Pool(pool) => pool.lanes() * 2,
+        };
+        Chunking::new(len, min_chunk.max(1), max_chunks)
+    }
+
+    /// Run `f(i)` for every `i in 0..tasks` — inline for `Serial`,
+    /// distributed (caller participating) for `Pool`.
+    pub fn run<F>(&self, tasks: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        match self {
+            Backend::Serial => {
+                for i in 0..tasks {
+                    f(i);
+                }
+            }
+            Backend::Pool(pool) => pool.run_indexed(tasks, f),
+        }
+    }
+}
+
+/// The request-admission axis of the round kernel: decides which balls
+/// gather this round and which of their emitted choices are delivered.
+///
+/// Implementations must be cheap and `Sync`; the kernel monomorphizes over
+/// them, so [`NoFaults`]' passthrough branches vanish at compile time.
+pub(crate) trait Admission: Sync {
+    /// True when `admit` always passes and `deliver` never filters — lets
+    /// the gather kernel write choices straight into the scratch arena
+    /// instead of staging them through a filter buffer.
+    const PASSTHROUGH: bool;
+
+    /// Should `ball` gather this round? `false` keeps it active with zero
+    /// requests.
+    fn admit(&self, round: u32, ball: u32, rec: &mut FaultRecord) -> bool;
+
+    /// Filter the ball's emitted choices down to the delivered requests.
+    fn deliver(&self, round: u32, ball: u32, raw: &mut Vec<u32>, rec: &mut FaultRecord);
+}
+
+/// Zero-cost admission: everything is admitted and delivered verbatim.
+pub(crate) struct NoFaults;
+
+impl Admission for NoFaults {
+    const PASSTHROUGH: bool = true;
+
+    #[inline]
+    fn admit(&self, _round: u32, _ball: u32, _rec: &mut FaultRecord) -> bool {
+        true
+    }
+
+    #[inline]
+    fn deliver(&self, _round: u32, _ball: u32, _raw: &mut Vec<u32>, _rec: &mut FaultRecord) {}
+}
+
+/// Fault-session admission: defers backed-off/straggling balls and routes
+/// every emitted choice through the crash-redraw + drop filter. All
+/// decisions come from counter-based streams keyed on `(plan seed, round,
+/// ball)`, so chunk boundaries cannot change them.
+pub(crate) struct Faulty<'a> {
+    ctx: FaultCtx<'a>,
+    /// Per-ball retry state, written disjointly (one chunk per ball id).
+    ball: DisjointIndexMut<'a, BallFault>,
+}
+
+impl<'a> Faulty<'a> {
+    pub(crate) fn new(ctx: FaultCtx<'a>, ball: &'a mut [BallFault]) -> Self {
+        Self {
+            ctx,
+            ball: DisjointIndexMut::new(ball),
+        }
+    }
+}
+
+impl Admission for Faulty<'_> {
+    const PASSTHROUGH: bool = false;
+
+    #[inline]
+    fn admit(&self, round: u32, ball: u32, rec: &mut FaultRecord) -> bool {
+        // SAFETY: the round kernel partitions ball ids over chunks (checked
+        // by `DisjointClaims` in debug builds), so this chunk's task is the
+        // only one touching this ball's fault slot.
+        let st = unsafe { self.ball.index_mut(ball as usize) };
+        self.ctx.admit(round, ball, st, rec)
+    }
+
+    #[inline]
+    fn deliver(&self, round: u32, ball: u32, raw: &mut Vec<u32>, rec: &mut FaultRecord) {
+        // SAFETY: as in `admit` — one chunk per ball id.
+        let st = unsafe { self.ball.index_mut(ball as usize) };
+        self.ctx.deliver(round, ball, raw, st, rec);
+    }
+}
+
+/// One chunk's reusable scratch arena. `SimState` owns one per chunk slot
+/// and reuses them across rounds; after the warm-up round every buffer has
+/// reached steady-state capacity and rounds allocate nothing.
+pub(crate) struct LaneScratch {
+    /// First index into `active` covered by this chunk this round.
+    pub(crate) start: usize,
+    /// Flat per-request bin ids, ball-major within the chunk.
+    pub(crate) bins: Vec<u32>,
+    /// Per-ball delivered-request counts, aligned with `active[start..]`.
+    pub(crate) degrees: Vec<u32>,
+    /// Per-bin arrival counts of this chunk; the serial exclusive scan
+    /// rewrites them into the chunk's per-bin global arrival-rank bases.
+    pub(crate) counts: Vec<u32>,
+    /// Staging buffer for pre-filter choices on the faulty path.
+    raw: Vec<u32>,
+    /// Commit options for `NEEDS_COMMIT_CHOICE` protocols.
+    options: Vec<CommitOption>,
+    /// Balls of this chunk that did not commit this round.
+    pub(crate) still_active: Vec<u32>,
+    /// First out-of-range bin a protocol emitted in this chunk, if any.
+    pub(crate) out_of_range: Option<u64>,
+    /// Fault events injected while gathering this chunk (all-zero on the
+    /// no-fault path; merged into the session tally after the join in
+    /// chunk order, matching the serial totals exactly).
+    pub(crate) faults: FaultRecord,
+    pub(crate) committed: u64,
+    pub(crate) wasted: u64,
+    pub(crate) commit_msgs: u64,
+}
+
+impl LaneScratch {
+    pub(crate) fn new() -> Self {
+        Self {
+            start: 0,
+            bins: Vec::new(),
+            degrees: Vec::new(),
+            counts: Vec::new(),
+            raw: Vec::new(),
+            options: Vec::new(),
+            still_active: Vec::new(),
+            out_of_range: None,
+            faults: FaultRecord::default(),
+            committed: 0,
+            wasted: 0,
+            commit_msgs: 0,
+        }
+    }
+
+    /// Reset for a new round's gather over `range_start..` with `n` bins.
+    fn begin_gather(&mut self, range_start: usize, n: usize) {
+        self.start = range_start;
+        self.bins.clear();
+        self.degrees.clear();
+        if self.counts.len() != n {
+            // Only ever runs on the first round a chunk slot is used (or if
+            // the bin count changed, which it cannot mid-run).
+            self.counts.resize(n, 0);
+        }
+        self.counts.fill(0);
+        self.out_of_range = None;
+        self.faults = FaultRecord::default();
+    }
+}
+
+/// Immutable context shared by every gather chunk of a round.
+pub(crate) struct GatherShared<'a, P: RoundProtocol> {
+    pub protocol: &'a P,
+    pub ctx: &'a RoundContext,
+    pub seed: u64,
+    pub n_bins: u32,
+    pub active: &'a [u32],
+    /// Per-ball protocol state, written disjointly (one chunk per ball).
+    pub states: DisjointIndexMut<'a, P::BallState>,
+    /// Debug-build verifier of the one-chunk-per-ball partition.
+    pub claims: &'a DisjointClaims,
+}
+
+/// THE gather kernel: one chunk's choice emission, admission filtering,
+/// and chunk-local arrival counting. Every executor/fault combination runs
+/// this exact code; `A::PASSTHROUGH` only switches whether choices are
+/// staged through the filter buffer.
+pub(crate) fn gather_chunk<P: RoundProtocol, A: Admission>(
+    shared: &GatherShared<'_, P>,
+    admission: &A,
+    range: Range<usize>,
+    scratch: &mut LaneScratch,
+) {
+    scratch.begin_gather(range.start, shared.n_bins as usize);
+    let round = shared.ctx.round;
+    for &ball in &shared.active[range] {
+        shared.claims.claim(ball as usize);
+        // SAFETY: chunk ranges partition the active set and each ball id
+        // appears at most once in it, so this task is the only one touching
+        // this ball's state slot (asserted by the claim above in debug
+        // builds).
+        let state = unsafe { shared.states.index_mut(ball as usize) };
+        if !admission.admit(round, ball, &mut scratch.faults) {
+            scratch.degrees.push(0);
+            continue;
+        }
+        let mut rng = ball_stream(shared.seed, round, ball as u64);
+        if A::PASSTHROUGH {
+            let before = scratch.bins.len();
+            let mut sink = ChoiceSink::new(&mut scratch.bins, shared.n_bins);
+            shared.protocol.ball_choices(
+                shared.ctx,
+                BallContext { ball },
+                state,
+                &mut rng,
+                &mut sink,
+            );
+            if let Some(b) = sink.out_of_range() {
+                scratch.out_of_range.get_or_insert(b);
+            }
+            scratch.degrees.push((scratch.bins.len() - before) as u32);
+        } else {
+            scratch.raw.clear();
+            let mut sink = ChoiceSink::new(&mut scratch.raw, shared.n_bins);
+            shared.protocol.ball_choices(
+                shared.ctx,
+                BallContext { ball },
+                state,
+                &mut rng,
+                &mut sink,
+            );
+            if let Some(b) = sink.out_of_range() {
+                scratch.out_of_range.get_or_insert(b);
+            }
+            admission.deliver(round, ball, &mut scratch.raw, &mut scratch.faults);
+            scratch.bins.extend_from_slice(&scratch.raw);
+            scratch.degrees.push(scratch.raw.len() as u32);
+        }
+    }
+    for &b in &scratch.bins {
+        scratch.counts[b as usize] += 1;
+    }
+}
+
+/// One task's slice of the grant phase: query the protocol for every bin
+/// in `range`, record the clamped accept and the want, and return this
+/// range's `(underloaded bins, unfilled want)` contribution.
+pub(crate) fn grant_range<P: RoundProtocol>(
+    protocol: &P,
+    ctx: &RoundContext,
+    range: Range<usize>,
+    counts: &[u32],
+    loads: &[u32],
+    accept: &DisjointIndexMut<'_, u32>,
+    want: &DisjointIndexMut<'_, u32>,
+) -> (u32, u64) {
+    let mut underloaded = 0u32;
+    let mut unfilled = 0u64;
+    for i in range {
+        let arrivals = counts[i];
+        let g = protocol.bin_grant(ctx, i as u32, loads[i], arrivals);
+        // SAFETY: callers partition bin indices over tasks, so no other
+        // task writes these slots.
+        unsafe {
+            *accept.index_mut(i) = g.accept.min(arrivals);
+            *want.index_mut(i) = g.want;
+        }
+        if arrivals < g.want {
+            underloaded += 1;
+            unfilled += (g.want - arrivals) as u64;
+        }
+    }
+    (underloaded, unfilled)
+}
+
+/// Immutable context shared by every resolve chunk of a round.
+pub(crate) struct ResolveShared<'a, P: RoundProtocol> {
+    pub protocol: &'a P,
+    pub ctx: &'a RoundContext,
+    pub active: &'a [u32],
+    pub accept: &'a [u32],
+    /// Round-start load snapshot (populated only for `NEEDS_COMMIT_CHOICE`).
+    pub loads_before: &'a [u32],
+    /// Live loads as atomics: commit increments are commutative, so the
+    /// final values are schedule-independent.
+    pub loads: &'a [AtomicU32],
+    /// Final placements (one chunk per ball id), if tracked.
+    pub assignment: Option<DisjointIndexMut<'a, u32>>,
+    /// Per-ball sent-message counters (one chunk per ball id), if tracked.
+    pub sent: Option<DisjointIndexMut<'a, u32>>,
+}
+
+/// THE resolve/commit kernel: assign each of the chunk's requests its
+/// global arrival rank (chunk rank base + running chunk-local count),
+/// accept iff rank < grant — exactly the first-`grant`-arrivals rule — and
+/// commit at most one accepted bin per ball.
+pub(crate) fn resolve_chunk<P: RoundProtocol>(
+    shared: &ResolveShared<'_, P>,
+    scratch: &mut LaneScratch,
+) {
+    let LaneScratch {
+        start,
+        bins,
+        degrees,
+        counts,
+        options,
+        still_active,
+        committed,
+        wasted,
+        commit_msgs,
+        ..
+    } = scratch;
+    still_active.clear();
+    *committed = 0;
+    *wasted = 0;
+    *commit_msgs = 0;
+    let mut req_idx = 0usize;
+    for (k, &degree) in degrees.iter().enumerate() {
+        let ball = shared.active[*start + k];
+        let mut commit: Option<u32> = None;
+        let mut accepts = 0u32;
+        if P::NEEDS_COMMIT_CHOICE {
+            options.clear();
+        }
+        for _ in 0..degree {
+            let bin = bins[req_idx];
+            req_idx += 1;
+            let b = bin as usize;
+            let rank = counts[b];
+            counts[b] = rank + 1;
+            if rank < shared.accept[b] {
+                accepts += 1;
+                if P::NEEDS_COMMIT_CHOICE {
+                    options.push(CommitOption {
+                        bin,
+                        slot: rank,
+                        load_before: shared.loads_before[b],
+                    });
+                } else if commit.is_none() {
+                    commit = Some(shared.protocol.redirect(shared.ctx, bin, rank));
+                } else {
+                    *wasted += 1;
+                }
+            }
+        }
+        if P::NEEDS_COMMIT_CHOICE && !options.is_empty() {
+            let pick = shared
+                .protocol
+                .pick_commit(shared.ctx, BallContext { ball }, options)
+                .min(options.len() - 1);
+            let chosen = options[pick];
+            commit = Some(
+                shared
+                    .protocol
+                    .redirect(shared.ctx, chosen.bin, chosen.slot),
+            );
+            *wasted += (options.len() - 1) as u64;
+        }
+        *commit_msgs += accepts as u64;
+        if let Some(sent) = &shared.sent {
+            // SAFETY: resolve reuses the gather partition (same chunk
+            // ranges over the same active set), so this task is the only
+            // one touching this ball's sent counter.
+            unsafe {
+                *sent.index_mut(ball as usize) += degree + accepts;
+            }
+        }
+        if let Some(target) = commit {
+            shared.loads[target as usize].fetch_add(1, Ordering::Relaxed);
+            *committed += 1;
+            if let Some(assignment) = &shared.assignment {
+                // SAFETY: as above — one chunk per ball id.
+                unsafe {
+                    *assignment.index_mut(ball as usize) = target;
+                }
+            }
+        } else {
+            still_active.push(ball);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuning_defaults_match_constants() {
+        let t = ExecTuning::default();
+        assert_eq!(t.min_chunk, DEFAULT_MIN_CHUNK);
+        assert_eq!(t.par_cutoff, DEFAULT_PAR_CUTOFF);
+    }
+
+    #[test]
+    fn serial_backend_is_one_chunk() {
+        let b = Backend::Serial;
+        assert_eq!(b.lanes(), 1);
+        assert!(b.pool().is_none());
+        let c = b.chunking(1_000_000, 16);
+        assert_eq!(c.chunks(), 1);
+        assert_eq!(c.range(0), 0..1_000_000);
+    }
+
+    #[test]
+    fn pool_backend_fans_out() {
+        let pool = ThreadPool::new(3);
+        let b = Backend::Pool(&pool);
+        assert_eq!(b.lanes(), 4);
+        let c = b.chunking(1_000_000, 16);
+        assert_eq!(c.chunks(), 8); // lanes * 2
+        let mut seen = [false; 64];
+        let flags: Vec<std::sync::atomic::AtomicBool> = (0..64)
+            .map(|_| std::sync::atomic::AtomicBool::new(false))
+            .collect();
+        b.run(64, |i| flags[i].store(true, Ordering::Relaxed));
+        for (i, f) in flags.iter().enumerate() {
+            seen[i] = f.load(Ordering::Relaxed);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn serial_backend_runs_inline_in_order() {
+        let next = AtomicU32::new(0);
+        Backend::Serial.run(10, |i| {
+            assert_eq!(next.fetch_add(1, Ordering::Relaxed), i as u32);
+        });
+        assert_eq!(next.into_inner(), 10);
+    }
+}

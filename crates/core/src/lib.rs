@@ -22,7 +22,10 @@
 //!   Xoshiro256++, counter-based per-(seed, round, ball) streams).
 //! * [`protocol`] — the [`RoundProtocol`] trait and its vocabulary types.
 //! * [`engine`] — request gathering, per-bin counting, acceptance
-//!   resolution, commits; sequential and parallel executors.
+//!   resolution, commits; one backend-parameterized round kernel.
+//! * [`exec`] — the execution substrate behind the engine: [`Backend`]
+//!   (serial vs. pool), chunk-geometry tuning, per-lane scratch arenas,
+//!   and the fault-admission layer.
 //! * [`sim`] — the user-facing [`Simulator`] / [`RunConfig`] /
 //!   [`RunOutcome`] API.
 //! * [`metrics`] — the observability layer: [`MetricsSink`], per-round
@@ -40,6 +43,7 @@ pub mod allocation;
 pub mod binstate;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod faults;
 pub mod load;
 pub mod mathutil;
@@ -54,6 +58,7 @@ pub mod trace;
 pub use allocation::Allocation;
 pub use binstate::BinState;
 pub use error::{CoreError, Result};
+pub use exec::{Backend, ExecTuning, DEFAULT_MIN_CHUNK, DEFAULT_PAR_CUTOFF};
 pub use faults::{FaultPlan, FaultRecord, FaultStats, StragglerSpec};
 pub use load::LoadStats;
 pub use messages::{MessageStats, MessageTracking};

@@ -10,6 +10,7 @@ use crate::allocation::Allocation;
 use crate::binstate::BinState;
 use crate::engine::SimState;
 use crate::error::{CoreError, Result};
+use crate::exec::{Backend, ExecTuning};
 use crate::faults::{FaultPlan, FaultStats};
 use crate::load::LoadStats;
 use crate::messages::{MessageStats, MessageTracking};
@@ -70,6 +71,11 @@ pub struct RunConfig {
     /// zero-overhead path: every fault branch in the engine is gated on
     /// this option and no fault state is allocated.
     pub faults: Option<FaultPlan>,
+    /// Minimum active balls per parallel chunk (default 16 Ki).
+    pub min_chunk: usize,
+    /// Minimum active-set size for a round to fan out at all; below it the
+    /// round runs serially regardless of executor (default 64 Ki).
+    pub par_cutoff: usize,
 }
 
 impl RunConfig {
@@ -85,6 +91,8 @@ impl RunConfig {
             max_rounds: None,
             metrics: None,
             faults: None,
+            min_chunk: crate::exec::DEFAULT_MIN_CHUNK,
+            par_cutoff: crate::exec::DEFAULT_PAR_CUTOFF,
         }
     }
 
@@ -170,6 +178,25 @@ impl RunConfig {
         self.faults = None;
         self
     }
+
+    /// Override the parallel chunk geometry: `min_chunk` active balls per
+    /// chunk, and a round fans out only when at least `par_cutoff` balls
+    /// are active. The defaults (16 Ki / 64 Ki) match the engine's
+    /// historical compile-time constants; results are bit-identical for
+    /// every setting — only scheduling granularity changes.
+    pub fn with_chunking(mut self, min_chunk: usize, par_cutoff: usize) -> Self {
+        self.min_chunk = min_chunk.max(1);
+        self.par_cutoff = par_cutoff;
+        self
+    }
+
+    /// The chunk-geometry knobs as the engine consumes them.
+    pub(crate) fn tuning(&self) -> ExecTuning {
+        ExecTuning {
+            min_chunk: self.min_chunk,
+            par_cutoff: self.par_cutoff,
+        }
+    }
 }
 
 impl std::fmt::Debug for RunConfig {
@@ -190,6 +217,8 @@ impl std::fmt::Debug for RunConfig {
                 },
             )
             .field("faults", &self.faults)
+            .field("min_chunk", &self.min_chunk)
+            .field("par_cutoff", &self.par_cutoff)
             .finish()
     }
 }
@@ -359,6 +388,7 @@ impl Simulator {
             self.config.tracking,
             self.config.track_assignment,
             self.config.faults,
+            self.config.tuning(),
         );
         let budget = self
             .config
@@ -413,10 +443,11 @@ impl Simulator {
             let ctx = state.context(round);
             protocol.begin_round(&ctx);
             let obs = meta.as_ref().map(|(sink, meta)| (*sink, meta));
-            let record: RoundRecord = match pool {
-                None => state.round_seq(protocol, round, obs)?,
-                Some(pool) => state.round_par(protocol, round, pool, obs)?,
+            let backend = match pool {
+                None => Backend::Serial,
+                Some(pool) => Backend::Pool(pool),
             };
+            let record: RoundRecord = state.round(protocol, round, backend, obs)?;
             totals.add(record.messages);
             if let Some(t) = trace.as_mut() {
                 t.push(record);

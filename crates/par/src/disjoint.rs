@@ -1,0 +1,224 @@
+//! Disjoint per-slot mutable access to a slice from concurrent tasks.
+//!
+//! The engine's parallel phases hand each task a disjoint set of *item
+//! indices* (balls, bins, chunk slots) and let every task write its own
+//! items' slots in several parallel arrays. Rust's borrow checker cannot
+//! see that the index sets are disjoint, so this module provides the one
+//! audited escape hatch: [`DisjointIndexMut`] erases a `&mut [T]` into a
+//! shareable handle whose `index_mut` is `unsafe` with exactly one proof
+//! obligation — *no two concurrent tasks touch the same index*.
+//!
+//! [`DisjointClaims`] backs that obligation with a runtime check in debug
+//! builds: each task claims every item index it owns once per epoch, and a
+//! double claim aborts the test run. Release builds compile the claim
+//! table away entirely, so the check costs nothing in benchmarks.
+
+use std::marker::PhantomData;
+
+#[cfg(debug_assertions)]
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A shareable view of a mutable slice that hands out `&mut` access to
+/// individual slots, for use by concurrent tasks with provably disjoint
+/// index sets.
+///
+/// The handle borrows the slice for `'a`, so the underlying storage cannot
+/// be moved, resized, or otherwise aliased while tasks hold the view. All
+/// aliasing discipline is concentrated in [`DisjointIndexMut::index_mut`].
+pub struct DisjointIndexMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the handle is only a pointer + length over a uniquely borrowed
+// slice; sending or sharing it across threads is sound because every
+// dereference goes through `index_mut`, whose contract requires disjoint
+// indices across concurrent users. `T: Send` is required because a task on
+// another thread obtains `&mut T` (i.e. ownership-like access) to slots.
+unsafe impl<T: Send> Send for DisjointIndexMut<'_, T> {}
+// SAFETY: as above — `&DisjointIndexMut` only enables `index_mut`, which is
+// itself `unsafe` with a disjointness contract.
+unsafe impl<T: Send> Sync for DisjointIndexMut<'_, T> {}
+
+impl<'a, T> DisjointIndexMut<'a, T> {
+    /// Wrap a uniquely borrowed slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view covers no slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mutable access to slot `index`.
+    ///
+    /// # Safety
+    ///
+    /// Callers must guarantee that no two concurrently running tasks call
+    /// `index_mut` with the same `index` (and that the caller does not hold
+    /// another reference to the same slot). In the engine this is
+    /// discharged by partitioning item indices over chunks and verified in
+    /// debug builds by [`DisjointClaims`]. Out-of-bounds indices are
+    /// rejected in all builds.
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // the whole point: disjoint &mut from a shared handle
+    pub unsafe fn index_mut(&self, index: usize) -> &mut T {
+        assert!(index < self.len, "DisjointIndexMut: index out of bounds");
+        // SAFETY: `ptr` covers `len` initialized slots of a live `&mut`
+        // borrow; `index` is in bounds (checked above) and the caller
+        // guarantees no concurrent access to this slot.
+        unsafe { &mut *self.ptr.add(index) }
+    }
+}
+
+/// Debug-build verifier for the "one task per item index" invariant behind
+/// [`DisjointIndexMut`].
+///
+/// The owner allocates one claim table up front (so steady-state rounds
+/// stay allocation-free even in debug builds), calls [`begin`] once per
+/// round/epoch, and every task calls [`claim`] for each item index it is
+/// about to mutate. Claiming the same index twice within an epoch panics in
+/// debug builds; in release builds the whole type is a zero-sized no-op.
+///
+/// [`begin`]: DisjointClaims::begin
+/// [`claim`]: DisjointClaims::claim
+pub struct DisjointClaims {
+    #[cfg(debug_assertions)]
+    epoch: u32,
+    #[cfg(debug_assertions)]
+    slots: Vec<AtomicU32>,
+}
+
+impl DisjointClaims {
+    /// Build a claim table for `len` item indices.
+    #[cfg_attr(not(debug_assertions), allow(unused_variables))]
+    pub fn new(len: usize) -> Self {
+        Self {
+            #[cfg(debug_assertions)]
+            epoch: 0,
+            #[cfg(debug_assertions)]
+            slots: (0..len).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// Start a new epoch; prior claims are forgotten.
+    pub fn begin(&mut self) {
+        #[cfg(debug_assertions)]
+        {
+            self.epoch = self.epoch.wrapping_add(1);
+            // Epoch 0 is the table's initial value; skip it so stale slots
+            // can never collide with a live epoch after wraparound.
+            if self.epoch == 0 {
+                self.epoch = 1;
+                for slot in &self.slots {
+                    slot.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Record that the calling task owns `index` for the current epoch.
+    ///
+    /// Panics (debug builds only) if another claim for `index` was already
+    /// made this epoch — i.e. two tasks would mutate the same slot.
+    #[inline]
+    #[cfg_attr(not(debug_assertions), allow(unused_variables))]
+    pub fn claim(&self, index: usize) {
+        #[cfg(debug_assertions)]
+        {
+            let prev = self.slots[index].swap(self.epoch, Ordering::Relaxed);
+            assert_ne!(
+                prev, self.epoch,
+                "DisjointIndexMut invariant violated: index {index} claimed twice in one epoch"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadPool;
+    use crate::{chunk_range, Chunking};
+
+    #[test]
+    fn disjoint_writes_land() {
+        let pool = ThreadPool::new(3);
+        let mut data = vec![0u64; 10_000];
+        let chunking = Chunking::new(data.len(), 128, 16);
+        let view = DisjointIndexMut::new(&mut data);
+        pool.run_indexed(chunking.chunks(), |ci| {
+            for i in chunking.range(ci) {
+                // SAFETY: chunk ranges partition 0..len disjointly.
+                unsafe {
+                    *view.index_mut(i) = i as u64 * 3;
+                }
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_is_rejected_in_all_builds() {
+        let mut data = vec![0u8; 4];
+        let view = DisjointIndexMut::new(&mut data);
+        // SAFETY: single-threaded access; the call must panic on bounds.
+        unsafe {
+            *view.index_mut(4) = 1;
+        }
+    }
+
+    #[test]
+    fn claims_allow_one_claim_per_epoch() {
+        let mut claims = DisjointClaims::new(8);
+        claims.begin();
+        for i in 0..8 {
+            claims.claim(i);
+        }
+        claims.begin();
+        for i in 0..8 {
+            claims.claim(i); // fresh epoch: fine again
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "claimed twice")]
+    fn double_claim_panics_in_debug() {
+        let mut claims = DisjointClaims::new(4);
+        claims.begin();
+        claims.claim(2);
+        claims.claim(2);
+    }
+
+    #[test]
+    fn chunk_ranges_partition_for_claims() {
+        let claims = {
+            let mut c = DisjointClaims::new(1000);
+            c.begin();
+            c
+        };
+        let chunking = Chunking::new(1000, 64, 7);
+        for ci in 0..chunking.chunks() {
+            for i in chunk_range(1000, chunking.chunks(), ci) {
+                claims.claim(i);
+            }
+        }
+    }
+}

@@ -69,6 +69,8 @@ impl<T> DisjointOut<T> {
     /// # Safety
     /// Each index must be written exactly once, by exactly one task.
     unsafe fn write(&self, i: usize, value: T) {
+        // SAFETY: the caller guarantees `i` is written exactly once by
+        // exactly one task, so the UnsafeCell access cannot alias.
         unsafe { (*self.slots[i].get()).write(value) };
     }
 
@@ -78,6 +80,8 @@ impl<T> DisjointOut<T> {
         let slots = Vec::from(self.slots);
         slots
             .into_iter()
+            // SAFETY: the caller guarantees every slot was written, so
+            // each MaybeUninit holds an initialized value.
             .map(|cell| unsafe { cell.into_inner().assume_init() })
             .collect()
     }
@@ -115,10 +119,11 @@ where
     let len = dst.len();
     let base = dst.as_mut_ptr() as usize;
     for_each_chunk(pool, len, DEFAULT_MIN_CHUNK, |r| {
-        // SAFETY: chunks are disjoint subranges of `dst`, each written by
-        // exactly one task while the caller's &mut borrow pins the buffer.
         let ptr = base as *mut T;
         for i in r {
+            // SAFETY: chunks are disjoint subranges of `dst`, each written
+            // by exactly one task while the caller's &mut borrow pins the
+            // buffer; `i` is in bounds by chunk construction.
             unsafe { ptr.add(i).write(f(i)) };
         }
     });

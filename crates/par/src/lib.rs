@@ -13,6 +13,9 @@
 //! * [`for_each_chunk`] / [`par_map_indexed`] / [`par_reduce`] — chunked
 //!   data-parallel iteration, mapping and reduction over index ranges.
 //! * [`par_chunks_mut`] — disjoint mutable chunk access to a slice.
+//! * [`DisjointIndexMut`] / [`DisjointClaims`] — the audited escape hatch
+//!   for per-slot disjoint writes from concurrent tasks, with a debug-build
+//!   one-task-per-index verifier.
 //! * [`atomic`] — zero-copy reinterpretation of `&mut [u32]` / `&mut [u64]`
 //!   as atomic slices, plus sharded counter merging.
 //!
@@ -27,6 +30,7 @@
 
 pub mod atomic;
 pub mod chunk;
+pub mod disjoint;
 pub mod iter;
 pub mod pool;
 pub mod reduce;
@@ -34,6 +38,7 @@ pub mod scan;
 
 pub use atomic::{as_atomic_u32, as_atomic_u64, ShardedCounters};
 pub use chunk::{chunk_count, chunk_range, Chunking};
+pub use disjoint::{DisjointClaims, DisjointIndexMut};
 pub use iter::{for_each_chunk, par_chunks_mut, par_fill_with, par_map_indexed};
 pub use pool::{global_pool, PoolStats, ThreadPool};
 pub use reduce::{par_max_u64, par_reduce, par_sum_u64};

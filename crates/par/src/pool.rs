@@ -7,8 +7,22 @@
 //! primitives (chunked iteration, map, reduce) are built on top of it in
 //! sibling modules. Keeping the unsafe lifetime-erasure confined to this one
 //! entry point makes the soundness argument short: the caller blocks until
-//! the job's completion latch fires, so every borrow smuggled to a worker is
-//! dead before `run_indexed` returns.
+//! the job's completion latch fires *and* every late-waking worker has left
+//! the job slot, so every borrow smuggled to a worker is dead before
+//! `run_indexed` returns.
+//!
+//! ## Allocation-free dispatch
+//!
+//! Dispatch reuses one long-lived job slot per pool instead of allocating a
+//! job object per call: the caller publishes `(ctx, call, tasks)` under the
+//! slot mutex with a bumped generation counter, wakes the workers through a
+//! condvar, participates, and then retires the slot. Steady-state
+//! `run_indexed` therefore performs **zero heap allocations** — a property
+//! the engine's per-round allocation test (`tests/alloc_steady_state.rs`)
+//! depends on. Concurrent callers are serialized by a dispatch mutex; a
+//! nested `run_indexed` on the *same* pool from inside a task runs inline on
+//! the calling lane (results are index-keyed, so inlining cannot change
+//! them), which also rules out self-deadlock on the dispatch mutex.
 //!
 //! ## Utilization counters
 //!
@@ -22,9 +36,9 @@
 //! this is what the engine reports through its `MetricsSink` (see
 //! `pba-core`).
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -102,74 +116,114 @@ impl Counters {
     }
 }
 
-/// A job broadcast to the workers: grab indices from `next` until exhausted,
-/// call the erased closure for each, and count down `remaining`.
-struct Job {
-    /// Type-erased pointer to the caller's closure (`&F`).
+/// The pool's single, reusable job slot. All fields are guarded by
+/// `Shared::slot`; publication of a new job bumps `seq` so workers can tell
+/// a fresh job from one they already drained.
+struct Slot {
+    /// Generation counter; workers remember the last value they acted on.
+    seq: u64,
+    /// Type-erased pointer to the caller's closure (`&F`). Null between jobs.
     ctx: *const (),
     /// Monomorphized trampoline that invokes `*ctx` with an index.
-    call: unsafe fn(*const (), usize),
-    /// Total number of task indices.
+    call: Option<unsafe fn(*const (), usize)>,
+    /// Total number of task indices in the current job.
     tasks: usize,
-    /// Next index to claim.
-    next: AtomicUsize,
-    /// Number of task indices not yet completed.
-    remaining: AtomicUsize,
-    /// Set when any task panicked.
-    panicked: AtomicBool,
-    /// Latch the caller waits on.
-    done: Mutex<bool>,
-    done_cv: Condvar,
+    /// True while the current job admits new participants.
+    live: bool,
+    /// Workers currently inside `participate` for the current job.
+    participants: usize,
+    /// Set once every task index of the current job has completed.
+    done: bool,
+    /// Set by `Drop` to terminate the workers.
+    shutdown: bool,
 }
 
 // SAFETY: `ctx` points to a closure that is `Sync` (enforced by the bounds
-// on `run_indexed`), and the pointer is only dereferenced while the caller
-// is blocked inside `run_indexed`, keeping the referent alive.
-unsafe impl Send for Job {}
-unsafe impl Sync for Job {}
+// on `run_indexed`), and the pointer is only dereferenced between
+// publication and retirement of a job, during which the caller is blocked
+// inside `run_indexed`, keeping the referent alive.
+unsafe impl Send for Slot {}
 
-impl Job {
-    /// Claim and run indices until the job is drained.
+/// State shared between the caller and the workers.
+struct Shared {
+    slot: Mutex<Slot>,
+    /// Workers wait here for `slot.seq` to change.
+    job_cv: Condvar,
+    /// The caller waits here for `slot.done` and `slot.participants == 0`.
+    done_cv: Condvar,
+    /// Next task index to claim (reset per job).
+    next: AtomicUsize,
+    /// Task indices not yet completed (reset per job).
+    remaining: AtomicUsize,
+    /// Set when any task of the current job panicked.
+    panicked: AtomicBool,
+}
+
+impl Shared {
+    /// Claim and run indices of the current job until it is drained.
     ///
     /// Returns the number of indices this call executed. Panics inside the
     /// user closure are captured (so a worker thread never dies) and
     /// re-raised on the caller.
-    fn participate(&self) -> u64 {
+    fn participate(&self, ctx: *const (), call: unsafe fn(*const (), usize), tasks: usize) -> u64 {
         let mut executed = 0u64;
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
-            if i >= self.tasks {
+            if i >= tasks {
                 return executed;
             }
             executed += 1;
             let result = catch_unwind(AssertUnwindSafe(|| {
-                // SAFETY: see `unsafe impl Send/Sync for Job`.
-                unsafe { (self.call)(self.ctx, i) }
+                // SAFETY: see `unsafe impl Send for Slot` — the caller keeps
+                // the closure alive until the job is retired, and we only
+                // run between publication and retirement.
+                unsafe { call(ctx, i) }
             }));
             if result.is_err() {
                 self.panicked.store(true, Ordering::Relaxed);
             }
             if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                let mut done = self.done.lock().unwrap();
-                *done = true;
+                let mut slot = self.slot.lock().unwrap();
+                slot.done = true;
                 self.done_cv.notify_all();
             }
         }
     }
+}
 
-    fn wait(&self) {
-        let mut done = self.done.lock().unwrap();
-        while !*done {
-            done = self.done_cv.wait(done).unwrap();
-        }
+thread_local! {
+    /// Address of the `Shared` block of the pool whose job this thread is
+    /// currently executing (0 when not inside a pool task). Used to run
+    /// same-pool nested `run_indexed` calls inline instead of deadlocking
+    /// on the dispatch mutex.
+    static ACTIVE_POOL: Cell<usize> = const { Cell::new(0) };
+}
+
+/// RAII guard marking this thread as executing tasks of the pool at `addr`.
+struct ActivePoolGuard {
+    prev: usize,
+}
+
+impl ActivePoolGuard {
+    fn enter(addr: usize) -> Self {
+        let prev = ACTIVE_POOL.with(|c| c.replace(addr));
+        Self { prev }
+    }
+}
+
+impl Drop for ActivePoolGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        ACTIVE_POOL.with(|c| c.set(prev));
     }
 }
 
 /// A fixed pool of worker threads for bulk-synchronous array passes.
 ///
 /// The pool is cheap to share (`&ThreadPool` is all the API needs) and
-/// long-lived: workers park on a channel between jobs. Dropping the pool
-/// shuts the workers down and joins them.
+/// long-lived: workers park on a condvar between jobs and dispatch reuses a
+/// single job slot, so steady-state `run_indexed` allocates nothing.
+/// Dropping the pool shuts the workers down and joins them.
 ///
 /// # Examples
 ///
@@ -186,7 +240,9 @@ impl Job {
 /// assert!(pool.stats().tasks >= 100);
 /// ```
 pub struct ThreadPool {
-    sender: Option<Sender<Arc<Job>>>,
+    shared: Arc<Shared>,
+    /// Serializes concurrent `run_indexed` callers over the single job slot.
+    dispatch: Mutex<()>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
     counters: Arc<Counters>,
@@ -200,20 +256,36 @@ impl ThreadPool {
     /// execution through the same code path).
     pub fn new(threads: usize) -> Self {
         let counters = Arc::new(Counters::new(threads + 1));
-        let (sender, receiver) = channel::<Arc<Job>>();
-        let receiver = Arc::new(Mutex::new(receiver));
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot {
+                seq: 0,
+                ctx: std::ptr::null(),
+                call: None,
+                tasks: 0,
+                live: false,
+                participants: 0,
+                done: false,
+                shutdown: false,
+            }),
+            job_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+        });
         let workers = (0..threads)
             .map(|idx| {
-                let rx = Arc::clone(&receiver);
+                let shared = Arc::clone(&shared);
                 let counters = Arc::clone(&counters);
                 std::thread::Builder::new()
                     .name(format!("pba-par-{idx}"))
-                    .spawn(move || worker_loop(rx, counters, idx))
+                    .spawn(move || worker_loop(shared, counters, idx))
                     .expect("failed to spawn pba-par worker")
             })
             .collect();
         Self {
-            sender: Some(sender),
+            shared,
+            dispatch: Mutex::new(()),
             workers,
             threads,
             counters,
@@ -256,11 +328,17 @@ impl ThreadPool {
         }
     }
 
+    /// Address used as this pool's identity for nesting detection.
+    fn shared_addr(&self) -> usize {
+        Arc::as_ptr(&self.shared) as usize
+    }
+
     /// Run `f(i)` for every `i in 0..tasks`, in parallel, returning when all
     /// have completed. The calling thread participates in the work.
     ///
     /// Indices are claimed dynamically from a shared counter, so uneven task
-    /// costs are load-balanced automatically.
+    /// costs are load-balanced automatically. A nested call on the same pool
+    /// from inside a task runs the whole batch inline on the calling lane.
     ///
     /// # Panics
     ///
@@ -277,7 +355,8 @@ impl ThreadPool {
         self.counters
             .tasks
             .fetch_add(tasks as u64, Ordering::Relaxed);
-        if tasks == 1 || self.threads == 0 {
+        let nested = ACTIVE_POOL.with(|c| c.get()) == self.shared_addr();
+        if tasks == 1 || self.threads == 0 || nested {
             self.counters.timed(self.threads, || {
                 for i in 0..tasks {
                     f(i);
@@ -288,36 +367,56 @@ impl ThreadPool {
 
         unsafe fn call_impl<F: Fn(usize) + Sync>(ctx: *const (), i: usize) {
             // SAFETY: `ctx` was created from `&f` below and `f` outlives the
-            // job (the caller blocks on the latch before returning).
+            // job (the caller blocks until the slot is retired and empty of
+            // participants before returning).
             let f = unsafe { &*(ctx as *const F) };
             f(i);
         }
 
-        let job = Arc::new(Job {
-            ctx: &f as *const F as *const (),
-            call: call_impl::<F>,
-            tasks,
-            next: AtomicUsize::new(0),
-            remaining: AtomicUsize::new(tasks),
-            panicked: AtomicBool::new(false),
-            done: Mutex::new(false),
-            done_cv: Condvar::new(),
-        });
-
-        // Wake every worker; extras that find the job drained return
-        // immediately.
-        let sender = self.sender.as_ref().expect("pool already shut down");
-        for _ in 0..self.threads.min(tasks) {
-            // A send failure means the workers are gone, which only happens
-            // during shutdown; the caller participating below still drains
-            // the job correctly.
-            let _ = sender.send(Arc::clone(&job));
+        // One job at a time: the slot is a single broadcast cell.
+        let _dispatch = self.dispatch.lock().unwrap();
+        let shared = &*self.shared;
+        shared.next.store(0, Ordering::Relaxed);
+        shared.remaining.store(tasks, Ordering::Relaxed);
+        shared.panicked.store(false, Ordering::Relaxed);
+        {
+            let mut slot = shared.slot.lock().unwrap();
+            slot.seq = slot.seq.wrapping_add(1);
+            slot.ctx = &f as *const F as *const ();
+            slot.call = Some(call_impl::<F>);
+            slot.tasks = tasks;
+            slot.live = true;
+            slot.done = false;
+            shared.job_cv.notify_all();
         }
 
-        self.counters.timed(self.threads, || job.participate());
-        job.wait();
+        {
+            let _active = ActivePoolGuard::enter(self.shared_addr());
+            self.counters.timed(self.threads, || {
+                shared.participate(&f as *const F as *const (), call_impl::<F>, tasks)
+            });
+        }
 
-        if job.panicked.load(Ordering::Relaxed) {
+        // Retire the job: wait for the last task, stop admitting workers,
+        // then wait until every participant has left so the borrow of `f`
+        // is provably dead.
+        {
+            let mut slot = shared.slot.lock().unwrap();
+            while !slot.done {
+                slot = shared.done_cv.wait(slot).unwrap();
+            }
+            slot.live = false;
+            while slot.participants > 0 {
+                slot = shared.done_cv.wait(slot).unwrap();
+            }
+            slot.ctx = std::ptr::null();
+            slot.call = None;
+        }
+
+        if shared.panicked.load(Ordering::Relaxed) {
+            // Release the dispatch mutex before unwinding so a propagated
+            // task panic cannot poison it and wedge the pool.
+            drop(_dispatch);
             resume_unwind(Box::new("a pba-par task panicked"));
         }
     }
@@ -325,24 +424,51 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        // Closing the channel makes `recv` fail, terminating the workers.
-        drop(self.sender.take());
+        {
+            let mut slot = self.shared.slot.lock().unwrap();
+            slot.shutdown = true;
+            self.shared.job_cv.notify_all();
+        }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-fn worker_loop(rx: Arc<Mutex<Receiver<Arc<Job>>>>, counters: Arc<Counters>, lane: usize) {
+fn worker_loop(shared: Arc<Shared>, counters: Arc<Counters>, lane: usize) {
+    let mut last_seen = 0u64;
     loop {
-        let job = {
-            let guard = rx.lock().unwrap();
-            match guard.recv() {
-                Ok(job) => job,
-                Err(_) => return, // pool dropped
+        // Wait for a job generation we have not acted on yet.
+        let (ctx, call, tasks) = {
+            let mut slot = shared.slot.lock().unwrap();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.seq != last_seen {
+                    last_seen = slot.seq;
+                    if slot.live {
+                        slot.participants += 1;
+                        break (
+                            slot.ctx,
+                            slot.call.expect("live slot has a call"),
+                            slot.tasks,
+                        );
+                    }
+                    // Job retired before we woke; keep waiting.
+                }
+                slot = shared.job_cv.wait(slot).unwrap();
             }
         };
-        counters.timed(lane, || job.participate());
+        {
+            let _active = ActivePoolGuard::enter(Arc::as_ptr(&shared) as usize);
+            counters.timed(lane, || shared.participate(ctx, call, tasks));
+        }
+        let mut slot = shared.slot.lock().unwrap();
+        slot.participants -= 1;
+        if slot.participants == 0 {
+            shared.done_cv.notify_all();
+        }
     }
 }
 
@@ -424,6 +550,41 @@ mod tests {
             sum.fetch_add(data[i], Ordering::Relaxed);
         });
         assert_eq!(sum.into_inner(), 499_500);
+    }
+
+    #[test]
+    fn nested_same_pool_calls_run_inline() {
+        let pool = ThreadPool::new(3);
+        let count = AtomicUsize::new(0);
+        pool.run_indexed(8, |_| {
+            pool.run_indexed(4, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.into_inner(), 32);
+    }
+
+    #[test]
+    fn concurrent_callers_are_serialized_not_corrupted() {
+        let pool = Arc::new(ThreadPool::new(2));
+        let total = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        pool.run_indexed(64, |i| {
+                            total.fetch_add(i as u64, Ordering::Relaxed);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 50 * 2016);
     }
 
     #[test]

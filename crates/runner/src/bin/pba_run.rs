@@ -8,7 +8,7 @@
 //! pba-run protocol <name> --m M --n N [--seed S] [--parallel] [--trace F.jsonl]
 //! pba-run protocols            # list protocol names
 //! pba-run stream [--policy P] [--n N] [--batch 8n] …   # streaming allocator
-//! pba-run bench [--scale ...] [--out DIR]   # self-timed registry bench
+//! pba-run bench [--scale ...] [--out DIR|FILE.json]   # self-timed registry bench
 //! ```
 
 use std::process::ExitCode;
@@ -48,7 +48,7 @@ const USAGE: &str = "usage:
                  [--n N] [--batch B | Kn] [--batches K] [--workload uniform|zipf|burst]
                  [--churn F] [--shards S] [--seed S] [--parallel] [--trace FILE.jsonl]
                  [--faults SPEC]
-  pba-run bench [--scale smoke|default|full] [--out DIR]
+  pba-run bench [--scale smoke|default|full] [--out DIR|FILE.json]
 
 fault spec: comma-separated key=value clauses, e.g.
   --faults drop=0.1,crash=0.02,straggle=8x0.2,domains=8x0.3,seed=7";
@@ -723,9 +723,21 @@ fn run_bench(args: &[String]) -> Result<(), String> {
         .u64("stream_batches", stream_batches)
         .raw("stream_entries", &format!("[{}]", stream_entries.join(",")))
         .finish();
-    let dir = flags.out_dir.as_deref().unwrap_or(".");
-    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-    let path = format!("{dir}/BENCH_{scale_name}.json");
+    // `--out x.json` names the output file exactly (for side-by-side
+    // baseline comparisons via scripts/bench_diff.sh); any other value is
+    // a directory receiving the conventional `BENCH_<scale>.json`.
+    let out = flags.out_dir.as_deref().unwrap_or(".");
+    let path = if out.ends_with(".json") {
+        if let Some(parent) = std::path::Path::new(out).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+            }
+        }
+        out.to_string()
+    } else {
+        std::fs::create_dir_all(out).map_err(|e| e.to_string())?;
+        format!("{out}/BENCH_{scale_name}.json")
+    };
     std::fs::write(&path, format!("{doc}\n")).map_err(|e| e.to_string())?;
     eprintln!("wrote {path}");
     Ok(())

@@ -5,8 +5,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use pba_core::{BatchRecord, BinState, FaultPlan, MetricsSink, StreamMeta};
-use pba_par::{global_pool, par_map_indexed, ShardedCounters, ThreadPool};
+use pba_core::{Backend, BatchRecord, BinState, FaultPlan, MetricsSink, StreamMeta};
+use pba_par::{global_pool, DisjointIndexMut, ShardedCounters};
 
 use crate::arrival_stream;
 use crate::batch::{Batch, BatchOutcome};
@@ -16,6 +16,9 @@ use crate::policy::{PlacementPolicy, PolicyKind};
 /// Below this many arrivals a batch is decided and applied on one lane:
 /// the pool dispatch overhead outweighs two probes per ball.
 const PAR_CUTOFF: usize = 8 * 1024;
+
+/// Minimum arrivals decided by one chunk of the snapshot path.
+const SNAPSHOT_MIN_CHUNK: usize = 1024;
 
 /// A long-lived online allocator: ingest [`Batch`]es of arrivals and
 /// departures against persistent sharded bin state.
@@ -235,7 +238,10 @@ impl StreamAllocator {
 
     /// Snapshot path: decide every arrival against the batch-start loads
     /// (read-only, so decisions parallelize), then apply the commutative
-    /// adds — in parallel through atomic shard views when enabled.
+    /// adds. Both stages run on the same [`Backend`] the engine uses —
+    /// [`Backend::Serial`] below the cutoff (or when parallel ingestion is
+    /// off), the global pool otherwise. Placements are identical either
+    /// way.
     fn place_snapshot(
         &mut self,
         arrivals: &[crate::Ball],
@@ -259,21 +265,31 @@ impl StreamAllocator {
             }
             live
         };
-        let pool: Option<&'static ThreadPool> =
-            (self.parallel && arrivals.len() >= PAR_CUTOFF).then(global_pool);
-        let placements = match pool {
-            Some(pool) => par_map_indexed(pool, arrivals.len(), 1024, decide),
-            None => (0..arrivals.len()).map(decide).collect(),
+        let backend = if self.parallel && arrivals.len() >= PAR_CUTOFF {
+            Backend::Pool(global_pool())
+        } else {
+            Backend::Serial
         };
+        let chunking = backend.chunking(arrivals.len(), SNAPSHOT_MIN_CHUNK);
+        let mut placements = vec![0u32; arrivals.len()];
+        {
+            let view = DisjointIndexMut::new(&mut placements);
+            backend.run(chunking.chunks(), |ci| {
+                for i in chunking.range(ci) {
+                    // SAFETY: chunk ranges partition `0..arrivals.len()`
+                    // disjointly, so no two tasks write the same slot.
+                    unsafe {
+                        *view.index_mut(i) = decide(i);
+                    }
+                }
+            });
+        }
         let pairs: Vec<(u32, u64)> = placements
             .iter()
             .zip(arrivals)
             .map(|(&bin, ball)| (bin, ball.weight))
             .collect();
-        match pool {
-            Some(pool) => self.loads.apply_parallel(pool, &pairs, touches),
-            None => self.loads.apply_sequential(&pairs, touches),
-        }
+        self.loads.apply(backend, &pairs, touches);
         placements
     }
 }

@@ -12,7 +12,7 @@
 //! many placements landed in each shard's range: the per-batch
 //! shard-contention signal reported through metrics.
 
-use pba_core::BinState;
+use pba_core::{Backend, BinState};
 use pba_par::{as_atomic_u64, ShardedCounters};
 use std::sync::atomic::Ordering;
 
@@ -89,17 +89,18 @@ impl ShardedLoads {
         self.shards[s][i] = self.shards[s][i].saturating_sub(weight);
     }
 
-    /// Apply a batch of `(bin, weight)` placements in parallel.
+    /// Apply a batch of `(bin, weight)` placements on the given backend.
     ///
-    /// Each pool lane handles a contiguous slice of `placements`, adding
-    /// through atomic views of the shard vectors; `touches` (when sized to
-    /// [`Self::shards`]) receives one count per placement keyed by the
-    /// *owning shard* — the contention distribution. Additions are
-    /// relaxed `fetch_add`s, so the final loads equal the sequential
-    /// result for any lane count or shard count.
-    pub fn apply_parallel(
+    /// On [`Backend::Pool`] every pool lane handles its own placements,
+    /// adding through atomic views of the shard vectors; on
+    /// [`Backend::Serial`] the same loop runs inline on the calling
+    /// thread. `touches` (when sized to [`Self::shards`]) receives one
+    /// count per placement keyed by the *owning shard* — the contention
+    /// distribution. Additions are relaxed `fetch_add`s, so the final
+    /// loads are identical for any backend, lane count or shard count.
+    pub fn apply(
         &mut self,
-        pool: &pba_par::ThreadPool,
+        backend: Backend<'_>,
         placements: &[(u32, u64)],
         touches: &ShardedCounters,
     ) {
@@ -108,7 +109,7 @@ impl ShardedLoads {
         let shards = self.shards.len();
         let views: Vec<&[std::sync::atomic::AtomicU64]> =
             self.shards.iter_mut().map(|v| as_atomic_u64(v)).collect();
-        pool.run_indexed(placements.len(), |i| {
+        backend.run(placements.len(), |i| {
             let (bin, weight) = placements[i];
             let mut s = (bin as u64 * shards as u64 / bins as u64) as usize;
             if bin < starts[s] {
@@ -119,15 +120,6 @@ impl ShardedLoads {
             views[s][(bin - starts[s]) as usize].fetch_add(weight, Ordering::Relaxed);
             touches.add(s, 1);
         });
-    }
-
-    /// Apply placements sequentially (same result as the parallel path).
-    pub fn apply_sequential(&mut self, placements: &[(u32, u64)], touches: &ShardedCounters) {
-        for &(bin, weight) in placements {
-            let (s, _) = self.locate(bin);
-            self.add(bin, weight);
-            touches.add(s, 1);
-        }
     }
 }
 
@@ -217,8 +209,8 @@ mod tests {
         let mut par = ShardedLoads::new(97, 4);
         let t_seq = ShardedCounters::new(4);
         let t_par = ShardedCounters::new(4);
-        seq.apply_sequential(&placements, &t_seq);
-        par.apply_parallel(&pool, &placements, &t_par);
+        seq.apply(Backend::Serial, &placements, &t_seq);
+        par.apply(Backend::Pool(&pool), &placements, &t_par);
         assert_eq!(seq.load_vector(), par.load_vector());
         assert_eq!(t_seq.values(), t_par.values());
         assert_eq!(t_seq.total(), 10_000);

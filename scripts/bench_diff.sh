@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# bench_diff.sh — throughput delta between two `pba-run bench` JSON files.
+#
+#   usage: scripts/bench_diff.sh OLD.json NEW.json
+#
+# Matches engine entries on (protocol, executor) and stream entries on
+# (policy, ingest), printing old/new balls-per-second and the relative
+# delta. Relies only on POSIX tools: the bench JSON is the compact
+# hand-rolled format written by the runner, so a sed split plus awk field
+# scraping is enough — no jq in the container.
+set -eu
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 OLD.json NEW.json" >&2
+  exit 2
+fi
+old=$1
+new=$2
+[ -f "$old" ] || { echo "no such file: $old" >&2; exit 2; }
+[ -f "$new" ] || { echo "no such file: $new" >&2; exit 2; }
+
+# Emit "key<TAB>balls_per_sec" rows: one per engine entry
+# (protocol/executor) and one per stream entry (stream:policy/ingest).
+rows() {
+  sed 's/},{/}\n{/g' "$1" | awk '
+    function field(s, k,   m) {
+      m = match(s, "\"" k "\":\"[^\"]*\"")
+      if (m == 0) return ""
+      return substr(s, RSTART + length(k) + 4, RLENGTH - length(k) - 5)
+    }
+    function num(s, k,   m) {
+      m = match(s, "\"" k "\":[-0-9.eE+]+")
+      if (m == 0) return "-"
+      return substr(s, RSTART + length(k) + 3, RLENGTH - length(k) - 3)
+    }
+    {
+      proto = field($0, "protocol"); ex = field($0, "executor")
+      pol = field($0, "policy"); ing = field($0, "ingest")
+      bps = num($0, "balls_per_sec")
+      if (proto != "" && ex != "")
+        printf "%s/%s\t%s\n", proto, ex, bps
+      else if (pol != "" && ing != "")
+        printf "stream:%s/%s\t%s\n", pol, ing, bps
+    }
+  '
+}
+
+tmp_old=$(mktemp)
+tmp_new=$(mktemp)
+trap 'rm -f "$tmp_old" "$tmp_new"' EXIT
+rows "$old" >"$tmp_old"
+rows "$new" >"$tmp_new"
+
+printf '%-44s %14s %14s %10s\n' "entry (balls/s)" "old" "new" "delta"
+awk -F'\t' '
+  NR == FNR { ob[$1] = $2; next }
+  {
+    key = $1; nb = $2
+    if (!(key in ob)) {
+      printf "%-44s %14s %14.0f %10s\n", key, "-", nb, "new"
+      next
+    }
+    seen[key] = 1
+    if (ob[key] + 0 > 0)
+      printf "%-44s %14.0f %14.0f %+9.1f%%\n", key, ob[key], nb, 100 * (nb - ob[key]) / ob[key]
+    else
+      printf "%-44s %14.0f %14.0f %10s\n", key, ob[key], nb, "-"
+  }
+  END {
+    for (k in ob)
+      if (!(k in seen))
+        printf "%-44s %14.0f %14s %10s\n", k, ob[k], "-", "gone"
+  }
+' "$tmp_old" "$tmp_new"

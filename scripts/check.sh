@@ -13,7 +13,11 @@ run() {
 }
 
 run cargo fmt --all --check
-run cargo clippy --workspace --all-targets -- -D warnings
+# The two unsafe-hygiene lints are also workspace-level denials (see the
+# root Cargo.toml [workspace.lints]); repeating them here keeps the gate
+# explicit even if a crate opts out of the shared lint table.
+run cargo clippy --workspace --all-targets -- -D warnings \
+    -D unsafe_op_in_unsafe_fn -D clippy::undocumented-unsafe-blocks
 run cargo build --release
 run cargo test -q --workspace
 run cargo test -q --test chaos --test golden_loads

@@ -70,3 +70,55 @@ fn golden_stream_max_loads() {
         assert_eq!(last, want, "seed {seed}: stream max load drifted");
     }
 }
+
+/// Executor-matrix regression: every registry protocol, run on the
+/// sequential executor and on 2- and 8-lane pools, with faults off and
+/// with a 10% message-drop plan, must produce the **bit-identical**
+/// per-ball assignment. The chunk geometry is lowered so the 4096-ball
+/// instance genuinely fans out across lanes instead of falling back to
+/// the serial path. This is the executional half of the golden pins
+/// above: the unified round kernel promises serial ≡ parallel for every
+/// protocol, not just the three headline workloads.
+#[test]
+fn assignment_matrix_identical_across_executors_and_faults() {
+    use pba::protocols::{protocol_names, run_by_name};
+
+    let spec = ProblemSpec::new(1 << 12, 1 << 6).unwrap();
+    let plans = [None, Some(FaultPlan::new(0xD0D0).with_drop_prob(0.1))];
+    for &name in protocol_names() {
+        for plan in plans {
+            // Under a drop plan some bounded-round protocols legitimately
+            // exhaust their budget; that outcome must then be identical
+            // across executors too, so compare the whole `Result`.
+            let run = |executor: ExecutorKind| {
+                let mut cfg = RunConfig::seeded(99)
+                    .with_executor(executor)
+                    .with_assignment(true)
+                    .with_chunking(256, 512)
+                    .with_trace(false);
+                if let Some(p) = plan {
+                    cfg = cfg.with_faults(p);
+                }
+                run_by_name(name, spec, cfg)
+                    .expect("registry name")
+                    .map(|out| {
+                        (
+                            out.assignment.clone().expect("assignment tracked"),
+                            out.rounds,
+                            out.load_stats().max(),
+                        )
+                    })
+                    .map_err(|e| e.to_string())
+            };
+            let base = run(ExecutorKind::Sequential);
+            for lanes in [2usize, 8] {
+                assert_eq!(
+                    base,
+                    run(ExecutorKind::ParallelWith(lanes)),
+                    "{name} (faults: {}) diverged from sequential on {lanes} lanes",
+                    plan.is_some(),
+                );
+            }
+        }
+    }
+}
