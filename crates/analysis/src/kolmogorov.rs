@@ -52,6 +52,21 @@ pub fn lattice_ks_floor(stddev: f64) -> f64 {
     1.0 / (2.0 * stddev * (2.0 * std::f64::consts::PI).sqrt())
 }
 
+/// The Dvoretzky–Kiefer–Wolfowitz deviation bound: with `n` samples,
+/// `P[sup_x |F̂(x) − F(x)| > ε] ≤ α` for
+/// `ε = √(ln(2/α) / (2n))`. This is the tolerance the conformance
+/// oracles grant a measured KS distance before declaring a claim
+/// refuted.
+///
+/// # Panics
+///
+/// Panics when `n == 0` or `alpha` is outside `(0, 1)`.
+pub fn dkw_epsilon(n: usize, alpha: f64) -> f64 {
+    assert!(n > 0, "need at least one sample");
+    assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
+    ((2.0 / alpha).ln() / (2.0 * n as f64)).sqrt()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -38,7 +38,7 @@ pub mod summary;
 pub use binomial::Binomial;
 pub use chernoff::{chernoff_lower_tail, chernoff_upper_tail};
 pub use histogram::IntHistogram;
-pub use kolmogorov::{ks_distance_to, ks_distance_to_normal};
+pub use kolmogorov::{dkw_epsilon, ks_distance_to, ks_distance_to_normal, lattice_ks_floor};
 pub use normal::{berry_esseen_bound, normal_cdf, normal_pdf, normal_quantile};
 pub use poisson::Poisson;
 pub use predict::{

@@ -1,0 +1,244 @@
+//! Golden-value tests for the numerics toolkit: every routine checked
+//! against independently precomputed reference values (exact fractions
+//! where they exist, high-precision references otherwise), so a drive-by
+//! "optimization" of a continued fraction or a log-sum cannot silently
+//! shift the statistics the conformance oracles depend on.
+
+use pba_analysis::chernoff::{
+    chernoff_lower_tail, chernoff_upper_tail, lower_deviation_for, upper_deviation_for, whp_target,
+};
+use pba_analysis::special::{erf, erfc, ln_gamma, reg_beta, reg_gamma_p, reg_gamma_q};
+use pba_analysis::{dkw_epsilon, ks_distance_to, lattice_ks_floor, normal_quantile, Binomial};
+
+fn close(got: f64, want: f64, tol: f64, what: &str) {
+    assert!(
+        (got - want).abs() <= tol,
+        "{what}: got {got}, want {want} (tol {tol})"
+    );
+}
+
+// --- special functions -----------------------------------------------------
+
+#[test]
+fn ln_gamma_golden() {
+    // Γ(5) = 24, Γ(1) = Γ(2) = 1, Γ(1/2) = √π.
+    close(ln_gamma(5.0), 24.0f64.ln(), 1e-12, "ln Γ(5)");
+    close(ln_gamma(1.0), 0.0, 1e-12, "ln Γ(1)");
+    close(ln_gamma(2.0), 0.0, 1e-12, "ln Γ(2)");
+    close(
+        ln_gamma(0.5),
+        std::f64::consts::PI.sqrt().ln(),
+        1e-12,
+        "ln Γ(1/2)",
+    );
+    // Γ(10) = 362880.
+    close(ln_gamma(10.0), 362880.0f64.ln(), 1e-11, "ln Γ(10)");
+}
+
+#[test]
+fn erf_golden() {
+    close(erf(0.0), 0.0, 1e-15, "erf(0)");
+    // Abramowitz & Stegun 7.1: erf(1) = 0.8427007929497149.
+    close(erf(1.0), 0.842_700_792_949_714_9, 1e-9, "erf(1)");
+    close(erf(2.0), 0.995_322_265_018_952_7, 1e-9, "erf(2)");
+    close(erfc(1.0), 1.0 - 0.842_700_792_949_714_9, 1e-9, "erfc(1)");
+}
+
+#[test]
+fn regularized_gamma_golden() {
+    // P(1, x) = 1 − e^{−x} exactly.
+    close(
+        reg_gamma_p(1.0, 1.0),
+        1.0 - (-1.0f64).exp(),
+        1e-12,
+        "P(1,1)",
+    );
+    // P(2, x) = 1 − e^{−x}(1 + x).
+    close(
+        reg_gamma_p(2.0, 3.0),
+        1.0 - (-3.0f64).exp() * 4.0,
+        1e-12,
+        "P(2,3)",
+    );
+    close(
+        reg_gamma_q(2.0, 3.0),
+        (-3.0f64).exp() * 4.0,
+        1e-12,
+        "Q(2,3)",
+    );
+}
+
+#[test]
+fn regularized_beta_golden() {
+    // I_x(1, b) = 1 − (1−x)^b exactly.
+    close(
+        reg_beta(1.0, 4.0, 0.3),
+        1.0 - 0.7f64.powi(4),
+        1e-12,
+        "I_0.3(1,4)",
+    );
+    // I_{1/2}(a, a) = 1/2 by symmetry.
+    close(reg_beta(3.5, 3.5, 0.5), 0.5, 1e-12, "I_0.5(3.5,3.5)");
+    // I_x(2, 2) = x²(3 − 2x).
+    close(reg_beta(2.0, 2.0, 0.25), 0.0625 * 2.5, 1e-12, "I_0.25(2,2)");
+}
+
+// --- binomial --------------------------------------------------------------
+
+#[test]
+fn binomial_pmf_golden() {
+    // Bin(10, 1/2): P[X=5] = 252/1024 = 0.24609375 exactly.
+    close(
+        Binomial::new(10, 0.5).pmf(5),
+        0.246_093_75,
+        1e-12,
+        "Bin(10,.5) pmf(5)",
+    );
+    // Bin(20, 0.3): P[X=6] = C(20,6)·0.3⁶·0.7¹⁴ = 0.19163898275344238.
+    close(
+        Binomial::new(20, 0.3).pmf(6),
+        0.191_638_982_753_442_38,
+        1e-10,
+        "Bin(20,.3) pmf(6)",
+    );
+    // Degenerate edges.
+    close(Binomial::new(7, 0.5).pmf(8), 0.0, 0.0, "pmf beyond n");
+}
+
+#[test]
+fn binomial_cdf_golden() {
+    // Bin(10, 1/2): P[X ≤ 4] = 386/1024 = 0.376953125 exactly.
+    close(
+        Binomial::new(10, 0.5).cdf(4),
+        0.376_953_125,
+        1e-10,
+        "Bin(10,.5) cdf(4)",
+    );
+    // Bin(5, 0.2): P[X ≤ 1] = 0.8⁵ + 5·0.2·0.8⁴ = 0.73728 exactly.
+    close(
+        Binomial::new(5, 0.2).cdf(1),
+        0.737_28,
+        1e-10,
+        "Bin(5,.2) cdf(1)",
+    );
+    close(Binomial::new(5, 0.2).cdf(5), 1.0, 1e-12, "cdf at n");
+}
+
+#[test]
+fn binomial_quantile_golden() {
+    let b = Binomial::new(100, 0.5);
+    // Median of Bin(100, 1/2) is 50.
+    assert_eq!(b.quantile(0.5), 50);
+    // quantile is the *smallest* k with cdf(k) ≥ q.
+    let q = b.quantile(0.975);
+    assert!(b.cdf(q) >= 0.975);
+    assert!(q == 0 || b.cdf(q - 1) < 0.975);
+}
+
+// --- chernoff --------------------------------------------------------------
+
+#[test]
+fn chernoff_golden() {
+    // exp(−δ²μ/2) and exp(−δ²μ/3) at δ = 1/2, μ = 8: e⁻¹ and e^{−2/3}.
+    close(
+        chernoff_lower_tail(8.0, 0.5),
+        (-1.0f64).exp(),
+        1e-15,
+        "lower tail",
+    );
+    close(
+        chernoff_upper_tail(8.0, 0.5),
+        (-2.0f64 / 3.0).exp(),
+        1e-15,
+        "upper tail",
+    );
+    // Inversions are exact closed forms.
+    close(
+        lower_deviation_for(50.0, 1e-3),
+        (2.0 * 50.0 * 1e3f64.ln()).sqrt(),
+        1e-12,
+        "lower deviation",
+    );
+    close(
+        upper_deviation_for(50.0, 1e-3),
+        (3.0 * 50.0 * 1e3f64.ln()).sqrt(),
+        1e-12,
+        "upper deviation",
+    );
+    close(whp_target(1024, 2.0), 1024.0f64.powf(-2.0), 0.0, "n^{-c}");
+}
+
+// --- kolmogorov ------------------------------------------------------------
+
+#[test]
+fn ks_distance_golden() {
+    // A single sample at the median: D = 1/2 exactly.
+    close(
+        ks_distance_to(&[0.0], |x| if x < 0.0 { 0.0 } else { 0.5 }),
+        0.5,
+        1e-15,
+        "single-point KS",
+    );
+    // A perfect uniform grid vs U(0,1): D = 1/(2n) at n = 4 with
+    // midpoint samples {1/8, 3/8, 5/8, 7/8}.
+    close(
+        ks_distance_to(&[0.125, 0.375, 0.625, 0.875], |x| x.clamp(0.0, 1.0)),
+        0.125,
+        1e-12,
+        "uniform grid KS",
+    );
+}
+
+#[test]
+fn lattice_ks_floor_golden() {
+    // Floor is *half* the largest atom: pmf(mode)/2 ≈ 1/(2σ√(2π)).
+    close(
+        lattice_ks_floor(1.0),
+        0.5 / (2.0 * std::f64::consts::PI).sqrt(),
+        1e-12,
+        "lattice floor σ=1",
+    );
+    // Scales as 1/σ.
+    close(
+        lattice_ks_floor(4.0),
+        lattice_ks_floor(1.0) / 4.0,
+        1e-15,
+        "lattice floor σ=4",
+    );
+}
+
+#[test]
+fn dkw_epsilon_golden() {
+    // ε = √(ln(2/α)/(2n)): exact closed form.
+    close(
+        dkw_epsilon(2048, 0.05),
+        (40.0f64.ln() / 4096.0).sqrt(),
+        1e-15,
+        "DKW n=2048 α=.05",
+    );
+    close(
+        dkw_epsilon(1, 0.5),
+        (4.0f64.ln() / 2.0).sqrt(),
+        1e-15,
+        "DKW n=1 α=.5",
+    );
+}
+
+// --- normal ----------------------------------------------------------------
+
+#[test]
+fn normal_quantile_golden() {
+    close(normal_quantile(0.5), 0.0, 1e-9, "z(.5)");
+    close(
+        normal_quantile(0.975),
+        1.959_963_984_540_054,
+        1e-6,
+        "z(.975)",
+    );
+    close(
+        normal_quantile(0.025),
+        -1.959_963_984_540_054,
+        1e-6,
+        "z(.025)",
+    );
+}

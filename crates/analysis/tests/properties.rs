@@ -1,0 +1,208 @@
+//! Property tests for the numerics toolkit: structural identities
+//! (monotonicity, symmetry, complements, recurrences) over seeded
+//! pseudo-random inputs — no external property-testing deps, same
+//! hand-rolled harness idiom as the workspace-level `tests/properties.rs`.
+
+use pba_analysis::chernoff::{
+    chernoff_lower_tail, chernoff_upper_tail, lower_deviation_for, upper_deviation_for,
+};
+use pba_analysis::special::{ln_gamma, reg_beta};
+use pba_analysis::{dkw_epsilon, Binomial};
+
+/// Minimal deterministic generator (SplitMix64 core) so cases replay.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in (0, 1).
+    fn unit(&mut self) -> f64 {
+        ((self.next() >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+    }
+}
+
+const CASES: u64 = 200;
+
+#[test]
+fn binomial_cdf_is_monotone_and_bounded() {
+    let mut g = Gen(1);
+    for case in 0..CASES {
+        let n = 1 + g.next() % 200;
+        let p = g.unit();
+        let b = Binomial::new(n, p);
+        let mut prev = 0.0;
+        for k in 0..=n {
+            let c = b.cdf(k);
+            assert!(
+                (0.0..=1.0 + 1e-12).contains(&c),
+                "case {case}: cdf({k}) = {c} out of range"
+            );
+            assert!(
+                c >= prev - 1e-12,
+                "case {case}: cdf not monotone at k={k}: {prev} -> {c}"
+            );
+            prev = c;
+        }
+        assert!((b.cdf(n) - 1.0).abs() < 1e-9, "case {case}: cdf(n) != 1");
+    }
+}
+
+#[test]
+fn binomial_pmf_is_symmetric_at_half() {
+    let mut g = Gen(2);
+    for case in 0..CASES {
+        let n = 1 + g.next() % 100;
+        let b = Binomial::new(n, 0.5);
+        let k = g.next() % (n + 1);
+        let (a, c) = (b.pmf(k), b.pmf(n - k));
+        assert!(
+            (a - c).abs() <= 1e-12 * a.max(c).max(1e-300),
+            "case {case}: pmf({k}) = {a} != pmf({}) = {c} at p = 1/2",
+            n - k
+        );
+    }
+}
+
+#[test]
+fn binomial_sf_complements_cdf() {
+    let mut g = Gen(3);
+    for case in 0..CASES {
+        let n = 1 + g.next() % 150;
+        let p = g.unit();
+        let b = Binomial::new(n, p);
+        let k = 1 + g.next() % n;
+        // sf is inclusive: P[X ≥ k] + P[X ≤ k−1] = 1.
+        let total = b.sf(k) + b.cdf(k - 1);
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "case {case}: sf + cdf = {total} at n={n} p={p} k={k}"
+        );
+    }
+}
+
+#[test]
+fn binomial_quantile_inverts_cdf() {
+    let mut g = Gen(4);
+    for case in 0..CASES {
+        let n = 1 + g.next() % 150;
+        let p = g.unit();
+        let q = g.unit();
+        let b = Binomial::new(n, p);
+        let k = b.quantile(q);
+        assert!(b.cdf(k) >= q - 1e-12, "case {case}: cdf(quantile) < q");
+        if k > 0 {
+            assert!(
+                b.cdf(k - 1) < q + 1e-12,
+                "case {case}: quantile not minimal"
+            );
+        }
+    }
+}
+
+#[test]
+fn chernoff_tails_are_probabilities_and_monotone_in_delta() {
+    let mut g = Gen(5);
+    for case in 0..CASES {
+        let mu = 200.0 * g.unit();
+        let d1 = g.unit();
+        let d2 = g.unit();
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        for (name, f) in [
+            ("lower", chernoff_lower_tail as fn(f64, f64) -> f64),
+            ("upper", chernoff_upper_tail as fn(f64, f64) -> f64),
+        ] {
+            let a = f(mu, lo);
+            let b = f(mu, hi);
+            assert!(
+                (0.0..=1.0).contains(&a) && (0.0..=1.0).contains(&b),
+                "case {case}: {name} tail out of [0,1]"
+            );
+            assert!(
+                b <= a + 1e-12,
+                "case {case}: {name} tail not decreasing in δ"
+            );
+        }
+    }
+}
+
+#[test]
+fn chernoff_deviations_invert_their_tails() {
+    let mut g = Gen(6);
+    for case in 0..CASES {
+        let mu = 1.0 + 500.0 * g.unit();
+        let target = (1e-9f64).max(g.unit() * 0.1);
+        // Plugging the inverted deviation back in meets the target
+        // (up to the δ ≤ 1 clamp on the lower bound).
+        let t = lower_deviation_for(mu, target);
+        let delta = (t / mu).min(1.0);
+        assert!(
+            chernoff_lower_tail(mu, delta) <= target + 1e-12 || delta >= 1.0,
+            "case {case}: lower inversion misses target"
+        );
+        let t = upper_deviation_for(mu, target);
+        let delta = t / mu;
+        if delta <= 1.0 {
+            assert!(
+                chernoff_upper_tail(mu, delta) <= target + 1e-12,
+                "case {case}: upper inversion misses target"
+            );
+        }
+    }
+}
+
+#[test]
+fn ln_gamma_satisfies_the_recurrence() {
+    let mut g = Gen(7);
+    for case in 0..CASES {
+        let x = 0.5 + 50.0 * g.unit();
+        // ln Γ(x+1) = ln Γ(x) + ln x.
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = ln_gamma(x) + x.ln();
+        assert!(
+            (lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0),
+            "case {case}: recurrence fails at x = {x}: {lhs} vs {rhs}"
+        );
+    }
+}
+
+#[test]
+fn reg_beta_reflection_identity() {
+    let mut g = Gen(8);
+    for case in 0..CASES {
+        let a = 0.5 + 20.0 * g.unit();
+        let b = 0.5 + 20.0 * g.unit();
+        let x = g.unit();
+        // I_x(a,b) + I_{1−x}(b,a) = 1.
+        let total = reg_beta(a, b, x) + reg_beta(b, a, 1.0 - x);
+        assert!(
+            (total - 1.0).abs() < 1e-8,
+            "case {case}: reflection gives {total} at a={a} b={b} x={x}"
+        );
+    }
+}
+
+#[test]
+fn dkw_epsilon_shrinks_with_samples_and_grows_with_confidence() {
+    let mut g = Gen(9);
+    for case in 0..CASES {
+        let n = 1 + (g.next() % 100_000) as usize;
+        let alpha = (g.unit() * 0.5).max(1e-9);
+        let e = dkw_epsilon(n, alpha);
+        assert!(e > 0.0, "case {case}");
+        assert!(
+            dkw_epsilon(2 * n, alpha) < e,
+            "case {case}: ε not decreasing in n"
+        );
+        let tighter = (alpha / 2.0).max(1e-12);
+        assert!(
+            dkw_epsilon(n, tighter) >= e,
+            "case {case}: ε not increasing as α tightens"
+        );
+    }
+}

@@ -36,6 +36,7 @@ use crate::metrics::{MetricsSink, Phase, RoundTimer, RunMeta};
 use crate::model::ProblemSpec;
 use crate::protocol::{RoundContext, RoundProtocol};
 use crate::trace::RoundRecord;
+use crate::validate::ValidatorState;
 
 /// A per-run observer handed into the round executor: the metrics sink
 /// plus the run identity it reports under. `None` is the zero-cost
@@ -60,6 +61,9 @@ pub(crate) struct SimState<P: RoundProtocol> {
     faults: Option<FaultSession>,
     /// Chunk-geometry knobs (`RunConfig::with_chunking`).
     tuning: ExecTuning,
+    /// Invariant checker (`RunConfig::with_validation`); `None` is the
+    /// zero-cost path — no snapshots, no checks, like `faults`.
+    validator: Option<ValidatorState>,
     // Scratch (reused across rounds; allocation-free after warm-up).
     /// One arena per chunk slot; grows to the backend's chunk count on the
     /// first round and is reused verbatim afterwards.
@@ -85,6 +89,7 @@ impl<P: RoundProtocol> SimState<P> {
         track_assignment: bool,
         faults: Option<FaultPlan>,
         tuning: ExecTuning,
+        validate: bool,
     ) -> Self {
         let n = spec.bins() as usize;
         let m = spec.balls();
@@ -99,6 +104,7 @@ impl<P: RoundProtocol> SimState<P> {
             placed: 0,
             faults: faults.map(|plan| FaultSession::new(plan, m, spec.bins())),
             tuning,
+            validator: validate.then(|| ValidatorState::new(m)),
             scratch: Vec::new(),
             claims: DisjointClaims::new(m as usize),
             next_active: Vec::with_capacity(m as usize),
@@ -173,6 +179,14 @@ impl<P: RoundProtocol> SimState<P> {
     ) -> Result<RoundRecord> {
         let ctx = self.context(round);
         let mut timer = obs.map(|_| RoundTimer::start());
+        if let Some(v) = self.validator.as_mut() {
+            v.begin_round(
+                &self.loads,
+                self.assignment.as_deref(),
+                self.placed,
+                self.active.len() as u64,
+            );
+        }
         self.snapshot_loads();
         let tuning = self.tuning;
         let n = self.spec.bins() as usize;
@@ -321,6 +335,22 @@ impl<P: RoundProtocol> SimState<P> {
             unfilled_want,
         );
         let fault_record = self.end_fault_round(round);
+        if let Some(v) = self.validator.as_mut() {
+            let crashed = self
+                .faults
+                .as_ref()
+                .map_or(&[][..], FaultSession::crashed_bins);
+            v.check_round(
+                &record,
+                P::MAY_REDIRECT,
+                &self.loads,
+                self.assignment.as_deref(),
+                &self.active,
+                &self.taken,
+                crashed,
+                self.placed,
+            )?;
+        }
         if let (Some((sink, meta)), Some(mut t)) = (obs, timer) {
             t.lap(Phase::ResolveCommit);
             if let Some(f) = fault_record.as_ref() {
@@ -471,6 +501,7 @@ mod tests {
         tracking: MessageTracking,
         track_assignment: bool,
     ) -> SimState<Q> {
+        // Engine unit tests always run with the invariant checker armed.
         SimState::new(
             spec,
             seed,
@@ -478,6 +509,7 @@ mod tests {
             track_assignment,
             None,
             ExecTuning::default(),
+            true,
         )
     }
 
@@ -581,8 +613,15 @@ mod tests {
             par_cutoff: 2048,
         };
         let run = |tuning: ExecTuning, backend_pool: bool| {
-            let mut state =
-                SimState::<Uniform2>::new(spec, 9, MessageTracking::Totals, false, None, tuning);
+            let mut state = SimState::<Uniform2>::new(
+                spec,
+                9,
+                MessageTracking::Totals,
+                false,
+                None,
+                tuning,
+                true,
+            );
             let mut round = 0;
             while !state.active.is_empty() {
                 let backend = if backend_pool {

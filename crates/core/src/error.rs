@@ -40,6 +40,18 @@ pub enum CoreError {
         /// Round at which the protocol aborted.
         round: u32,
     },
+    /// The in-engine invariant checker (`RunConfig::with_validation`)
+    /// caught a round that broke an engine invariant: ball conservation,
+    /// bin-capacity respect, monotone commitment, or fault-redirect
+    /// legality.
+    InvariantViolation {
+        /// Round in which the invariant broke.
+        round: u32,
+        /// Which invariant family failed (e.g. `"ball-conservation"`).
+        invariant: &'static str,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -61,6 +73,16 @@ impl fmt::Display for CoreError {
             ),
             CoreError::ProtocolAborted { reason, round } => {
                 write!(f, "protocol aborted in round {round}: {reason}")
+            }
+            CoreError::InvariantViolation {
+                round,
+                invariant,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "engine invariant '{invariant}' violated in round {round}: {detail}"
+                )
             }
         }
     }

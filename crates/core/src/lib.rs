@@ -37,6 +37,10 @@
 //!   one-shot engine and the streaming allocator (`pba-stream`).
 //! * [`load`], [`messages`], [`allocation`], [`trace`] — statistics and
 //!   run records.
+//! * `validate` — the in-engine invariant checker armed by
+//!   [`RunConfig::with_validation`][sim::RunConfig::with_validation]:
+//!   ball conservation, bin-capacity respect, monotone commitment, and
+//!   fault-redirect legality, checked every round.
 //! * [`mathutil`] — `log* n`, iterated logarithms, and friends.
 
 pub mod allocation;
@@ -54,6 +58,7 @@ pub mod protocol;
 pub mod rng;
 pub mod sim;
 pub mod trace;
+pub(crate) mod validate;
 
 pub use allocation::Allocation;
 pub use binstate::BinState;

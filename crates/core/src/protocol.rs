@@ -187,6 +187,14 @@ pub trait RoundProtocol: Send + Sync {
     /// accepting bin with zero bookkeeping overhead.
     const NEEDS_COMMIT_CHOICE: bool = false;
 
+    /// Set to `true` when the protocol overrides
+    /// [`RoundProtocol::redirect`] with something other than the identity
+    /// (superbin protocols spread accepted slots over member bins). The
+    /// invariant checker ([`crate::sim::RunConfig::with_validation`])
+    /// relaxes its per-bin capacity check for such protocols, because a
+    /// commit may land on a different bin than the one that granted it.
+    const MAY_REDIRECT: bool = false;
+
     /// Human-readable protocol name (used in tables and traces).
     fn name(&self) -> &'static str;
 

@@ -71,6 +71,12 @@ pub struct RunConfig {
     /// zero-overhead path: every fault branch in the engine is gated on
     /// this option and no fault state is allocated.
     pub faults: Option<FaultPlan>,
+    /// Arm the in-engine invariant checker: every round the engine
+    /// asserts ball conservation, bin-capacity respect, monotone
+    /// commitment, and fault-redirect legality, erroring with
+    /// [`CoreError::InvariantViolation`] on the first breach. `false`
+    /// (the default) is the zero-cost path: no snapshots, no checks.
+    pub validate: bool,
     /// Minimum active balls per parallel chunk (default 16 Ki).
     pub min_chunk: usize,
     /// Minimum active-set size for a round to fan out at all; below it the
@@ -91,6 +97,7 @@ impl RunConfig {
             max_rounds: None,
             metrics: None,
             faults: None,
+            validate: false,
             min_chunk: crate::exec::DEFAULT_MIN_CHUNK,
             par_cutoff: crate::exec::DEFAULT_PAR_CUTOFF,
         }
@@ -179,6 +186,20 @@ impl RunConfig {
         self
     }
 
+    /// Arm (or disarm) the in-engine invariant checker. When on, the
+    /// engine snapshots loads and assignment every round and asserts
+    /// ball conservation, bin-capacity respect, monotone commitment, and
+    /// fault-redirect legality, surfacing the first breach as
+    /// [`CoreError::InvariantViolation`]. Off (the default) is zero-cost.
+    ///
+    /// Validation needs the per-ball assignment; if the run does not
+    /// already track it, the engine tracks it internally and drops it
+    /// from the outcome.
+    pub fn with_validation(mut self, validate: bool) -> Self {
+        self.validate = validate;
+        self
+    }
+
     /// Override the parallel chunk geometry: `min_chunk` active balls per
     /// chunk, and a round fans out only when at least `par_cutoff` balls
     /// are active. The defaults (16 Ki / 64 Ki) match the engine's
@@ -217,6 +238,7 @@ impl std::fmt::Debug for RunConfig {
                 },
             )
             .field("faults", &self.faults)
+            .field("validate", &self.validate)
             .field("min_chunk", &self.min_chunk)
             .field("par_cutoff", &self.par_cutoff)
             .finish()
@@ -382,13 +404,18 @@ impl Simulator {
             }
         }
 
+        // The invariant checker cross-checks assignments against loads, so
+        // a validated run tracks the assignment even when the caller did
+        // not ask for it (it is stripped from the outcome below).
+        let track_assignment = self.config.track_assignment || self.config.validate;
         let mut state = SimState::<P>::new(
             self.spec,
             self.config.seed,
             self.config.tracking,
-            self.config.track_assignment,
+            track_assignment,
             self.config.faults,
             self.config.tuning(),
+            self.config.validate,
         );
         let budget = self
             .config
@@ -486,7 +513,7 @@ impl Simulator {
             protocol: protocol.name(),
             faults: state.fault_stats(),
             loads: state.loads,
-            assignment: state.assignment,
+            assignment: state.assignment.filter(|_| self.config.track_assignment),
             rounds: round,
             placed: state.placed,
             unallocated,

@@ -98,6 +98,10 @@ where
     // Conservative: pay the snapshot cost if either phase needs it.
     const NEEDS_COMMIT_CHOICE: bool = A::NEEDS_COMMIT_CHOICE || B::NEEDS_COMMIT_CHOICE;
 
+    // Conservative: relax the validator's capacity check if either phase
+    // redirects commits.
+    const MAY_REDIRECT: bool = A::MAY_REDIRECT || B::MAY_REDIRECT;
+
     fn name(&self) -> &'static str {
         "sequenced"
     }

@@ -147,6 +147,10 @@ impl Asymmetric {
 impl RoundProtocol for Asymmetric {
     type BallState = NoBallState;
 
+    // Main-phase commits are spread round-robin over member bins, so a
+    // commit may land on a different bin than the granting leader.
+    const MAY_REDIRECT: bool = true;
+
     fn name(&self) -> &'static str {
         "asymmetric"
     }

@@ -9,15 +9,17 @@
 //! pba-run protocols            # list protocol names
 //! pba-run stream [--policy P] [--n N] [--batch 8n] …   # streaming allocator
 //! pba-run bench [--scale ...] [--out DIR|FILE.json]   # self-timed registry bench
+//! pba-run verify [CLAIM…] [--scale ci|full] [--json]  # statistical claim oracles
 //! ```
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use pba_conformance::{Claim, VerifyOptions, VerifyScale};
 use pba_core::metrics::{EngineMetrics, FanoutSink, MetricsSink, Phase};
 use pba_core::{ExecutorKind, ProblemSpec, RunConfig};
 use pba_protocols::{protocol_names, run_by_name};
-use pba_runner::json::{executor_str, u64_array, JsonObject};
+use pba_runner::json::{escape as json_escape, executor_str, u64_array, JsonObject};
 use pba_runner::{
     all_experiments, describe_fault_plan, experiment_by_id, parse_fault_spec, JsonlTrace,
     RunOptions, Scale, Table,
@@ -27,7 +29,7 @@ use pba_stream::{PolicyKind, StreamAllocator, WeightDist, Workload, WorkloadCfg,
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -49,26 +51,28 @@ const USAGE: &str = "usage:
                  [--churn F] [--shards S] [--seed S] [--parallel] [--trace FILE.jsonl]
                  [--faults SPEC]
   pba-run bench [--scale smoke|default|full] [--out DIR|FILE.json]
+  pba-run verify [CLAIM…] [--scale ci|full] [--json] [--faults SPEC]
 
 fault spec: comma-separated key=value clauses, e.g.
   --faults drop=0.1,crash=0.02,straggle=8x0.2,domains=8x0.3,seed=7";
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
         return Err("missing command".into());
     };
+    let done = |()| ExitCode::SUCCESS;
     match cmd.as_str() {
         "list" => {
             for e in all_experiments() {
                 println!("{}  {}", e.id(), e.title());
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "protocols" => {
             for name in protocol_names() {
                 println!("{name}");
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "all" => {
             let flags = RunFlags::parse(&args[1..])?;
@@ -76,17 +80,20 @@ fn run(args: &[String]) -> Result<(), String> {
             for e in all_experiments() {
                 run_experiment(e.as_ref(), &flags, trace.clone())?;
             }
-            flush_trace(trace)
+            flush_trace(trace).map(done)
         }
-        "protocol" => run_protocol(&args[1..]),
-        "stream" => run_stream_cmd(&args[1..]),
-        "bench" => run_bench(&args[1..]),
+        "protocol" => run_protocol(&args[1..]).map(done),
+        "stream" => run_stream_cmd(&args[1..]).map(done),
+        "bench" => run_bench(&args[1..]).map(done),
+        // `verify` owns its exit code: a refuted claim is a nonzero exit
+        // with the verdict table printed, not a usage error.
+        "verify" => run_verify(&args[1..]),
         id => {
             let e = experiment_by_id(id).ok_or_else(|| unknown_command_message(id))?;
             let flags = RunFlags::parse(&args[1..])?;
             let trace = flags.open_trace()?;
             run_experiment(e.as_ref(), &flags, trace.clone())?;
-            flush_trace(trace)
+            flush_trace(trace).map(done)
         }
     }
 }
@@ -94,7 +101,15 @@ fn run(args: &[String]) -> Result<(), String> {
 /// Error text for an unrecognized first argument: name the valid range
 /// and, when something known is close, suggest it.
 fn unknown_command_message(id: &str) -> String {
-    const COMMANDS: [&str; 6] = ["list", "all", "protocol", "protocols", "stream", "bench"];
+    const COMMANDS: [&str; 7] = [
+        "list",
+        "all",
+        "protocol",
+        "protocols",
+        "stream",
+        "bench",
+        "verify",
+    ];
     let lowered = id.to_lowercase();
     let best = all_experiments()
         .iter()
@@ -602,12 +617,20 @@ fn run_bench(args: &[String]) -> Result<(), String> {
         "{:<22} {:<12} {:>12} {:>12} {:>9}",
         "protocol", "executor", "balls/s", "rounds/s", "rounds"
     );
+    // The parallel rows need two fixes to report genuine pool numbers in
+    // `BENCH_*.json` instead of `pool_jobs: 0`: a dedicated 4-lane pool
+    // (the global pool collapses to one lane on single-core runners, and
+    // one-lane rounds never fan out), and a chunk geometry under the
+    // bench sizes (m = n ≤ 4096 sits below the engine's default 64 Ki
+    // fan-out cutoff, which would silently serialize every round).
+    let parallel = ExecutorKind::ParallelWith(4);
     for &name in protocol_names() {
-        for executor in [ExecutorKind::Sequential, ExecutorKind::Parallel] {
+        for executor in [ExecutorKind::Sequential, parallel] {
             let metrics = Arc::new(EngineMetrics::new());
             for rep in 0..reps {
                 let cfg = RunConfig::seeded(90_000 + rep)
                     .with_executor(executor)
+                    .with_chunking(256, n as usize)
                     .with_trace(false)
                     .with_metrics(metrics.clone());
                 run_by_name(name, spec, cfg)
@@ -741,6 +764,167 @@ fn run_bench(args: &[String]) -> Result<(), String> {
     std::fs::write(&path, format!("{doc}\n")).map_err(|e| e.to_string())?;
     eprintln!("wrote {path}");
     Ok(())
+}
+
+/// Error text for an unrecognized claim id: list the registry and, when
+/// something known is close, suggest it — same treatment experiment ids
+/// get in [`unknown_command_message`].
+fn unknown_claim_message(id: &str) -> String {
+    let ids = pba_conformance::claim_ids();
+    let lowered = id.to_lowercase();
+    let best = ids
+        .iter()
+        .map(|c| (edit_distance(&lowered, c), *c))
+        .min()
+        .filter(|&(d, _)| d <= 2);
+    let hint = match best {
+        Some((_, c)) => format!("did you mean '{c}'? "),
+        None => String::new(),
+    };
+    format!(
+        "unknown claim '{id}': {hint}registered oracles are {}",
+        ids.join(", ")
+    )
+}
+
+/// `pba-run verify` — run the statistical claim oracles from
+/// `pba-conformance` and render a paper-style verdict table. Exits
+/// nonzero when any claim is REFUTED, so CI catches a miswired engine;
+/// `--faults` deliberately miswires every run (the negative control).
+fn run_verify(args: &[String]) -> Result<ExitCode, String> {
+    let mut scale = VerifyScale::Ci;
+    let mut json = false;
+    let mut faults = None;
+    let mut requested: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                scale = VerifyScale::parse(v)
+                    .ok_or_else(|| format!("bad verify scale '{v}' (ci or full)"))?;
+            }
+            "--json" => json = true,
+            "--faults" => {
+                faults = Some(parse_fault_spec(
+                    it.next().ok_or("--faults needs a value")?,
+                )?);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag '{other}'")),
+            claim => requested.push(claim.to_string()),
+        }
+    }
+    let claims: Vec<Box<dyn Claim>> = if requested.is_empty() {
+        pba_conformance::all_claims()
+    } else {
+        requested
+            .iter()
+            .map(|id| pba_conformance::claim_by_id(id).ok_or_else(|| unknown_claim_message(id)))
+            .collect::<Result<_, _>>()?
+    };
+    let opts = VerifyOptions {
+        scale,
+        miswire: faults,
+    };
+
+    eprintln!(
+        "verifying {} claim(s) at {} scale ({} replicates each)…",
+        claims.len(),
+        scale.name(),
+        scale.reps()
+    );
+    if let Some(plan) = &faults {
+        eprintln!("miswired on purpose: {}", describe_fault_plan(plan));
+    }
+    let started = std::time::Instant::now();
+    let reports: Vec<_> = claims
+        .iter()
+        .map(|c| {
+            let t = std::time::Instant::now();
+            let r = c.check(&opts);
+            eprintln!(
+                "  {:<12} {:<9} {:.1?}",
+                r.id,
+                r.verdict.as_str(),
+                t.elapsed()
+            );
+            r
+        })
+        .collect();
+    let elapsed = started.elapsed();
+    let refuted = reports.iter().filter(|r| !r.confirmed()).count();
+
+    if json {
+        let entries: Vec<String> = reports
+            .iter()
+            .map(|r| {
+                let notes: Vec<String> = r
+                    .notes
+                    .iter()
+                    .map(|s| format!("\"{}\"", json_escape(s)))
+                    .collect();
+                JsonObject::new()
+                    .str("id", r.id)
+                    .str("experiment", r.experiment)
+                    .str("title", r.title)
+                    .str("bound", &r.bound)
+                    .str("observed", &r.observed)
+                    .f64("mean", r.mean)
+                    .f64("ci_lo", r.ci.0)
+                    .f64("ci_hi", r.ci.1)
+                    .str("verdict", r.verdict.as_str())
+                    .raw("notes", &format!("[{}]", notes.join(",")))
+                    .finish()
+            })
+            .collect();
+        let doc = JsonObject::new()
+            .str("scale", scale.name())
+            .u64("claims", reports.len() as u64)
+            .u64("refuted", refuted as u64)
+            .raw("reports", &format!("[{}]", entries.join(",")))
+            .finish();
+        println!("{doc}");
+    } else {
+        let mut table = Table::new(
+            format!(
+                "Conformance verdicts at {} scale ({} replicates per point)",
+                scale.name(),
+                scale.reps()
+            ),
+            &["oracle", "exp", "bound", "observed", "verdict"],
+        );
+        for r in &reports {
+            table.push_row(vec![
+                r.id.to_string(),
+                r.experiment.to_string(),
+                r.bound.clone(),
+                r.observed.clone(),
+                r.verdict.as_str().to_string(),
+            ]);
+        }
+        println!("{}", table.to_markdown());
+        for r in &reports {
+            if !r.notes.is_empty() {
+                println!("{} — {}", r.id, r.title);
+                for note in &r.notes {
+                    println!("  · {note}");
+                }
+            }
+        }
+        println!();
+        println!(
+            "{} claim(s) checked in {:.1?}: {} CONFIRMED, {} REFUTED",
+            reports.len(),
+            elapsed,
+            reports.len() - refuted,
+            refuted
+        );
+    }
+    Ok(if refuted == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 /// The phase-name legend for `phase_nanos` arrays in `BENCH_*.json`.

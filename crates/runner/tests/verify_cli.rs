@@ -1,0 +1,109 @@
+//! End-to-end tests for `pba-run verify`: the conformance registry must
+//! pass at CI scale on a healthy engine, and — the negative control — a
+//! deliberately miswired (fault-injected) run must flip claims to
+//! REFUTED and exit nonzero. A conformance suite that cannot fail
+//! proves nothing.
+
+use std::process::Command;
+
+fn pba_run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_pba-run"))
+        .args(args)
+        .output()
+        .expect("spawn pba-run")
+}
+
+#[test]
+fn verify_ci_scale_confirms_every_claim() {
+    let out = pba_run(&["verify", "--scale", "ci"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "verify failed on a healthy engine:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let confirmed = stdout.matches("CONFIRMED").count();
+    assert!(
+        confirmed >= 6,
+        "expected ≥ 6 CONFIRMED rows, saw {confirmed}:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("REFUTED") || stdout.contains("0 REFUTED"),
+        "unexpected refutation:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("95% CI ["),
+        "verdict table must print confidence intervals:\n{stdout}"
+    );
+}
+
+#[test]
+fn verify_miswired_engine_refutes_and_exits_nonzero() {
+    // Crash a fifth of the bins under the oracle: a fifth of the ECDF's
+    // mass piles onto load 0, so the KS distance to Bin(m, 1/n) jumps to
+    // ~0.2 — far past the DKW tolerance. (Scoped to the cheapest
+    // refuting oracle; the full miswired registry refutes e03/e08/e10
+    // too but grinds through exhausted round budgets.)
+    let out = pba_run(&[
+        "verify",
+        "e01-ks",
+        "--scale",
+        "ci",
+        "--faults",
+        "crash=0.2,seed=3",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "verify must exit nonzero when the engine is miswired:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("REFUTED"),
+        "expected REFUTED verdicts under deliberate faults:\n{stdout}"
+    );
+}
+
+#[test]
+fn verify_subset_runs_only_requested_claims() {
+    let out = pba_run(&["verify", "e07-load"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "e07-load should confirm:\n{stdout}");
+    assert!(stdout.contains("e07-load"));
+    assert!(
+        !stdout.contains("e01-ks"),
+        "unrequested claims must not run:\n{stdout}"
+    );
+}
+
+#[test]
+fn verify_unknown_claim_gets_did_you_mean() {
+    let out = pba_run(&["verify", "e7-load"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("did you mean 'e07-load'?"),
+        "expected a did-you-mean suggestion:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("e01-ks"),
+        "error should list the registered oracles:\n{stderr}"
+    );
+}
+
+#[test]
+fn verify_json_is_well_formed_enough() {
+    let out = pba_run(&["verify", "--json", "e03-gap"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    for key in [
+        "\"scale\":\"ci\"",
+        "\"id\":\"e03-gap\"",
+        "\"verdict\":\"CONFIRMED\"",
+        "\"ci_lo\":",
+        "\"ci_hi\":",
+    ] {
+        assert!(line.contains(key), "missing {key} in {line}");
+    }
+}

@@ -21,6 +21,12 @@ run cargo clippy --workspace --all-targets -- -D warnings \
 run cargo build --release
 run cargo test -q --workspace
 run cargo test -q --test chaos --test golden_loads
+# Differential fuzzer: fixed-seed corpus + explorer, serial vs pool
+# bit-identity with the in-engine invariant checker armed.
+run cargo test -q --test fuzz_differential
+# Statistical conformance oracles at CI scale: exits nonzero if any
+# paper claim flips to REFUTED (see EXPERIMENTS.md "Oracle" column).
+run cargo run --release -q -p pba-runner --bin pba-run -- verify --scale ci
 run cargo build --no-default-features
 run cargo build --workspace --features serde
 

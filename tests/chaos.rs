@@ -45,9 +45,13 @@ fn faulted_run(
     // (collision's bound c·n > m is tight in the heavily loaded regime).
     let spec = ProblemSpec::new(1 << 17, 1 << 17).unwrap();
     let rec = Arc::new(FaultRecorder::default());
+    // Validation armed: every chaos run doubles as an invariant audit
+    // (conservation, capacity, fault legality) at zero cost to the
+    // assertions below — outcomes are bit-identical either way.
     let cfg = RunConfig::seeded(23)
         .with_executor(executor)
         .with_faults(plan)
+        .with_validation(true)
         .with_metrics(rec.clone());
     let out = pba::protocols::run_by_name(name, spec, cfg)
         .expect("known protocol")
@@ -119,9 +123,12 @@ fn fault_seed_is_an_independent_axis() {
 fn crashed_bins_stay_empty_and_everything_still_places() {
     let spec = ProblemSpec::new(1 << 11, 1 << 8).unwrap();
     let plan = FaultPlan::new(99).with_crashed_bins(0.05);
-    let out = Simulator::new(spec, RunConfig::seeded(5).with_faults(plan))
-        .run(ParallelTwoChoice::new(spec, 2))
-        .unwrap();
+    let out = Simulator::new(
+        spec,
+        RunConfig::seeded(5).with_faults(plan).with_validation(true),
+    )
+    .run(ParallelTwoChoice::new(spec, 2))
+    .unwrap();
     assert_eq!(out.unallocated, 0, "crashes must not strand balls");
     let stats = out.faults.expect("fault-injected run reports stats");
     assert!(stats.crashed_bins > 0, "5% of 256 bins must crash");

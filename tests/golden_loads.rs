@@ -20,7 +20,7 @@ fn golden_single_choice_max_loads() {
     const GOLDEN_MAX: [u32; 3] = [26, 29, 26];
     let spec = ProblemSpec::new(1 << 12, 1 << 8).unwrap();
     for (seed, want) in SEEDS.into_iter().zip(GOLDEN_MAX) {
-        let out = Simulator::new(spec, RunConfig::seeded(seed))
+        let out = Simulator::new(spec, RunConfig::seeded(seed).with_validation(true))
             .run(SingleChoice::new(spec))
             .unwrap();
         assert_eq!(out.rounds, 1, "seed {seed}: single-choice is one round");
@@ -38,7 +38,7 @@ fn golden_collision_max_loads_and_rounds() {
     const GOLDEN: [(u32, u32); 3] = [(2, 5), (2, 5), (2, 5)];
     let spec = ProblemSpec::new(1 << 12, 1 << 12).unwrap();
     for (seed, (want_max, want_rounds)) in SEEDS.into_iter().zip(GOLDEN) {
-        let out = Simulator::new(spec, RunConfig::seeded(seed))
+        let out = Simulator::new(spec, RunConfig::seeded(seed).with_validation(true))
             .run(Collision::new(spec))
             .unwrap();
         assert_eq!(
@@ -94,6 +94,7 @@ fn assignment_matrix_identical_across_executors_and_faults() {
                 let mut cfg = RunConfig::seeded(99)
                     .with_executor(executor)
                     .with_assignment(true)
+                    .with_validation(true)
                     .with_chunking(256, 512)
                     .with_trace(false);
                 if let Some(p) = plan {
