@@ -27,14 +27,15 @@ use pba_par::{as_atomic_u32, DisjointClaims, DisjointIndexMut};
 
 use crate::error::{CoreError, Result};
 use crate::exec::{
-    gather_chunk, grant_range, resolve_chunk, Backend, ExecTuning, Faulty, GatherShared,
-    LaneScratch, NoFaults, ResolveShared,
+    gather_chunk, grant_range, resolve_chunk, Backend, ChunkPlan, Faulty, GatherShared,
+    LaneScratch, NoFaults, ResolveShared, Tuning,
 };
 use crate::faults::{FaultPlan, FaultRecord, FaultSession, FaultStats};
 use crate::messages::{MessageLedger, MessageStats, MessageTracking};
 use crate::metrics::{MetricsSink, Phase, RoundTimer, RunMeta};
 use crate::model::ProblemSpec;
 use crate::protocol::{RoundContext, RoundProtocol};
+use crate::rng::RoundStreams;
 use crate::trace::RoundRecord;
 use crate::validate::ValidatorState;
 
@@ -59,8 +60,10 @@ pub(crate) struct SimState<P: RoundProtocol> {
     /// fault branch below is gated on this option, and the fault code
     /// reads no clocks — decisions come from counter streams only).
     faults: Option<FaultSession>,
-    /// Chunk-geometry knobs (`RunConfig::with_chunking`).
-    tuning: ExecTuning,
+    /// Chunk-geometry policy (`RunConfig::with_tuning`); resolved to a
+    /// concrete [`ChunkPlan`] per round from the live active-set size and
+    /// the backend's lane count.
+    tuning: Tuning,
     /// Invariant checker (`RunConfig::with_validation`); `None` is the
     /// zero-cost path — no snapshots, no checks, like `faults`.
     validator: Option<ValidatorState>,
@@ -72,6 +75,10 @@ pub(crate) struct SimState<P: RoundProtocol> {
     /// the `DisjointIndexMut` accesses (no-op in release builds).
     claims: DisjointClaims,
     next_active: Vec<u32>,
+    /// Bins with nonzero global arrival counts this round, each exactly
+    /// once — the round-level union of the arenas' touched lists. Drives
+    /// the sparse zeroing of `counts` at the next round's scan.
+    hot_bins: Vec<u32>,
     counts: Vec<u32>,
     accept: Vec<u32>,
     want: Vec<u32>,
@@ -88,7 +95,7 @@ impl<P: RoundProtocol> SimState<P> {
         tracking: MessageTracking,
         track_assignment: bool,
         faults: Option<FaultPlan>,
-        tuning: ExecTuning,
+        tuning: Tuning,
         validate: bool,
     ) -> Self {
         let n = spec.bins() as usize;
@@ -108,6 +115,7 @@ impl<P: RoundProtocol> SimState<P> {
             scratch: Vec::new(),
             claims: DisjointClaims::new(m as usize),
             next_active: Vec::with_capacity(m as usize),
+            hot_bins: Vec::with_capacity(n),
             counts: vec![0; n],
             accept: vec![0; n],
             want: vec![0; n],
@@ -188,18 +196,21 @@ impl<P: RoundProtocol> SimState<P> {
             );
         }
         self.snapshot_loads();
-        let tuning = self.tuning;
+        // Resolve the chunk geometry for this round from the live
+        // active-set size and the backend's lanes (auto tuning shrinks
+        // plans as the active set drains; fixed tuning pins one plan).
+        let plan = self.tuning.plan(self.active.len() as u64, backend.lanes());
         let n = self.spec.bins() as usize;
 
         // Effective backend for this round: fall back to serial below the
         // fan-out cutoff.
         let eff = match backend {
-            Backend::Pool(pool) if self.active.len() >= tuning.par_cutoff && pool.lanes() > 1 => {
+            Backend::Pool(pool) if self.active.len() >= plan.par_cutoff && pool.lanes() > 1 => {
                 Backend::Pool(pool)
             }
             _ => Backend::Serial,
         };
-        let chunking = eff.chunking(self.active.len(), tuning.min_chunk);
+        let chunking = eff.chunking(self.active.len(), plan.min_chunk);
         let nchunks = chunking.chunks();
         while self.scratch.len() < nchunks {
             self.scratch.push(LaneScratch::new());
@@ -212,7 +223,7 @@ impl<P: RoundProtocol> SimState<P> {
             let shared = GatherShared {
                 protocol,
                 ctx: &ctx,
-                seed: self.seed,
+                streams: RoundStreams::new(self.seed, round),
                 n_bins: self.spec.bins(),
                 active: &self.active,
                 states: DisjointIndexMut::new(&mut self.ball_state),
@@ -260,15 +271,29 @@ impl<P: RoundProtocol> SimState<P> {
             t.lap(Phase::Gather);
         }
 
-        // --- Exclusive scan (serial, O(chunks·n)): total arrivals land in
+        // --- Exclusive scan (serial, sparse): total arrivals land in
         // `self.counts`; each chunk's `counts` becomes its per-bin rank
         // base (the number of arrivals to that bin in earlier chunks).
-        self.counts.fill(0);
+        // Only touched bins carry arrivals, so the scan walks the arenas'
+        // touched lists instead of all `chunks × n` slots, and `counts`
+        // is zeroed through last round's hot list instead of a dense
+        // fill. Untouched bins keep a correct 0 in both arrays.
+        for &b in &self.hot_bins {
+            self.counts[b as usize] = 0;
+        }
+        self.hot_bins.clear();
         for arena in self.scratch[..nchunks].iter_mut() {
-            for (base, total) in arena.counts.iter_mut().zip(self.counts.iter_mut()) {
-                let c = *base;
-                *base = *total;
-                *total += c;
+            for &b in &arena.touched {
+                let bu = b as usize;
+                let c = arena.counts[bu];
+                let total = self.counts[bu];
+                if total == 0 {
+                    // First chunk to reach this bin this round (chunk
+                    // arrival counts are nonzero by construction).
+                    self.hot_bins.push(b);
+                }
+                arena.counts[bu] = total;
+                self.counts[bu] = total + c;
             }
         }
         if let Some(t) = timer.as_mut() {
@@ -276,7 +301,7 @@ impl<P: RoundProtocol> SimState<P> {
         }
 
         // --- Phase 3: grants.
-        let (mut underloaded_bins, mut unfilled_want) = self.grants(protocol, &ctx, eff);
+        let (mut underloaded_bins, mut unfilled_want) = self.grants(protocol, &ctx, eff, plan);
         self.apply_crash_grants(&mut underloaded_bins, &mut unfilled_want);
         // Granted = first min(arrivals, grant) arrivals per bin.
         for ((t, &a), &c) in self.taken.iter_mut().zip(&self.accept).zip(&self.counts) {
@@ -364,18 +389,23 @@ impl<P: RoundProtocol> SimState<P> {
     /// Grant phase: serial below the cutoff (or on the serial backend),
     /// chunked `par_reduce` over bins otherwise. Both paths run
     /// [`grant_range`].
-    fn grants(&mut self, protocol: &P, ctx: &RoundContext, backend: Backend<'_>) -> (u32, u64) {
+    fn grants(
+        &mut self,
+        protocol: &P,
+        ctx: &RoundContext,
+        backend: Backend<'_>,
+        plan: ChunkPlan,
+    ) -> (u32, u64) {
         let n = self.spec.bins() as usize;
-        let tuning = self.tuning;
         let counts = &self.counts;
         let loads = &self.loads;
         let accept = DisjointIndexMut::new(&mut self.accept);
         let want = DisjointIndexMut::new(&mut self.want);
         match backend.pool() {
-            Some(pool) if n >= tuning.par_cutoff => pba_par::par_reduce(
+            Some(pool) if n >= plan.par_cutoff => pba_par::par_reduce(
                 pool,
                 n,
-                tuning.min_chunk,
+                plan.min_chunk,
                 || (0u32, 0u64),
                 |acc, r| {
                     let (ub, uw) = grant_range(protocol, ctx, r, counts, loads, &accept, &want);
@@ -508,7 +538,7 @@ mod tests {
             tracking,
             track_assignment,
             None,
-            ExecTuning::default(),
+            Tuning::legacy(),
             true,
         )
     }
@@ -608,11 +638,11 @@ mod tests {
         // default tuning would run serially; results must not move.
         let spec = ProblemSpec::new(50_000, 64).unwrap();
         let pool = ThreadPool::new(3);
-        let tuned = ExecTuning {
+        let tuned = Tuning::Fixed(ChunkPlan {
             min_chunk: 1024,
             par_cutoff: 2048,
-        };
-        let run = |tuning: ExecTuning, backend_pool: bool| {
+        });
+        let run = |tuning: Tuning, backend_pool: bool| {
             let mut state = SimState::<Uniform2>::new(
                 spec,
                 9,
@@ -634,7 +664,7 @@ mod tests {
             }
             (state.loads.clone(), round)
         };
-        let base = run(ExecTuning::default(), false);
+        let base = run(Tuning::legacy(), false);
         assert_eq!(base, run(tuned, true), "tuned parallel diverged");
         assert_eq!(base, run(tuned, false), "tuned serial diverged");
     }

@@ -21,7 +21,13 @@
 //!   chunk k → │ gather+count │     │ grant  │ │ resolve+commit │      │
 //!             └───────────────────────────────────────────────────────┘
 //!               parallel       serial  parallel   parallel       serial
-//!               (LaneScratch)  O(k·n)  (bins)     (LaneScratch)  O(m')
+//!               (LaneScratch)  sparse  (bins)     (LaneScratch)  O(m')
+//!
+//! The scan and the per-chunk count zeroing are *sparse*: each arena
+//! tracks the bins it touched this round, so both cost `O(Σ distinct
+//! bins touched)` instead of `O(chunks · n)` — the asymmetry that used to
+//! make chunked rounds pay `chunks×` the serial path's per-round memory
+//! traffic on large bin counts.
 //! ```
 //!
 //! Each chunk writes exclusively into its own [`LaneScratch`] arena, owned
@@ -39,7 +45,7 @@ use pba_par::{Chunking, DisjointClaims, DisjointIndexMut, ThreadPool};
 
 use crate::faults::{BallFault, FaultCtx, FaultRecord};
 use crate::protocol::{BallContext, ChoiceSink, CommitOption, RoundContext, RoundProtocol};
-use crate::rng::ball_stream;
+use crate::rng::RoundStreams;
 
 /// Default minimum number of active balls assigned to one parallel chunk.
 pub const DEFAULT_MIN_CHUNK: usize = 16 * 1024;
@@ -48,21 +54,129 @@ pub const DEFAULT_MIN_CHUNK: usize = 16 * 1024;
 /// it the round runs serially (one chunk) regardless of backend.
 pub const DEFAULT_PAR_CUTOFF: usize = 64 * 1024;
 
-/// Chunk-geometry knobs for the round kernel, configurable per run via
-/// `RunConfig::with_chunking`.
+/// Measured per-chunk floor for the round kernel's auto plan: chunks
+/// smaller than this spend more on pool dispatch than on work. Fed by
+/// `pba-run tune` (see `tuning.json`): the 16 Ki floor beat 8 Ki by
+/// 10–15% at both the medium and large tiers in the shipped sweep.
+pub const AUTO_MIN_CHUNK_FLOOR: usize = 16 * 1024;
+
+/// Measured serial→parallel crossover of the round kernel: rounds with
+/// fewer active balls than this run serially under [`Tuning::Auto`]. Fed
+/// by `pba-run tune` (see `tuning.json`).
+pub const AUTO_PAR_CUTOFF: usize = 64 * 1024;
+
+/// Measured per-chunk floor for the streaming snapshot path (two probes
+/// per arrival — much lighter than a protocol round, so chunks can be
+/// smaller). Fed by `pba-run tune`.
+pub const AUTO_INGEST_MIN_CHUNK: usize = 1024;
+
+/// Measured serial→parallel crossover for streaming batch ingestion.
+/// Fed by `pba-run tune`.
+pub const AUTO_INGEST_PAR_CUTOFF: usize = 8 * 1024;
+
+/// A fully resolved chunk-geometry plan for one pass of the round kernel
+/// (or one streamed batch): the two knobs the execution layer actually
+/// consumes. Obtain one from [`Tuning::plan`] / [`Tuning::plan_ingest`],
+/// or pin it directly via [`Tuning::fixed`].
+///
+/// Plans only change *scheduling* — chunk boundaries and the fan-out
+/// decision — never results: the kernels are bit-identical across every
+/// plan by construction (pinned by the golden/fuzz suites).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ExecTuning {
+pub struct ChunkPlan {
     /// Minimum items per parallel chunk.
     pub min_chunk: usize,
     /// Minimum active items for a round to use the parallel backend.
     pub par_cutoff: usize,
 }
 
-impl Default for ExecTuning {
+/// Legacy name for [`ChunkPlan`], kept so downstream code and older
+/// call sites keep compiling.
+pub type ExecTuning = ChunkPlan;
+
+impl Default for ChunkPlan {
     fn default() -> Self {
         Self {
             min_chunk: DEFAULT_MIN_CHUNK,
             par_cutoff: DEFAULT_PAR_CUTOFF,
+        }
+    }
+}
+
+/// The tuning surface of a run: how chunk geometry is chosen.
+///
+/// This replaces the two bare integers `RunConfig::with_chunking` used
+/// to take. [`Tuning::Auto`] (the default) resolves a [`ChunkPlan`] per
+/// workload from the shipped measured tables (`pba-run tune` refreshes
+/// them); [`Tuning::fixed`] pins an exact plan for experiments that
+/// sweep the geometry. Either way results are identical — tuning is
+/// scheduling only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tuning {
+    /// Derive the plan from the measured auto tables per workload size
+    /// and lane count.
+    #[default]
+    Auto,
+    /// Use exactly this plan everywhere.
+    Fixed(ChunkPlan),
+}
+
+impl Tuning {
+    /// Pin an exact plan (`min_chunk` clamped to at least 1).
+    pub fn fixed(min_chunk: usize, par_cutoff: usize) -> Self {
+        Tuning::Fixed(ChunkPlan {
+            min_chunk: min_chunk.max(1),
+            par_cutoff,
+        })
+    }
+
+    /// The engine's historical compile-time defaults (16 Ki / 64 Ki),
+    /// as a pinned plan.
+    pub fn legacy() -> Self {
+        Tuning::Fixed(ChunkPlan::default())
+    }
+
+    /// The auto plan for a round-kernel pass over `work` items on
+    /// `lanes` lanes: aim for the backend's full fan-out (two chunks per
+    /// lane) without dropping below the measured per-chunk floor.
+    pub fn auto(work: u64, lanes: usize) -> ChunkPlan {
+        let lanes = lanes.max(1) as u64;
+        let per_chunk = usize::try_from((work / (2 * lanes)).max(1)).unwrap_or(usize::MAX);
+        ChunkPlan {
+            min_chunk: per_chunk.max(AUTO_MIN_CHUNK_FLOOR),
+            par_cutoff: AUTO_PAR_CUTOFF,
+        }
+    }
+
+    /// The auto plan for a streaming snapshot batch of `work` arrivals
+    /// on `lanes` lanes — same shape as [`Tuning::auto`], but against
+    /// the ingest tables (an arrival is two probes, far lighter than a
+    /// protocol round, so the floor and cutoff sit lower).
+    pub fn auto_ingest(work: u64, lanes: usize) -> ChunkPlan {
+        let lanes = lanes.max(1) as u64;
+        let per_chunk = usize::try_from((work / (2 * lanes)).max(1)).unwrap_or(usize::MAX);
+        ChunkPlan {
+            min_chunk: per_chunk.max(AUTO_INGEST_MIN_CHUNK),
+            par_cutoff: AUTO_INGEST_PAR_CUTOFF,
+        }
+    }
+
+    /// Resolve the plan for a round-kernel pass: the pinned plan for
+    /// [`Tuning::Fixed`], the measured table otherwise.
+    #[inline]
+    pub fn plan(&self, work: u64, lanes: usize) -> ChunkPlan {
+        match *self {
+            Tuning::Auto => Self::auto(work, lanes),
+            Tuning::Fixed(plan) => plan,
+        }
+    }
+
+    /// Resolve the plan for a streamed batch (ingest tables).
+    #[inline]
+    pub fn plan_ingest(&self, work: u64, lanes: usize) -> ChunkPlan {
+        match *self {
+            Tuning::Auto => Self::auto_ingest(work, lanes),
+            Tuning::Fixed(plan) => plan,
         }
     }
 }
@@ -203,6 +317,13 @@ impl Admission for Faulty<'_> {
 /// One chunk's reusable scratch arena. `SimState` owns one per chunk slot
 /// and reuses them across rounds; after the warm-up round every buffer has
 /// reached steady-state capacity and rounds allocate nothing.
+///
+/// Cache-line aligned so adjacent arenas in the `Vec<LaneScratch>` never
+/// share a line: the per-chunk tallies (`committed`/`wasted`/…) are
+/// written concurrently by different lanes, and without the alignment the
+/// tail fields of arena `k` and head fields of arena `k+1` would
+/// false-share.
+#[repr(align(64))]
 pub(crate) struct LaneScratch {
     /// First index into `active` covered by this chunk this round.
     pub(crate) start: usize,
@@ -211,8 +332,15 @@ pub(crate) struct LaneScratch {
     /// Per-ball delivered-request counts, aligned with `active[start..]`.
     pub(crate) degrees: Vec<u32>,
     /// Per-bin arrival counts of this chunk; the serial exclusive scan
-    /// rewrites them into the chunk's per-bin global arrival-rank bases.
+    /// rewrites the touched entries into the chunk's per-bin global
+    /// arrival-rank bases.
     pub(crate) counts: Vec<u32>,
+    /// Bins this chunk touched this round, in first-arrival order, each
+    /// exactly once. Everything per-bin on this arena is sparse through
+    /// this list: zeroing `counts` at round start, the exclusive scan,
+    /// and the rank bases resolve reads — all `O(distinct bins touched)`
+    /// instead of `O(n)` per chunk.
+    pub(crate) touched: Vec<u32>,
     /// Staging buffer for pre-filter choices on the faulty path.
     raw: Vec<u32>,
     /// Commit options for `NEEDS_COMMIT_CHOICE` protocols.
@@ -237,6 +365,7 @@ impl LaneScratch {
             bins: Vec::new(),
             degrees: Vec::new(),
             counts: Vec::new(),
+            touched: Vec::new(),
             raw: Vec::new(),
             options: Vec::new(),
             still_active: Vec::new(),
@@ -255,10 +384,19 @@ impl LaneScratch {
         self.degrees.clear();
         if self.counts.len() != n {
             // Only ever runs on the first round a chunk slot is used (or if
-            // the bin count changed, which it cannot mid-run).
+            // the bin count changed, which it cannot mid-run). A fresh
+            // resize is all-zero, so the touched list can start empty.
+            self.counts.clear();
             self.counts.resize(n, 0);
+            self.touched.clear();
         }
-        self.counts.fill(0);
+        // Sparse zero: after last round, this arena's `counts` are nonzero
+        // only at bins on its touched list (counting, the scan's rank-base
+        // rewrite, and resolve's rank bumps all stay within it).
+        for &b in &self.touched {
+            self.counts[b as usize] = 0;
+        }
+        self.touched.clear();
         self.out_of_range = None;
         self.faults = FaultRecord::default();
     }
@@ -268,7 +406,10 @@ impl LaneScratch {
 pub(crate) struct GatherShared<'a, P: RoundProtocol> {
     pub protocol: &'a P,
     pub ctx: &'a RoundContext,
-    pub seed: u64,
+    /// Per-ball streams with the round-level mix hoisted: every lane
+    /// derives a ball's stream with one SplitMix64 finalizer instead of
+    /// two — bit-identical to `ball_stream` by construction.
+    pub streams: RoundStreams,
     pub n_bins: u32,
     pub active: &'a [u32],
     /// Per-ball protocol state, written disjointly (one chunk per ball).
@@ -300,7 +441,7 @@ pub(crate) fn gather_chunk<P: RoundProtocol, A: Admission>(
             scratch.degrees.push(0);
             continue;
         }
-        let mut rng = ball_stream(shared.seed, round, ball as u64);
+        let mut rng = shared.streams.ball(ball as u64);
         if A::PASSTHROUGH {
             let before = scratch.bins.len();
             let mut sink = ChoiceSink::new(&mut scratch.bins, shared.n_bins);
@@ -334,7 +475,11 @@ pub(crate) fn gather_chunk<P: RoundProtocol, A: Admission>(
         }
     }
     for &b in &scratch.bins {
-        scratch.counts[b as usize] += 1;
+        let slot = &mut scratch.counts[b as usize];
+        if *slot == 0 {
+            scratch.touched.push(b);
+        }
+        *slot += 1;
     }
 }
 
@@ -485,6 +630,50 @@ mod tests {
         let t = ExecTuning::default();
         assert_eq!(t.min_chunk, DEFAULT_MIN_CHUNK);
         assert_eq!(t.par_cutoff, DEFAULT_PAR_CUTOFF);
+        assert_eq!(Tuning::default(), Tuning::Auto);
+        assert_eq!(Tuning::legacy().plan(1 << 30, 8), ChunkPlan::default());
+    }
+
+    #[test]
+    fn fixed_tuning_clamps_and_pins() {
+        let t = Tuning::fixed(0, 7);
+        let plan = t.plan(123, 4);
+        assert_eq!(plan.min_chunk, 1, "min_chunk 0 must clamp to 1");
+        assert_eq!(plan.par_cutoff, 7);
+        // Fixed plans ignore workload and lanes entirely.
+        assert_eq!(plan, t.plan(1 << 40, 64));
+        assert_eq!(plan, t.plan_ingest(0, 1));
+    }
+
+    #[test]
+    fn auto_plans_are_never_degenerate() {
+        for work in [0u64, 1, 5, 1023, 1 << 10, 1 << 16, 1 << 20, 1 << 26] {
+            for lanes in [0usize, 1, 2, 4, 8, 64] {
+                for plan in [Tuning::auto(work, lanes), Tuning::auto_ingest(work, lanes)] {
+                    assert!(plan.min_chunk >= 1, "work {work} lanes {lanes}: {plan:?}");
+                    assert!(plan.par_cutoff >= 1, "work {work} lanes {lanes}: {plan:?}");
+                    // The resulting chunk geometry must cover the work.
+                    let c = Chunking::new(work as usize, plan.min_chunk, lanes.max(1) * 2);
+                    if work > 0 {
+                        assert!(c.chunks() >= 1);
+                        assert_eq!(c.range(0).start, 0);
+                        assert_eq!(c.range(c.chunks() - 1).end, work as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_plan_respects_floor_and_fanout_target() {
+        // Small work: floor dominates.
+        assert_eq!(Tuning::auto(1 << 10, 4).min_chunk, AUTO_MIN_CHUNK_FLOOR);
+        // Large work: two chunks per lane.
+        let plan = Tuning::auto(1 << 24, 4);
+        assert_eq!(plan.min_chunk, (1 << 24) / 8);
+        assert_eq!(plan.par_cutoff, AUTO_PAR_CUTOFF);
+        // Ingest table sits lower than the round-kernel table.
+        assert!(Tuning::auto_ingest(1 << 10, 4).min_chunk <= Tuning::auto(1 << 10, 4).min_chunk);
     }
 
     #[test]

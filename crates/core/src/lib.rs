@@ -63,7 +63,7 @@ pub(crate) mod validate;
 pub use allocation::Allocation;
 pub use binstate::BinState;
 pub use error::{CoreError, Result};
-pub use exec::{Backend, ExecTuning, DEFAULT_MIN_CHUNK, DEFAULT_PAR_CUTOFF};
+pub use exec::{Backend, ChunkPlan, ExecTuning, Tuning, DEFAULT_MIN_CHUNK, DEFAULT_PAR_CUTOFF};
 pub use faults::{FaultPlan, FaultRecord, FaultStats, StragglerSpec};
 pub use load::LoadStats;
 pub use messages::{MessageStats, MessageTracking};
@@ -75,6 +75,6 @@ pub use model::ProblemSpec;
 pub use protocol::{
     BallContext, BinGrant, ChoiceSink, CommitOption, Flow, NoBallState, RoundContext, RoundProtocol,
 };
-pub use rng::{ball_stream, SplitMix64, Xoshiro256pp};
+pub use rng::{ball_stream, RoundStreams, SplitMix64, Xoshiro256pp};
 pub use sim::{ExecutorKind, RunConfig, RunOutcome, Simulator};
 pub use trace::{RoundRecord, RunTrace};

@@ -10,7 +10,7 @@ use crate::allocation::Allocation;
 use crate::binstate::BinState;
 use crate::engine::SimState;
 use crate::error::{CoreError, Result};
-use crate::exec::{Backend, ExecTuning};
+use crate::exec::{Backend, Tuning};
 use crate::faults::{FaultPlan, FaultStats};
 use crate::load::LoadStats;
 use crate::messages::{MessageStats, MessageTracking};
@@ -77,11 +77,12 @@ pub struct RunConfig {
     /// [`CoreError::InvariantViolation`] on the first breach. `false`
     /// (the default) is the zero-cost path: no snapshots, no checks.
     pub validate: bool,
-    /// Minimum active balls per parallel chunk (default 16 Ki).
-    pub min_chunk: usize,
-    /// Minimum active-set size for a round to fan out at all; below it the
-    /// round runs serially regardless of executor (default 64 Ki).
-    pub par_cutoff: usize,
+    /// Chunk-geometry policy: [`Tuning::Auto`] (the default) derives a
+    /// [`crate::exec::ChunkPlan`] per round from the live work size and
+    /// lane count; [`Tuning::Fixed`] pins one plan for the whole run.
+    /// Results are bit-identical for every setting — only scheduling
+    /// granularity changes.
+    pub tuning: Tuning,
 }
 
 impl RunConfig {
@@ -98,8 +99,7 @@ impl RunConfig {
             metrics: None,
             faults: None,
             validate: false,
-            min_chunk: crate::exec::DEFAULT_MIN_CHUNK,
-            par_cutoff: crate::exec::DEFAULT_PAR_CUTOFF,
+            tuning: Tuning::Auto,
         }
     }
 
@@ -200,23 +200,22 @@ impl RunConfig {
         self
     }
 
-    /// Override the parallel chunk geometry: `min_chunk` active balls per
-    /// chunk, and a round fans out only when at least `par_cutoff` balls
-    /// are active. The defaults (16 Ki / 64 Ki) match the engine's
-    /// historical compile-time constants; results are bit-identical for
-    /// every setting — only scheduling granularity changes.
-    pub fn with_chunking(mut self, min_chunk: usize, par_cutoff: usize) -> Self {
-        self.min_chunk = min_chunk.max(1);
-        self.par_cutoff = par_cutoff;
+    /// Set the chunk-geometry policy. [`Tuning::Auto`] (the default)
+    /// derives the chunk plan per round from the live work size and lane
+    /// count; [`Tuning::fixed`] pins `min_chunk`/`par_cutoff` for the
+    /// whole run; [`Tuning::legacy`] reproduces the historical constants
+    /// (16 Ki / 64 Ki). Results are bit-identical for every setting —
+    /// only scheduling granularity changes.
+    pub fn with_tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = tuning;
         self
     }
 
-    /// The chunk-geometry knobs as the engine consumes them.
-    pub(crate) fn tuning(&self) -> ExecTuning {
-        ExecTuning {
-            min_chunk: self.min_chunk,
-            par_cutoff: self.par_cutoff,
-        }
+    /// **Deprecated**: use [`RunConfig::with_tuning`] with
+    /// [`Tuning::fixed`]. Kept as a thin redirect so existing callers and
+    /// pinned golden tests keep compiling and producing identical plans.
+    pub fn with_chunking(self, min_chunk: usize, par_cutoff: usize) -> Self {
+        self.with_tuning(Tuning::fixed(min_chunk, par_cutoff))
     }
 }
 
@@ -239,8 +238,7 @@ impl std::fmt::Debug for RunConfig {
             )
             .field("faults", &self.faults)
             .field("validate", &self.validate)
-            .field("min_chunk", &self.min_chunk)
-            .field("par_cutoff", &self.par_cutoff)
+            .field("tuning", &self.tuning)
             .finish()
     }
 }
@@ -414,7 +412,7 @@ impl Simulator {
             self.config.tracking,
             track_assignment,
             self.config.faults,
-            self.config.tuning(),
+            self.config.tuning,
             self.config.validate,
         );
         let budget = self

@@ -26,24 +26,69 @@ pub fn as_atomic_u64(data: &mut [u64]) -> &[AtomicU64] {
     unsafe { &*(data as *mut [u64] as *const [AtomicU64]) }
 }
 
+/// A `T` padded out to its own cache line (64-byte aligned).
+///
+/// Lane-owned state laid out contiguously (per-lane counters, per-shard
+/// load arrays) otherwise shares cache lines at shard boundaries, and
+/// concurrent writers false-share: every store invalidates the neighbor
+/// lane's line. Wrapping each element in `CachePadded` gives every shard
+/// its own line. Access the inner value through `Deref`/`DerefMut` — the
+/// wrapper is transparent at use sites.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[repr(align(64))]
+pub struct CachePadded<T>(pub T);
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` in its own cache line.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        CachePadded(value)
+    }
+
+    /// Unwrap back to the inner value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    #[inline]
+    fn from(value: T) -> Self {
+        CachePadded(value)
+    }
+}
+
 /// Per-shard `u64` counters merged on demand.
 ///
 /// Useful when contention on a single atomic would serialize workers:
 /// each lane increments its own cache-line-padded shard and the total is
 /// computed once per round.
 pub struct ShardedCounters {
-    shards: Vec<Padded>,
+    shards: Vec<CachePadded<AtomicU64>>,
 }
-
-#[repr(align(64))]
-struct Padded(AtomicU64);
 
 impl ShardedCounters {
     /// Create counters with one shard per execution lane.
     pub fn new(lanes: usize) -> Self {
         Self {
             shards: (0..lanes.max(1))
-                .map(|_| Padded(AtomicU64::new(0)))
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),
         }
     }
@@ -127,6 +172,21 @@ mod tests {
             a[2].fetch_add(37, Ordering::Relaxed);
         }
         assert_eq!(v, vec![5, 5, 42, 5]);
+    }
+
+    #[test]
+    fn cache_padded_is_line_aligned_and_transparent() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 64);
+        assert_eq!(std::mem::align_of::<CachePadded<Vec<u64>>>(), 64);
+        let mut p = CachePadded::new(vec![1u64, 2, 3]);
+        p.push(4); // DerefMut
+        assert_eq!(p.len(), 4); // Deref
+        assert_eq!(p.into_inner(), vec![1, 2, 3, 4]);
+        // Adjacent elements land on distinct cache lines.
+        let pair = [CachePadded::new(0u8), CachePadded::new(1u8)];
+        let a = &pair[0] as *const _ as usize;
+        let b = &pair[1] as *const _ as usize;
+        assert!(b - a >= 64);
     }
 
     #[test]

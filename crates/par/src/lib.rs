@@ -36,7 +36,7 @@ pub mod pool;
 pub mod reduce;
 pub mod scan;
 
-pub use atomic::{as_atomic_u32, as_atomic_u64, ShardedCounters};
+pub use atomic::{as_atomic_u32, as_atomic_u64, CachePadded, ShardedCounters};
 pub use chunk::{chunk_count, chunk_range, Chunking};
 pub use disjoint::{DisjointClaims, DisjointIndexMut};
 pub use iter::{for_each_chunk, par_chunks_mut, par_fill_with, par_map_indexed};

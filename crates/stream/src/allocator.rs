@@ -5,20 +5,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use pba_core::{Backend, BatchRecord, BinState, FaultPlan, MetricsSink, StreamMeta};
+use pba_core::{Backend, BatchRecord, BinState, FaultPlan, MetricsSink, StreamMeta, Tuning};
 use pba_par::{global_pool, DisjointIndexMut, ShardedCounters};
 
 use crate::arrival_stream;
 use crate::batch::{Batch, BatchOutcome};
 use crate::loads::ShardedLoads;
 use crate::policy::{PlacementPolicy, PolicyKind};
-
-/// Below this many arrivals a batch is decided and applied on one lane:
-/// the pool dispatch overhead outweighs two probes per ball.
-const PAR_CUTOFF: usize = 8 * 1024;
-
-/// Minimum arrivals decided by one chunk of the snapshot path.
-const SNAPSHOT_MIN_CHUNK: usize = 1024;
 
 /// A long-lived online allocator: ingest [`Batch`]es of arrivals and
 /// departures against persistent sharded bin state.
@@ -56,6 +49,11 @@ pub struct StreamAllocator {
     batch_seq: u64,
     metrics: Option<Arc<dyn MetricsSink>>,
     parallel: bool,
+    /// Chunk-geometry policy for the snapshot ingest path, resolved per
+    /// batch through [`Tuning::plan_ingest`] (the ingest table has a
+    /// lower fan-out cutoff than the round engine — two probes per ball
+    /// amortize dispatch sooner than a full round pass does).
+    tuning: Tuning,
     /// Fault injection; only the shard-domain failure component applies
     /// to streaming. `None` is the zero-overhead path.
     faults: Option<FaultPlan>,
@@ -73,6 +71,7 @@ impl StreamAllocator {
             batch_seq: 0,
             metrics: None,
             parallel: false,
+            tuning: Tuning::Auto,
             faults: None,
         }
     }
@@ -99,6 +98,16 @@ impl StreamAllocator {
     /// Ingest snapshot-policy batches on the global thread pool.
     pub fn parallel(mut self) -> Self {
         self.parallel = true;
+        self
+    }
+
+    /// Set the chunk-geometry policy for snapshot ingestion.
+    /// [`Tuning::Auto`] (the default) sizes chunks per batch from the
+    /// arrival count and pool lanes; [`Tuning::fixed`] pins the geometry.
+    /// Placements are identical for every setting — only throughput
+    /// changes.
+    pub fn with_tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = tuning;
         self
     }
 
@@ -265,12 +274,18 @@ impl StreamAllocator {
             }
             live
         };
-        let backend = if self.parallel && arrivals.len() >= PAR_CUTOFF {
+        let lanes = if self.parallel {
+            global_pool().lanes()
+        } else {
+            1
+        };
+        let plan = self.tuning.plan_ingest(arrivals.len() as u64, lanes);
+        let backend = if self.parallel && arrivals.len() >= plan.par_cutoff {
             Backend::Pool(global_pool())
         } else {
             Backend::Serial
         };
-        let chunking = backend.chunking(arrivals.len(), SNAPSHOT_MIN_CHUNK);
+        let chunking = backend.chunking(arrivals.len(), plan.min_chunk);
         let mut placements = vec![0u32; arrivals.len()];
         {
             let view = DisjointIndexMut::new(&mut placements);

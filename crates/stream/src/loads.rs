@@ -13,7 +13,7 @@
 //! shard-contention signal reported through metrics.
 
 use pba_core::{Backend, BinState};
-use pba_par::{as_atomic_u64, ShardedCounters};
+use pba_par::{as_atomic_u64, CachePadded, ShardedCounters};
 use std::sync::atomic::Ordering;
 
 /// Per-bin `u64` loads, range-partitioned into shards.
@@ -26,8 +26,10 @@ pub struct ShardedLoads {
     bins: u32,
     /// Cumulative start bin of each shard, plus a final `bins` sentinel.
     starts: Vec<u32>,
-    /// One contiguous load vector per shard.
-    shards: Vec<Vec<u64>>,
+    /// One contiguous load vector per shard, each header on its own cache
+    /// line so concurrent lanes applying to adjacent shards never
+    /// false-share the shard metadata.
+    shards: Vec<CachePadded<Vec<u64>>>,
 }
 
 impl ShardedLoads {
@@ -43,7 +45,7 @@ impl ShardedLoads {
             .collect();
         let shard_vecs = starts
             .windows(2)
-            .map(|w| vec![0u64; (w[1] - w[0]) as usize])
+            .map(|w| CachePadded::new(vec![0u64; (w[1] - w[0]) as usize]))
             .collect();
         Self {
             bins,

@@ -2,20 +2,45 @@
 # bench_diff.sh — throughput delta between two `pba-run bench` JSON files.
 #
 #   usage: scripts/bench_diff.sh OLD.json NEW.json
+#          scripts/bench_diff.sh --tier TIER [--gate PCT]
 #
 # Matches engine entries on (protocol, executor) and stream entries on
 # (policy, ingest), printing old/new balls-per-second and the relative
 # delta. Relies only on POSIX tools: the bench JSON is the compact
 # hand-rolled format written by the runner, so a sed split plus awk field
 # scraping is enough — no jq in the container.
+#
+# In `--tier` mode the script runs a fresh `pba-run bench --tier TIER`
+# into a temp file and diffs it against the committed BENCH_TIER.json
+# baseline. With `--gate PCT` it additionally exits 1 if any matched
+# entry regressed by more than PCT percent — the CI throughput gate
+# (check.sh runs the small tier; medium+ stay manual, they take minutes).
 set -eu
 
-if [ $# -ne 2 ]; then
-  echo "usage: $0 OLD.json NEW.json" >&2
+gate=""
+if [ "${1:-}" = "--tier" ]; then
+  [ $# -ge 2 ] || { echo "--tier needs a value" >&2; exit 2; }
+  tier=$2
+  shift 2
+  if [ "${1:-}" = "--gate" ]; then
+    [ $# -ge 2 ] || { echo "--gate needs a value" >&2; exit 2; }
+    gate=$2
+    shift 2
+  fi
+  [ $# -eq 0 ] || { echo "unexpected arguments after --tier: $*" >&2; exit 2; }
+  old="BENCH_${tier}.json"
+  [ -f "$old" ] || { echo "no committed baseline $old" >&2; exit 2; }
+  new=$(mktemp --suffix .json)
+  fresh=$new
+  echo "==> cargo run --release -q -p pba-runner --bin pba-run -- bench --tier $tier --out $new" >&2
+  cargo run --release -q -p pba-runner --bin pba-run -- bench --tier "$tier" --out "$new" >/dev/null
+elif [ $# -eq 2 ]; then
+  old=$1
+  new=$2
+else
+  echo "usage: $0 OLD.json NEW.json | $0 --tier TIER [--gate PCT]" >&2
   exit 2
 fi
-old=$1
-new=$2
 [ -f "$old" ] || { echo "no such file: $old" >&2; exit 2; }
 [ -f "$new" ] || { echo "no such file: $new" >&2; exit 2; }
 
@@ -47,12 +72,12 @@ rows() {
 
 tmp_old=$(mktemp)
 tmp_new=$(mktemp)
-trap 'rm -f "$tmp_old" "$tmp_new"' EXIT
+trap 'rm -f "$tmp_old" "$tmp_new" ${fresh:+"$fresh"}' EXIT
 rows "$old" >"$tmp_old"
 rows "$new" >"$tmp_new"
 
 printf '%-44s %14s %14s %10s\n' "entry (balls/s)" "old" "new" "delta"
-awk -F'\t' '
+awk -F'\t' -v gate="${gate:-}" '
   NR == FNR { ob[$1] = $2; next }
   {
     key = $1; nb = $2
@@ -61,14 +86,20 @@ awk -F'\t' '
       next
     }
     seen[key] = 1
-    if (ob[key] + 0 > 0)
-      printf "%-44s %14.0f %14.0f %+9.1f%%\n", key, ob[key], nb, 100 * (nb - ob[key]) / ob[key]
-    else
+    if (ob[key] + 0 > 0) {
+      delta = 100 * (nb - ob[key]) / ob[key]
+      printf "%-44s %14.0f %14.0f %+9.1f%%\n", key, ob[key], nb, delta
+      if (gate != "" && delta < -(gate + 0)) {
+        printf "REGRESSION: %s dropped %.1f%% (gate %s%%)\n", key, -delta, gate
+        bad = 1
+      }
+    } else
       printf "%-44s %14.0f %14.0f %10s\n", key, ob[key], nb, "-"
   }
   END {
     for (k in ob)
       if (!(k in seen))
         printf "%-44s %14.0f %14s %10s\n", k, ob[k], "-", "gone"
+    exit bad
   }
 ' "$tmp_old" "$tmp_new"

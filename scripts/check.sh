@@ -27,6 +27,11 @@ run cargo test -q --test fuzz_differential
 # Statistical conformance oracles at CI scale: exits nonzero if any
 # paper claim flips to REFUTED (see EXPERIMENTS.md "Oracle" column).
 run cargo run --release -q -p pba-runner --bin pba-run -- verify --scale ci
+# Throughput gate: fresh small-tier bench vs the committed baseline.
+# The 60% allowance is deliberately loose — shared single-core runners
+# are noisy — so only order-of-magnitude regressions trip it. Medium+
+# tiers stay manual (scripts/bench_diff.sh --tier large).
+run scripts/bench_diff.sh --tier small --gate 60
 run cargo build --no-default-features
 run cargo build --workspace --features serde
 

@@ -41,9 +41,9 @@ pub use pba_stream as stream;
 /// Commonly used items, re-exported for `use pba::prelude::*`.
 pub mod prelude {
     pub use pba_core::{
-        Allocation, EngineMetrics, ExecutorKind, FanoutSink, FaultPlan, FaultRecord, FaultStats,
-        LoadStats, MessageStats, MetricsReport, MetricsSink, Phase, ProblemSpec, RoundProtocol,
-        RunConfig, RunOutcome, Simulator, StragglerSpec,
+        Allocation, ChunkPlan, EngineMetrics, ExecutorKind, FanoutSink, FaultPlan, FaultRecord,
+        FaultStats, LoadStats, MessageStats, MetricsReport, MetricsSink, Phase, ProblemSpec,
+        RoundProtocol, RunConfig, RunOutcome, Simulator, StragglerSpec, Tuning,
     };
     pub use pba_protocols::{
         ALight, AdlerGreedy, Asymmetric, BatchedTwoChoice, Collision, FixedThreshold, GreedyD,
