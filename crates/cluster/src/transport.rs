@@ -1,0 +1,393 @@
+//! Shard transports: framed lines over real pipes.
+//!
+//! A [`ShardLink`] is the orchestrator's half-duplex channel to one shard
+//! worker. Two transports exist:
+//!
+//! * [`ShardLink::process`] — spawn a real OS process (the `pba-run
+//!   shard-worker` child mode) and speak over its stdin/stdout pipes.
+//! * [`ShardLink::local`] — run [`crate::worker::serve`] on a thread over
+//!   in-memory byte pipes with pipe semantics (blocking reads, EOF on
+//!   writer drop, `BrokenPipe` after a kill). `std::io::pipe` landed in
+//!   Rust 1.87; the workspace floor is 1.85, so the pipes are hand-rolled
+//!   on `Mutex` + `Condvar`.
+//!
+//! Both transports surface the same failure mode: killing the peer makes
+//! subsequent sends/receives fail, which the orchestrator detects as a
+//! dead pipe — that detection, not any bookkeeping flag, is what drives
+//! the chaos-path redirect.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use pba_core::{CoreError, Result};
+
+use crate::wire::Frame;
+use crate::worker;
+
+/// Shared state of one in-memory pipe direction.
+#[derive(Default)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    /// Writer dropped: reads drain the buffer, then return EOF.
+    closed: bool,
+    /// Peer killed: reads and writes fail with `BrokenPipe` immediately.
+    broken: bool,
+}
+
+/// One unidirectional in-memory pipe.
+#[derive(Default)]
+struct Pipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+}
+
+impl Pipe {
+    fn sever(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.broken = true;
+        self.readable.notify_all();
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        self.readable.notify_all();
+    }
+}
+
+/// Write half of an in-memory pipe.
+pub struct PipeWriter(Arc<Pipe>);
+
+/// Read half of an in-memory pipe.
+pub struct PipeReader(Arc<Pipe>);
+
+/// A connected in-memory pipe pair.
+pub fn mem_pipe() -> (PipeWriter, PipeReader) {
+    let p = Arc::new(Pipe::default());
+    (PipeWriter(p.clone()), PipeReader(p))
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        let mut st = self.0.state.lock().unwrap();
+        if st.broken {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe severed"));
+        }
+        st.buf.extend(data);
+        self.0.readable.notify_all();
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        let mut st = self.0.state.lock().unwrap();
+        loop {
+            if !st.buf.is_empty() {
+                let take = st.buf.len().min(out.len());
+                for slot in out.iter_mut().take(take) {
+                    *slot = st.buf.pop_front().expect("len checked");
+                }
+                return Ok(take);
+            }
+            if st.broken {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe severed"));
+            }
+            if st.closed {
+                return Ok(0);
+            }
+            st = self.0.readable.wait(st).unwrap();
+        }
+    }
+}
+
+/// What backs a [`ShardLink`].
+enum LinkKind {
+    /// Worker thread over in-memory pipes. The pipe handles let
+    /// [`ShardLink::kill`] sever both directions.
+    Local {
+        handle: Option<JoinHandle<std::result::Result<(), String>>>,
+        to_worker: Arc<Pipe>,
+        from_worker: Arc<Pipe>,
+    },
+    /// Real child process over stdin/stdout.
+    Process { child: Child },
+}
+
+/// The orchestrator's channel to one shard worker, with wire accounting.
+pub struct ShardLink {
+    shard: u32,
+    writer: Box<dyn Write + Send>,
+    reader: Box<dyn BufRead + Send>,
+    kind: LinkKind,
+    alive: bool,
+    /// Frames the orchestrator sent over this link.
+    pub frames_sent: u64,
+    /// Frames the orchestrator received over this link.
+    pub frames_recv: u64,
+    /// Bytes sent (framed lines, newline included).
+    pub bytes_sent: u64,
+    /// Bytes received.
+    pub bytes_recv: u64,
+    /// True once [`ShardLink::kill`] ran.
+    pub killed: bool,
+}
+
+impl ShardLink {
+    /// Spawn [`worker::serve`] on a thread connected by in-memory pipes.
+    pub fn local(shard: u32) -> ShardLink {
+        let (orch_w, worker_r) = mem_pipe();
+        let (worker_w, orch_r) = mem_pipe();
+        let to_worker = worker_r.0.clone();
+        let from_worker = orch_r.0.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("pba-shard-{shard}"))
+            .spawn(move || worker::serve(BufReader::new(worker_r), worker_w))
+            .expect("spawn shard worker thread");
+        ShardLink {
+            shard,
+            writer: Box::new(orch_w),
+            reader: Box::new(BufReader::new(orch_r)),
+            kind: LinkKind::Local {
+                handle: Some(handle),
+                to_worker,
+                from_worker,
+            },
+            alive: true,
+            frames_sent: 0,
+            frames_recv: 0,
+            bytes_sent: 0,
+            bytes_recv: 0,
+            killed: false,
+        }
+    }
+
+    /// Spawn `exe shard-worker` as a child process piped on stdin/stdout
+    /// (stderr passes through for diagnostics).
+    pub fn process(shard: u32, exe: &Path) -> Result<ShardLink> {
+        let mut child = Command::new(exe)
+            .arg("shard-worker")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| CoreError::ClusterTransport {
+                shard,
+                detail: format!("failed to spawn worker {}: {e}", exe.display()),
+            })?;
+        let stdin = child.stdin.take().expect("stdin piped");
+        let stdout = child.stdout.take().expect("stdout piped");
+        Ok(ShardLink {
+            shard,
+            writer: Box::new(stdin),
+            reader: Box::new(BufReader::new(stdout)),
+            kind: LinkKind::Process { child },
+            alive: true,
+            frames_sent: 0,
+            frames_recv: 0,
+            bytes_sent: 0,
+            bytes_recv: 0,
+            killed: false,
+        })
+    }
+
+    /// This link's shard index.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// True until [`ShardLink::kill`] or an observed transport failure.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    fn transport_err(&self, detail: String) -> CoreError {
+        CoreError::ClusterTransport {
+            shard: self.shard,
+            detail,
+        }
+    }
+
+    /// Send one frame (line-framed, flushed).
+    pub fn send(&mut self, frame: &Frame) -> Result<()> {
+        let mut line = frame.encode();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| {
+                self.alive = false;
+                self.transport_err(format!("send {} failed: {e}", frame.tag()))
+            })?;
+        self.frames_sent += 1;
+        self.bytes_sent += line.len() as u64;
+        Ok(())
+    }
+
+    /// Receive one frame. EOF, unreadable lines, and worker-reported
+    /// `error` frames all surface as
+    /// [`CoreError::ClusterTransport`].
+    pub fn recv(&mut self) -> Result<Frame> {
+        let mut line = String::new();
+        let read = self.reader.read_line(&mut line).map_err(|e| {
+            self.alive = false;
+            self.transport_err(format!("recv failed: {e}"))
+        })?;
+        if read == 0 {
+            self.alive = false;
+            return Err(self.transport_err("shard closed the pipe (EOF)".into()));
+        }
+        self.frames_recv += 1;
+        self.bytes_recv += read as u64;
+        let frame = Frame::decode(&line)
+            .map_err(|e| self.transport_err(format!("unreadable reply: {e}")))?;
+        if let Frame::Error { detail } = frame {
+            self.alive = false;
+            return Err(self.transport_err(format!("worker error: {detail}")));
+        }
+        Ok(frame)
+    }
+
+    /// Kill the shard: sever the pipes (local) or kill the process. The
+    /// next send/recv observes a dead pipe.
+    pub fn kill(&mut self) {
+        match &mut self.kind {
+            LinkKind::Local {
+                to_worker,
+                from_worker,
+                ..
+            } => {
+                to_worker.sever();
+                from_worker.sever();
+            }
+            LinkKind::Process { child } => {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+        self.killed = true;
+        self.alive = false;
+    }
+
+    /// Clean teardown: `shutdown` → `bye`, then reap the worker. Errors
+    /// are reported (a worker that fails to exit cleanly is a bug), but
+    /// a killed link just reaps.
+    pub fn finish(&mut self) -> Result<()> {
+        if self.alive {
+            self.send(&Frame::Shutdown)?;
+            match self.recv()? {
+                Frame::Bye { .. } => {}
+                other => {
+                    return Err(self.transport_err(format!("expected bye, got {}", other.tag())));
+                }
+            }
+            self.alive = false;
+        }
+        match &mut self.kind {
+            LinkKind::Local { handle, .. } => {
+                if let Some(h) = handle.take() {
+                    // A killed worker exits with a pipe error; that is the
+                    // expected chaos outcome, not a failure.
+                    let outcome = h.join().map_err(|_| CoreError::ClusterTransport {
+                        shard: self.shard,
+                        detail: "worker thread panicked".into(),
+                    })?;
+                    if let (Err(detail), false) = (outcome, self.killed) {
+                        return Err(CoreError::ClusterTransport {
+                            shard: self.shard,
+                            detail: format!("worker exited with error: {detail}"),
+                        });
+                    }
+                }
+            }
+            LinkKind::Process { child } => {
+                let status = child.wait().map_err(|e| CoreError::ClusterTransport {
+                    shard: self.shard,
+                    detail: format!("wait failed: {e}"),
+                })?;
+                if !status.success() && !self.killed {
+                    return Err(CoreError::ClusterTransport {
+                        shard: self.shard,
+                        detail: format!("worker exited with {status}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ShardLink {
+    fn drop(&mut self) {
+        // Never leave a live worker behind on an error path.
+        if self.alive {
+            self.kill();
+        }
+        if let LinkKind::Local { handle, .. } = &mut self.kind {
+            if let Some(h) = handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_pipe_delivers_lines_in_order() {
+        let (mut w, r) = mem_pipe();
+        let t = std::thread::spawn(move || {
+            let mut lines = Vec::new();
+            for line in BufReader::new(r).lines() {
+                lines.push(line.unwrap());
+            }
+            lines
+        });
+        w.write_all(b"one\ntwo\n").unwrap();
+        drop(w); // EOF
+        assert_eq!(t.join().unwrap(), vec!["one", "two"]);
+    }
+
+    #[test]
+    fn severed_pipe_breaks_both_ends() {
+        let (mut w, mut r) = mem_pipe();
+        w.0.sever();
+        assert_eq!(w.write(b"x").unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        let mut buf = [0u8; 4];
+        assert_eq!(
+            r.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+    }
+
+    #[test]
+    fn blocked_reader_wakes_on_sever() {
+        let (w, mut r) = mem_pipe();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 4];
+            r.read(&mut buf)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        w.0.sever();
+        assert_eq!(
+            t.join().unwrap().unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+    }
+}

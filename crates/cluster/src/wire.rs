@@ -1,0 +1,574 @@
+//! The cluster wire protocol: framed, line-delimited JSON.
+//!
+//! Every frame is **one JSON object on one line**, terminated by `\n`,
+//! with a `"t"` key naming the frame type. Both sides use the hand-rolled
+//! codec in [`pba_core::json`] — no external dependencies, and the same
+//! encoder that writes the JSONL traces.
+//!
+//! ## Conversation (engine mode)
+//!
+//! ```text
+//! orchestrator → worker   hello      mode, shard, range, spec, seed, …
+//! worker → orchestrator   ready
+//! per round:
+//!   o → w   grants        round, active, placed, sparse arrival counts,
+//!                         crashed bins in range
+//!   w → o   grants_ok     sparse accepts, (underloaded, unfilled) totals
+//!   o → w   commit        changed loads, the finished round record
+//!   w → o   commit_ok     checksum (sum of the shard's loads)
+//! teardown:
+//!   o → w   drain         → loads (dense shard range, verification)
+//!   o → w   shutdown      → bye
+//! ```
+//!
+//! Stream mode replaces the grants/commit waves with one `delta` /
+//! `delta_ok` exchange per batch (absolute loads for changed bins; the
+//! reply carries the shard's total and max for verification).
+//!
+//! ## Precision
+//!
+//! Plain numeric fields ride as JSON numbers and are exact up to `2^53`
+//! (the codec's documented wire limit — counts, loads, and rounds are far
+//! below it). Seeds are full-width `u64` with no such guarantee, so the
+//! `hello` frame carries them as **decimal strings**.
+//!
+//! A malformed line is a protocol error: the worker answers with an
+//! `error` frame and exits nonzero; the orchestrator surfaces
+//! [`CoreError::ClusterTransport`](pba_core::CoreError).
+
+use pba_core::json::{parse, u64_array, Json, JsonObject};
+use pba_core::{MessageStats, RoundRecord};
+
+/// Everything the worker needs to set up its shard, sent first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hello {
+    /// `"engine"` or `"stream"`.
+    pub mode: String,
+    /// This worker's shard index.
+    pub shard: u32,
+    /// Total shard count.
+    pub shards: u32,
+    /// First owned bin (inclusive).
+    pub lo: u32,
+    /// One past the last owned bin.
+    pub hi: u32,
+    /// Total bins in the run.
+    pub n: u32,
+    /// Total balls (engine mode; 0 for stream).
+    pub m: u64,
+    /// Run seed (exact — strings on the wire).
+    pub seed: u64,
+    /// Protocol name (engine) or policy name (stream).
+    pub workload: String,
+    /// Per-barrier straggle probability (0 disables; delay-only chaos).
+    pub straggle_prob: f64,
+    /// Sleep in microseconds when a barrier straggles.
+    pub straggle_us: u64,
+    /// Seed of the straggle stream (exact — strings on the wire).
+    pub fault_seed: u64,
+}
+
+/// One wire frame. See the module docs for the conversation shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Orchestrator → worker: session setup.
+    Hello(Hello),
+    /// Worker → orchestrator: setup done.
+    Ready {
+        /// Echoed shard index.
+        shard: u32,
+    },
+    /// Orchestrator → worker: one round's request wave.
+    Grants {
+        /// Round index.
+        round: u32,
+        /// Active balls at round start.
+        active: u64,
+        /// Balls placed before this round.
+        placed: u64,
+        /// Sparse `(global bin, arrivals)` pairs within the shard range.
+        counts: Vec<(u32, u64)>,
+        /// Run-level crashed bins within the shard range.
+        crashed: Vec<u32>,
+    },
+    /// Worker → orchestrator: the shard's grant decisions.
+    GrantsOk {
+        /// Echoed round index.
+        round: u32,
+        /// Sparse `(global bin, accept)` pairs (only nonzero accepts).
+        accept: Vec<(u32, u64)>,
+        /// Underloaded-bin count for this shard (crash-adjusted).
+        underloaded: u32,
+        /// Unfilled want for this shard (crash-adjusted).
+        unfilled: u64,
+    },
+    /// Orchestrator → worker: the resolved round.
+    Commit {
+        /// Round index.
+        round: u32,
+        /// Absolute `(global bin, load)` pairs for bins that changed.
+        loads: Vec<(u32, u64)>,
+        /// The finished round record (drives `after_round` replicas).
+        record: RoundRecord,
+    },
+    /// Worker → orchestrator: commit applied.
+    CommitOk {
+        /// Echoed round index.
+        round: u32,
+        /// Sum of the shard's post-commit loads (verification).
+        sum: u64,
+    },
+    /// Orchestrator → worker: one stream batch's load changes.
+    Delta {
+        /// Batch sequence number.
+        batch: u64,
+        /// Absolute `(global bin, load)` pairs for bins that changed.
+        loads: Vec<(u32, u64)>,
+    },
+    /// Worker → orchestrator: batch applied.
+    DeltaOk {
+        /// Echoed batch sequence number.
+        batch: u64,
+        /// Sum of the shard's loads (verification).
+        total: u64,
+        /// Max of the shard's loads (verification).
+        max: u64,
+    },
+    /// Orchestrator → worker: report your full load range.
+    Drain,
+    /// Worker → orchestrator: dense loads for `[lo, hi)`.
+    Loads {
+        /// The shard's dense load vector.
+        loads: Vec<u64>,
+    },
+    /// Orchestrator → worker: clean exit.
+    Shutdown,
+    /// Worker → orchestrator: exiting.
+    Bye {
+        /// Echoed shard index.
+        shard: u32,
+    },
+    /// Worker → orchestrator: protocol failure (worker exits after).
+    Error {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+/// Flatten `(k, v)` pairs as `[k, v, k, v, …]`.
+fn pairs_array(pairs: &[(u32, u64)]) -> String {
+    let flat: Vec<u64> = pairs.iter().flat_map(|&(k, v)| [u64::from(k), v]).collect();
+    u64_array(&flat)
+}
+
+/// Flatten a `u32` list through the shared `u64_array` helper.
+fn u32_array(values: &[u32]) -> String {
+    let wide: Vec<u64> = values.iter().map(|&v| u64::from(v)).collect();
+    u64_array(&wide)
+}
+
+impl Frame {
+    /// Encode as a single JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Frame::Hello(h) => JsonObject::new()
+                .str("t", "hello")
+                .str("mode", &h.mode)
+                .u64("shard", u64::from(h.shard))
+                .u64("shards", u64::from(h.shards))
+                .u64("lo", u64::from(h.lo))
+                .u64("hi", u64::from(h.hi))
+                .u64("n", u64::from(h.n))
+                .u64("m", h.m)
+                .str("seed", &h.seed.to_string())
+                .str("workload", &h.workload)
+                .f64("straggle_prob", h.straggle_prob)
+                .u64("straggle_us", h.straggle_us)
+                .str("fault_seed", &h.fault_seed.to_string())
+                .finish(),
+            Frame::Ready { shard } => JsonObject::new()
+                .str("t", "ready")
+                .u64("shard", u64::from(*shard))
+                .finish(),
+            Frame::Grants {
+                round,
+                active,
+                placed,
+                counts,
+                crashed,
+            } => JsonObject::new()
+                .str("t", "grants")
+                .u64("round", u64::from(*round))
+                .u64("active", *active)
+                .u64("placed", *placed)
+                .raw("counts", &pairs_array(counts))
+                .raw("crashed", &u32_array(crashed))
+                .finish(),
+            Frame::GrantsOk {
+                round,
+                accept,
+                underloaded,
+                unfilled,
+            } => JsonObject::new()
+                .str("t", "grants_ok")
+                .u64("round", u64::from(*round))
+                .raw("accept", &pairs_array(accept))
+                .u64("underloaded", u64::from(*underloaded))
+                .u64("unfilled", *unfilled)
+                .finish(),
+            Frame::Commit {
+                round,
+                loads,
+                record,
+            } => JsonObject::new()
+                .str("t", "commit")
+                .u64("round", u64::from(*round))
+                .raw("loads", &pairs_array(loads))
+                .raw("record", &encode_record(record))
+                .finish(),
+            Frame::CommitOk { round, sum } => JsonObject::new()
+                .str("t", "commit_ok")
+                .u64("round", u64::from(*round))
+                .u64("sum", *sum)
+                .finish(),
+            Frame::Delta { batch, loads } => JsonObject::new()
+                .str("t", "delta")
+                .u64("batch", *batch)
+                .raw("loads", &pairs_array(loads))
+                .finish(),
+            Frame::DeltaOk { batch, total, max } => JsonObject::new()
+                .str("t", "delta_ok")
+                .u64("batch", *batch)
+                .u64("total", *total)
+                .u64("max", *max)
+                .finish(),
+            Frame::Drain => JsonObject::new().str("t", "drain").finish(),
+            Frame::Loads { loads } => JsonObject::new()
+                .str("t", "loads")
+                .raw("loads", &u64_array(loads))
+                .finish(),
+            Frame::Shutdown => JsonObject::new().str("t", "shutdown").finish(),
+            Frame::Bye { shard } => JsonObject::new()
+                .str("t", "bye")
+                .u64("shard", u64::from(*shard))
+                .finish(),
+            Frame::Error { detail } => JsonObject::new()
+                .str("t", "error")
+                .str("detail", detail)
+                .finish(),
+        }
+    }
+
+    /// Decode one line. Errors are human-readable descriptions suitable
+    /// for an `error` frame or a transport error.
+    pub fn decode(line: &str) -> Result<Frame, String> {
+        let v = parse(line.trim_end()).map_err(|e| format!("malformed frame: {e}"))?;
+        let t = req_str(&v, "t")?;
+        Ok(match t.as_str() {
+            "hello" => Frame::Hello(Hello {
+                mode: req_str(&v, "mode")?,
+                shard: req_u32(&v, "shard")?,
+                shards: req_u32(&v, "shards")?,
+                lo: req_u32(&v, "lo")?,
+                hi: req_u32(&v, "hi")?,
+                n: req_u32(&v, "n")?,
+                m: req_u64(&v, "m")?,
+                seed: req_u64_str(&v, "seed")?,
+                workload: req_str(&v, "workload")?,
+                straggle_prob: req_f64(&v, "straggle_prob")?,
+                straggle_us: req_u64(&v, "straggle_us")?,
+                fault_seed: req_u64_str(&v, "fault_seed")?,
+            }),
+            "ready" => Frame::Ready {
+                shard: req_u32(&v, "shard")?,
+            },
+            "grants" => Frame::Grants {
+                round: req_u32(&v, "round")?,
+                active: req_u64(&v, "active")?,
+                placed: req_u64(&v, "placed")?,
+                counts: req_pairs(&v, "counts")?,
+                crashed: req_u32s(&v, "crashed")?,
+            },
+            "grants_ok" => Frame::GrantsOk {
+                round: req_u32(&v, "round")?,
+                accept: req_pairs(&v, "accept")?,
+                underloaded: req_u32(&v, "underloaded")?,
+                unfilled: req_u64(&v, "unfilled")?,
+            },
+            "commit" => Frame::Commit {
+                round: req_u32(&v, "round")?,
+                loads: req_pairs(&v, "loads")?,
+                record: decode_record(v.get("record").ok_or("missing key 'record'")?)?,
+            },
+            "commit_ok" => Frame::CommitOk {
+                round: req_u32(&v, "round")?,
+                sum: req_u64(&v, "sum")?,
+            },
+            "delta" => Frame::Delta {
+                batch: req_u64(&v, "batch")?,
+                loads: req_pairs(&v, "loads")?,
+            },
+            "delta_ok" => Frame::DeltaOk {
+                batch: req_u64(&v, "batch")?,
+                total: req_u64(&v, "total")?,
+                max: req_u64(&v, "max")?,
+            },
+            "drain" => Frame::Drain,
+            "loads" => Frame::Loads {
+                loads: req_u64s(&v, "loads")?,
+            },
+            "shutdown" => Frame::Shutdown,
+            "bye" => Frame::Bye {
+                shard: req_u32(&v, "shard")?,
+            },
+            "error" => Frame::Error {
+                detail: req_str(&v, "detail")?,
+            },
+            other => return Err(format!("unknown frame type '{other}'")),
+        })
+    }
+
+    /// The frame-type tag, for error messages.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Frame::Hello(_) => "hello",
+            Frame::Ready { .. } => "ready",
+            Frame::Grants { .. } => "grants",
+            Frame::GrantsOk { .. } => "grants_ok",
+            Frame::Commit { .. } => "commit",
+            Frame::CommitOk { .. } => "commit_ok",
+            Frame::Delta { .. } => "delta",
+            Frame::DeltaOk { .. } => "delta_ok",
+            Frame::Drain => "drain",
+            Frame::Loads { .. } => "loads",
+            Frame::Shutdown => "shutdown",
+            Frame::Bye { .. } => "bye",
+            Frame::Error { .. } => "error",
+        }
+    }
+}
+
+/// The round record, flattened into one nested object (drives the
+/// worker's `after_round` replica; every field is below the wire limit).
+fn encode_record(r: &RoundRecord) -> String {
+    JsonObject::new()
+        .u64("round", u64::from(r.round))
+        .u64("active_before", r.active_before)
+        .u64("requests", r.requests)
+        .u64("granted", r.granted)
+        .u64("committed", r.committed)
+        .u64("wasted_grants", r.wasted_grants)
+        .u64("underloaded_bins", u64::from(r.underloaded_bins))
+        .u64("unfilled_want", r.unfilled_want)
+        .u64("max_load", u64::from(r.max_load))
+        .u64("msg_requests", r.messages.requests)
+        .u64("msg_responses", r.messages.responses)
+        .u64("msg_commits", r.messages.commits)
+        .finish()
+}
+
+fn decode_record(v: &Json) -> Result<RoundRecord, String> {
+    Ok(RoundRecord {
+        round: req_u32(v, "round")?,
+        active_before: req_u64(v, "active_before")?,
+        requests: req_u64(v, "requests")?,
+        granted: req_u64(v, "granted")?,
+        committed: req_u64(v, "committed")?,
+        wasted_grants: req_u64(v, "wasted_grants")?,
+        underloaded_bins: req_u32(v, "underloaded_bins")?,
+        unfilled_want: req_u64(v, "unfilled_want")?,
+        max_load: req_u32(v, "max_load")?,
+        messages: MessageStats {
+            requests: req_u64(v, "msg_requests")?,
+            responses: req_u64(v, "msg_responses")?,
+            commits: req_u64(v, "msg_commits")?,
+        },
+    })
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer key '{key}'"))
+}
+
+fn req_u32(v: &Json, key: &str) -> Result<u32, String> {
+    let raw = req_u64(v, key)?;
+    u32::try_from(raw).map_err(|_| format!("key '{key}' out of u32 range: {raw}"))
+}
+
+fn req_f64(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric key '{key}'"))
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing or non-string key '{key}'"))
+}
+
+/// Full-width `u64` carried as a decimal string (seeds).
+fn req_u64_str(v: &Json, key: &str) -> Result<u64, String> {
+    let s = req_str(v, key)?;
+    s.parse::<u64>()
+        .map_err(|_| format!("key '{key}' is not a decimal u64: '{s}'"))
+}
+
+fn req_u64s(v: &Json, key: &str) -> Result<Vec<u64>, String> {
+    v.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing or non-array key '{key}'"))?
+        .iter()
+        .map(|e| {
+            e.as_u64()
+                .ok_or_else(|| format!("non-integer element in '{key}'"))
+        })
+        .collect()
+}
+
+fn req_u32s(v: &Json, key: &str) -> Result<Vec<u32>, String> {
+    req_u64s(v, key)?
+        .into_iter()
+        .map(|raw| u32::try_from(raw).map_err(|_| format!("element of '{key}' out of u32 range")))
+        .collect()
+}
+
+fn req_pairs(v: &Json, key: &str) -> Result<Vec<(u32, u64)>, String> {
+    let flat = req_u64s(v, key)?;
+    if flat.len() % 2 != 0 {
+        return Err(format!("pair array '{key}' has odd length"));
+    }
+    flat.chunks_exact(2)
+        .map(|kv| {
+            let bin =
+                u32::try_from(kv[0]).map_err(|_| format!("bin id in '{key}' out of u32 range"))?;
+            Ok((bin, kv[1]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let line = f.encode();
+        assert!(!line.contains('\n'), "frames must be single lines");
+        let back = Frame::decode(&line).unwrap_or_else(|e| panic!("{e} in {line}"));
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn every_frame_roundtrips() {
+        roundtrip(Frame::Hello(Hello {
+            mode: "engine".into(),
+            shard: 1,
+            shards: 4,
+            lo: 16,
+            hi: 32,
+            n: 64,
+            m: 4096,
+            seed: u64::MAX,
+            workload: "collision".into(),
+            straggle_prob: 0.25,
+            straggle_us: 500,
+            fault_seed: 0x9E37_79B9_7F4A_7C15,
+        }));
+        roundtrip(Frame::Ready { shard: 3 });
+        roundtrip(Frame::Grants {
+            round: 2,
+            active: 100,
+            placed: 900,
+            counts: vec![(17, 3), (30, 1)],
+            crashed: vec![18],
+        });
+        roundtrip(Frame::GrantsOk {
+            round: 2,
+            accept: vec![(17, 2)],
+            underloaded: 5,
+            unfilled: 12,
+        });
+        roundtrip(Frame::Commit {
+            round: 2,
+            loads: vec![(17, 7), (30, 2)],
+            record: RoundRecord {
+                round: 2,
+                active_before: 100,
+                requests: 100,
+                granted: 80,
+                committed: 80,
+                wasted_grants: 3,
+                underloaded_bins: 5,
+                unfilled_want: 12,
+                max_load: 9,
+                messages: MessageStats {
+                    requests: 100,
+                    responses: 80,
+                    commits: 80,
+                },
+            },
+        });
+        roundtrip(Frame::CommitOk { round: 2, sum: 980 });
+        roundtrip(Frame::Delta {
+            batch: 9,
+            loads: vec![(0, 5)],
+        });
+        roundtrip(Frame::DeltaOk {
+            batch: 9,
+            total: 55,
+            max: 8,
+        });
+        roundtrip(Frame::Drain);
+        roundtrip(Frame::Loads {
+            loads: vec![1, 2, 3],
+        });
+        roundtrip(Frame::Shutdown);
+        roundtrip(Frame::Bye { shard: 0 });
+        roundtrip(Frame::Error {
+            detail: "bad \"frame\"".into(),
+        });
+    }
+
+    #[test]
+    fn full_width_seeds_survive_the_wire() {
+        let f = Frame::Hello(Hello {
+            mode: "stream".into(),
+            shard: 0,
+            shards: 2,
+            lo: 0,
+            hi: 32,
+            n: 64,
+            m: 0,
+            seed: 0xFFFF_FFFF_FFFF_FFFE,
+            workload: "batched-two-choice".into(),
+            straggle_prob: 0.0,
+            straggle_us: 0,
+            fault_seed: (1 << 60) + 7,
+        });
+        let Frame::Hello(h) = Frame::decode(&f.encode()).unwrap() else {
+            panic!("wrong frame");
+        };
+        assert_eq!(h.seed, 0xFFFF_FFFF_FFFF_FFFE);
+        assert_eq!(h.fault_seed, (1 << 60) + 7);
+    }
+
+    #[test]
+    fn malformed_frames_are_described() {
+        assert!(Frame::decode("not json").unwrap_err().contains("malformed"));
+        assert!(Frame::decode("{\"x\":1}").unwrap_err().contains("'t'"));
+        assert!(Frame::decode("{\"t\":\"warp\"}")
+            .unwrap_err()
+            .contains("unknown frame type"));
+        assert!(Frame::decode("{\"t\":\"ready\"}")
+            .unwrap_err()
+            .contains("shard"));
+        assert!(Frame::decode(
+            "{\"t\":\"grants_ok\",\"round\":1,\"accept\":[1],\"underloaded\":0,\"unfilled\":0}"
+        )
+        .unwrap_err()
+        .contains("odd length"));
+    }
+}

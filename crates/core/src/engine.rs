@@ -25,6 +25,7 @@
 
 use pba_par::{as_atomic_u32, DisjointClaims, DisjointIndexMut};
 
+use crate::delegate::GrantDelegate;
 use crate::error::{CoreError, Result};
 use crate::exec::{
     gather_chunk, grant_range, resolve_chunk, Backend, ChunkPlan, Faulty, GatherShared,
@@ -184,6 +185,7 @@ impl<P: RoundProtocol> SimState<P> {
         round: u32,
         backend: Backend<'_>,
         obs: Observer<'_>,
+        mut delegate: Option<&mut (dyn GrantDelegate + '_)>,
     ) -> Result<RoundRecord> {
         let ctx = self.context(round);
         let mut timer = obs.map(|_| RoundTimer::start());
@@ -300,9 +302,31 @@ impl<P: RoundProtocol> SimState<P> {
             t.lap(Phase::CountScan);
         }
 
-        // --- Phase 3: grants.
-        let (mut underloaded_bins, mut unfilled_want) = self.grants(protocol, &ctx, eff, plan);
-        self.apply_crash_grants(&mut underloaded_bins, &mut unfilled_want);
+        // --- Phase 3: grants — local, or delegated to an external
+        // authority (the cluster orchestrator's request/reply wave).
+        let (underloaded_bins, unfilled_want) = match delegate.as_deref_mut() {
+            Some(d) => {
+                // The delegate fills only the bins it grants; every other
+                // bin (no arrivals, or crashed) must read 0.
+                self.accept.fill(0);
+                let crashed = self
+                    .faults
+                    .as_ref()
+                    .map_or(&[][..], FaultSession::crashed_bins);
+                d.round_grants(
+                    &ctx,
+                    &self.counts,
+                    &self.hot_bins,
+                    crashed,
+                    &mut self.accept,
+                )?
+            }
+            None => {
+                let (mut ub, mut uw) = self.grants(protocol, &ctx, eff, plan);
+                self.apply_crash_grants(&mut ub, &mut uw);
+                (ub, uw)
+            }
+        };
         // Granted = first min(arrivals, grant) arrivals per bin.
         for ((t, &a), &c) in self.taken.iter_mut().zip(&self.accept).zip(&self.counts) {
             *t = a.min(c);
@@ -375,6 +399,11 @@ impl<P: RoundProtocol> SimState<P> {
                 crashed,
                 self.placed,
             )?;
+        }
+        if let Some(d) = delegate {
+            // Commit wave: replicas apply the resolved loads and run the
+            // same `after_round` evolution the simulator is about to.
+            d.round_commit(&ctx, &record, &self.loads)?;
         }
         if let (Some((sink, meta)), Some(mut t)) = (obs, timer) {
             t.lap(Phase::ResolveCommit);
@@ -560,7 +589,7 @@ mod tests {
             } else {
                 Backend::Serial
             };
-            let rec = state.round(&protocol, round, backend, None).unwrap();
+            let rec = state.round(&protocol, round, backend, None, None).unwrap();
             let _ = protocol.after_round(&ctx, &rec);
             round += 1;
             assert!(round < 10_000, "did not converge");
@@ -659,7 +688,7 @@ mod tests {
                 } else {
                     Backend::Serial
                 };
-                state.round(&Uniform2, round, backend, None).unwrap();
+                state.round(&Uniform2, round, backend, None, None).unwrap();
                 round += 1;
             }
             (state.loads.clone(), round)
@@ -704,7 +733,9 @@ mod tests {
     fn out_of_range_bin_is_an_error() {
         let spec = ProblemSpec::new(100, 8).unwrap();
         let mut state = new_state::<BadBins>(spec, 1, MessageTracking::Totals, false);
-        let err = state.round(&BadBins, 0, Backend::Serial, None).unwrap_err();
+        let err = state
+            .round(&BadBins, 0, Backend::Serial, None, None)
+            .unwrap_err();
         assert!(matches!(err, CoreError::BinOutOfRange { bin: 13, .. }));
     }
 
@@ -714,7 +745,7 @@ mod tests {
         let pool = ThreadPool::new(2);
         let mut state = new_state::<BadBins>(spec, 1, MessageTracking::Totals, false);
         let err = state
-            .round(&BadBins, 0, Backend::Pool(&pool), None)
+            .round(&BadBins, 0, Backend::Pool(&pool), None, None)
             .unwrap_err();
         assert!(matches!(err, CoreError::BinOutOfRange { bin: 13, .. }));
     }
@@ -723,7 +754,9 @@ mod tests {
     fn message_accounting_counts_requests_and_commits() {
         let spec = ProblemSpec::new(64, 8).unwrap();
         let mut state = new_state::<Uniform1>(spec, 3, MessageTracking::Full, false);
-        let rec = state.round(&Uniform1, 0, Backend::Serial, None).unwrap();
+        let rec = state
+            .round(&Uniform1, 0, Backend::Serial, None, None)
+            .unwrap();
         // Every active ball sent exactly one request; every request got a
         // response.
         assert_eq!(rec.messages.requests, 64);
@@ -747,8 +780,12 @@ mod tests {
         let pool = ThreadPool::new(3);
         let mut seq = new_state::<Uniform1>(spec, 3, MessageTracking::Full, false);
         let mut par = new_state::<Uniform1>(spec, 3, MessageTracking::Full, false);
-        let rec_seq = seq.round(&Uniform1, 0, Backend::Serial, None).unwrap();
-        let rec_par = par.round(&Uniform1, 0, Backend::Pool(&pool), None).unwrap();
+        let rec_seq = seq
+            .round(&Uniform1, 0, Backend::Serial, None, None)
+            .unwrap();
+        let rec_par = par
+            .round(&Uniform1, 0, Backend::Pool(&pool), None, None)
+            .unwrap();
         assert_eq!(rec_seq, rec_par);
         assert_eq!(seq.ledger.per_ball_sent, par.ledger.per_ball_sent);
         assert_eq!(seq.ledger.per_bin_received, par.ledger.per_bin_received);
@@ -759,7 +796,9 @@ mod tests {
         // 100 balls, 1 bin, capacity ceil(100/1)=100: all granted round 0.
         let spec = ProblemSpec::new(100, 1).unwrap();
         let mut state = new_state::<Uniform1>(spec, 3, MessageTracking::Totals, false);
-        let rec = state.round(&Uniform1, 0, Backend::Serial, None).unwrap();
+        let rec = state
+            .round(&Uniform1, 0, Backend::Serial, None, None)
+            .unwrap();
         assert_eq!(rec.granted, 100);
         assert_eq!(rec.committed, 100);
         assert!(state.active.is_empty());

@@ -40,6 +40,16 @@ pub enum CoreError {
         /// Round at which the protocol aborted.
         round: u32,
     },
+    /// A cluster transport failed: a shard process died unexpectedly,
+    /// sent a malformed wire frame, or disagreed with the orchestrator's
+    /// state (checksum mismatch). Raised by `pba-cluster` through the
+    /// [`GrantDelegate`](crate::delegate::GrantDelegate) seam.
+    ClusterTransport {
+        /// Shard the failure was observed on.
+        shard: u32,
+        /// Human-readable description of the failure.
+        detail: String,
+    },
     /// The in-engine invariant checker (`RunConfig::with_validation`)
     /// caught a round that broke an engine invariant: ball conservation,
     /// bin-capacity respect, monotone commitment, or fault-redirect
@@ -73,6 +83,9 @@ impl fmt::Display for CoreError {
             ),
             CoreError::ProtocolAborted { reason, round } => {
                 write!(f, "protocol aborted in round {round}: {reason}")
+            }
+            CoreError::ClusterTransport { shard, detail } => {
+                write!(f, "cluster transport failure on shard {shard}: {detail}")
             }
             CoreError::InvariantViolation {
                 round,

@@ -483,6 +483,22 @@ pub(crate) fn gather_chunk<P: RoundProtocol, A: Admission>(
     }
 }
 
+/// The bin-side decision for one bin: `(clamped accept, want)`. Shared
+/// by the in-process grant phase ([`grant_range`]) and the shard-range
+/// mirror ([`grant_slice`]) so both compute identical grants by
+/// construction.
+#[inline]
+fn bin_decision<P: RoundProtocol>(
+    protocol: &P,
+    ctx: &RoundContext,
+    bin: u32,
+    load: u32,
+    arrivals: u32,
+) -> (u32, u32) {
+    let g = protocol.bin_grant(ctx, bin, load, arrivals);
+    (g.accept.min(arrivals), g.want)
+}
+
 /// One task's slice of the grant phase: query the protocol for every bin
 /// in `range`, record the clamped accept and the want, and return this
 /// range's `(underloaded bins, unfilled want)` contribution.
@@ -499,17 +515,73 @@ pub(crate) fn grant_range<P: RoundProtocol>(
     let mut unfilled = 0u64;
     for i in range {
         let arrivals = counts[i];
-        let g = protocol.bin_grant(ctx, i as u32, loads[i], arrivals);
+        let (a, w) = bin_decision(protocol, ctx, i as u32, loads[i], arrivals);
         // SAFETY: callers partition bin indices over tasks, so no other
         // task writes these slots.
         unsafe {
-            *accept.index_mut(i) = g.accept.min(arrivals);
-            *want.index_mut(i) = g.want;
+            *accept.index_mut(i) = a;
+            *want.index_mut(i) = w;
         }
-        if arrivals < g.want {
+        if arrivals < w {
             underloaded += 1;
-            unfilled += (g.want - arrivals) as u64;
+            unfilled += (w - arrivals) as u64;
         }
+    }
+    (underloaded, unfilled)
+}
+
+/// The grant phase for a contiguous shard of the bin space — the
+/// computation a cluster shard worker (`pba-cluster`) performs for the
+/// bins it owns.
+///
+/// `counts`, `loads`, and `accept` are the shard's dense slices for
+/// global bins `[lo, lo + counts.len())`, indexed relative to `lo`;
+/// `crashed` lists run-level crashed bins by global id (ids outside the
+/// shard are ignored). Writes clamped accepts (0 for crashed bins) and
+/// returns the shard's `(underloaded bins, unfilled want)` contribution
+/// with the crashed-bin demand already backed out — exactly the
+/// arithmetic of the engine's local grant phase plus its crash sweep, so
+/// summing shard contributions over a partition of `[0, n)` reproduces
+/// the in-process totals bit for bit.
+pub fn grant_slice<P: RoundProtocol>(
+    protocol: &P,
+    ctx: &RoundContext,
+    lo: u32,
+    counts: &[u32],
+    loads: &[u32],
+    crashed: &[u32],
+    accept: &mut [u32],
+) -> (u32, u64) {
+    assert_eq!(counts.len(), loads.len());
+    assert_eq!(counts.len(), accept.len());
+    let mut underloaded = 0u32;
+    let mut unfilled = 0u64;
+    for (i, a) in accept.iter_mut().enumerate() {
+        let arrivals = counts[i];
+        let (acc, w) = bin_decision(protocol, ctx, lo + i as u32, loads[i], arrivals);
+        *a = acc;
+        if arrivals < w {
+            underloaded += 1;
+            unfilled += (w - arrivals) as u64;
+        }
+    }
+    // Crashed bins accept nothing and want nothing: recompute the (pure)
+    // decision to back their unfilled demand out of the counters, then
+    // zero the grant — the engine's `apply_crash_grants` sweep, shard-local.
+    for &bin in crashed {
+        let Some(i) = bin.checked_sub(lo).map(|d| d as usize) else {
+            continue;
+        };
+        if i >= counts.len() {
+            continue;
+        }
+        let arrivals = counts[i];
+        let (_, w) = bin_decision(protocol, ctx, bin, loads[i], arrivals);
+        if arrivals < w {
+            underloaded -= 1;
+            unfilled -= (w - arrivals) as u64;
+        }
+        accept[i] = 0;
     }
     (underloaded, unfilled)
 }

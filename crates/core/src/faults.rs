@@ -102,6 +102,13 @@ pub struct FaultPlan {
     pub domains: u32,
     /// Per-batch, per-domain failure probability.
     pub domain_fail_prob: f64,
+    /// A scheduled *permanent* domain failure: `(domain, from_batch)`
+    /// marks `domain` dead for every batch ≥ `from_batch`. This is the
+    /// chaos-harness hook behind `pba-run cluster --kill D@B`: the
+    /// orchestrator really kills shard `D`'s process before batch `B`,
+    /// and the in-process reference run with the same plan reproduces
+    /// the identical redirect decisions through this field.
+    pub dead_domain_from: Option<(u32, u64)>,
 }
 
 impl FaultPlan {
@@ -116,6 +123,7 @@ impl FaultPlan {
             redraw_attempts: 4,
             domains: 0,
             domain_fail_prob: 0.0,
+            dead_domain_from: None,
         }
     }
 
@@ -173,9 +181,32 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a permanent domain failure: `domain` is dead for every
+    /// batch ≥ `from_batch`. Requires domains to be configured first
+    /// (`with_shard_failures`; probability 0.0 gives a kill-only plan).
+    /// The last live domain never dies: if the random draw plus the dead
+    /// domain would fail everything, the mask degrades to the dead
+    /// domain alone.
+    pub fn with_dead_domain(mut self, domain: u32, from_batch: u64) -> Self {
+        assert!(
+            self.domains > 0,
+            "configure with_shard_failures before with_dead_domain"
+        );
+        assert!(
+            domain < self.domains,
+            "dead domain must be < configured domains"
+        );
+        assert!(
+            self.domains > 1,
+            "killing the only domain would fail every bin"
+        );
+        self.dead_domain_from = Some((domain, from_batch));
+        self
+    }
+
     /// True when streaming shard-domain failures are armed.
     pub fn has_domain_faults(&self) -> bool {
-        self.domains > 0 && self.domain_fail_prob > 0.0
+        self.domains > 0 && (self.domain_fail_prob > 0.0 || self.dead_domain_from.is_some())
     }
 
     /// The virtual fault domain of `bin` among `n` bins (contiguous
@@ -188,20 +219,26 @@ impl FaultPlan {
 
     /// Deterministic failed-domain mask for `batch` (bit `d` set ⇒ domain
     /// `d` unavailable). Deterministic in `(plan.seed, batch)` only. If
-    /// the draw fails *every* domain the batch degrades to no faults (an
-    /// all-failed cluster has nowhere to place anything).
+    /// the random draw fails *every* domain the batch degrades to no
+    /// transient faults (an all-failed cluster has nowhere to place
+    /// anything); a scheduled [`dead domain`](FaultPlan::with_dead_domain)
+    /// is then ORed in, and if the union would still fail everything the
+    /// mask keeps only the dead domain — a kill never un-kills, and the
+    /// surviving domains stay live.
     pub fn failed_domains(&self, batch: u64) -> u64 {
         if !self.has_domain_faults() {
             return 0;
         }
-        let a = SplitMix64::mix(self.seed ^ DOMAIN_SALT);
-        let mut rng = SplitMix64::new(SplitMix64::mix(
-            a ^ batch.wrapping_mul(0x9FB2_1C65_1E98_DF25),
-        ));
         let mut mask = 0u64;
-        for d in 0..self.domains {
-            if rng.bernoulli(self.domain_fail_prob) {
-                mask |= 1 << d;
+        if self.domain_fail_prob > 0.0 {
+            let a = SplitMix64::mix(self.seed ^ DOMAIN_SALT);
+            let mut rng = SplitMix64::new(SplitMix64::mix(
+                a ^ batch.wrapping_mul(0x9FB2_1C65_1E98_DF25),
+            ));
+            for d in 0..self.domains {
+                if rng.bernoulli(self.domain_fail_prob) {
+                    mask |= 1 << d;
+                }
             }
         }
         let all = if self.domains == 64 {
@@ -210,10 +247,17 @@ impl FaultPlan {
             (1u64 << self.domains) - 1
         };
         if mask == all {
-            0
-        } else {
-            mask
+            mask = 0;
         }
+        if let Some((dead, from)) = self.dead_domain_from {
+            if batch >= from {
+                mask |= 1 << dead;
+                if mask == all {
+                    mask = 1 << dead;
+                }
+            }
+        }
+        mask
     }
 
     /// Redirect `bin` to the next (cyclically) bin in a live domain under
@@ -580,6 +624,62 @@ mod tests {
         // Even at frac → 1 the guard keeps a bin alive.
         let extreme = CrashSet::sample(7, 0.999, 8);
         assert!(extreme.list.len() < 8);
+    }
+
+    #[test]
+    fn dead_domain_is_permanent_from_its_batch() {
+        let plan = FaultPlan::new(9)
+            .with_shard_failures(4, 0.0)
+            .with_dead_domain(2, 5);
+        assert!(plan.has_domain_faults(), "kill-only plans are armed");
+        for batch in 0..5 {
+            assert_eq!(plan.failed_domains(batch), 0, "alive before batch 5");
+        }
+        for batch in 5..50 {
+            assert_eq!(plan.failed_domains(batch), 1 << 2, "dead from batch 5");
+        }
+    }
+
+    #[test]
+    fn dead_domain_composes_with_random_failures() {
+        let random = FaultPlan::new(9).with_shard_failures(8, 0.4);
+        let killed = FaultPlan::new(9)
+            .with_shard_failures(8, 0.4)
+            .with_dead_domain(3, 10);
+        for batch in 0..100 {
+            let base = random.failed_domains(batch);
+            let got = killed.failed_domains(batch);
+            if batch < 10 {
+                assert_eq!(got, base, "batch {batch}: kill must not perturb draws");
+            } else {
+                // If the union would fail everything, only the dead
+                // domain survives in the mask.
+                let expect = if base | (1 << 3) == 0xFF {
+                    1 << 3
+                } else {
+                    base | (1 << 3)
+                };
+                assert_eq!(
+                    got, expect,
+                    "batch {batch}: dead bit ORed onto the same draw"
+                );
+                assert_ne!(got, 0xFF, "batch {batch} failed every domain");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "with_shard_failures")]
+    fn dead_domain_requires_domains() {
+        let _ = FaultPlan::new(0).with_dead_domain(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "only domain")]
+    fn dead_domain_rejects_single_domain() {
+        let _ = FaultPlan::new(0)
+            .with_shard_failures(1, 0.0)
+            .with_dead_domain(0, 0);
     }
 
     #[test]

@@ -35,6 +35,8 @@
 //!   and streaming shard-domain failures.
 //! * [`binstate`] — the [`BinState`] load-accounting trait shared by the
 //!   one-shot engine and the streaming allocator (`pba-stream`).
+//! * [`json`] — the zero-dependency JSON emitter + parser behind the
+//!   runner's JSONL traces and the cluster wire protocol.
 //! * [`load`], [`messages`], [`allocation`], [`trace`] — statistics and
 //!   run records.
 //! * `validate` — the in-engine invariant checker armed by
@@ -45,10 +47,12 @@
 
 pub mod allocation;
 pub mod binstate;
+pub mod delegate;
 pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod faults;
+pub mod json;
 pub mod load;
 pub mod mathutil;
 pub mod messages;
@@ -62,14 +66,15 @@ pub(crate) mod validate;
 
 pub use allocation::Allocation;
 pub use binstate::BinState;
+pub use delegate::GrantDelegate;
 pub use error::{CoreError, Result};
 pub use exec::{Backend, ChunkPlan, ExecTuning, Tuning, DEFAULT_MIN_CHUNK, DEFAULT_PAR_CUTOFF};
 pub use faults::{FaultPlan, FaultRecord, FaultStats, StragglerSpec};
 pub use load::LoadStats;
 pub use messages::{MessageStats, MessageTracking};
 pub use metrics::{
-    BatchRecord, EngineMetrics, FanoutSink, MetricsReport, MetricsSink, Phase, RoundTiming,
-    RunMeta, RunSummary, StreamMeta,
+    BatchRecord, ClusterMeta, ClusterShardRecord, EngineMetrics, FanoutSink, MetricsReport,
+    MetricsSink, Phase, RoundTiming, RunMeta, RunSummary, StreamMeta,
 };
 pub use model::ProblemSpec;
 pub use protocol::{

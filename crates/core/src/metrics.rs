@@ -182,6 +182,52 @@ pub struct BatchRecord {
     pub fault_redirects: u64,
 }
 
+/// Identity of a cluster run a shard callback belongs to.
+///
+/// Cluster mode (`pba-run cluster`, crate `pba-cluster`) distributes the
+/// bin space over shard processes; its events carry the sharding geometry
+/// and the workload kind instead of a [`ProblemSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterMeta {
+    /// Number of bins distributed across the shards.
+    pub bins: u32,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Shard processes the bin space is split across.
+    pub shards: u32,
+    /// `"engine"` (round-synchronous protocol) or `"stream"` (batches).
+    pub mode: &'static str,
+    /// Protocol or policy name the cluster executed.
+    pub workload: &'static str,
+}
+
+/// Per-shard wire totals delivered to [`MetricsSink::on_cluster`] once
+/// per shard at the end of a cluster run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterShardRecord {
+    /// Zero-based shard index.
+    pub shard: u32,
+    /// First bin owned by this shard (inclusive).
+    pub lo: u32,
+    /// One past the last bin owned by this shard.
+    pub hi: u32,
+    /// Frames the orchestrator sent to this shard.
+    pub frames_sent: u64,
+    /// Frames the orchestrator received from this shard.
+    pub frames_recv: u64,
+    /// Bytes sent to this shard (framed JSON lines, newline included).
+    pub bytes_sent: u64,
+    /// Bytes received from this shard.
+    pub bytes_recv: u64,
+    /// Round/batch barriers this shard participated in.
+    pub barriers: u64,
+    /// Wall-clock nanoseconds the shard was alive, as observed by the
+    /// orchestrator (0 when no sink was attached during the run).
+    pub wall_nanos: u64,
+    /// True when the chaos harness killed this shard's process mid-run.
+    pub killed: bool,
+}
+
 /// Receiver for engine observability events.
 ///
 /// Implementations must be `Send + Sync`: seed replication attaches one
@@ -216,6 +262,12 @@ pub trait MetricsSink: Send + Sync {
     /// [`on_round`](MetricsSink::on_round)). Rounds without faults emit
     /// nothing, so the no-fault path stays silent.
     fn on_fault(&self, meta: &RunMeta, record: &FaultRecord) {
+        let _ = (meta, record);
+    }
+
+    /// One shard process's wire totals, delivered per shard when a
+    /// cluster run finishes (cluster mode only).
+    fn on_cluster(&self, meta: &ClusterMeta, record: &ClusterShardRecord) {
         let _ = (meta, record);
     }
 }
@@ -278,6 +330,12 @@ pub struct MetricsReport {
     pub batch_arrivals: u64,
     /// Total streaming batch ingestion wall nanoseconds.
     pub batch_nanos: u64,
+    /// Shard processes observed across all cluster runs.
+    pub cluster_shards: u64,
+    /// Wire frames exchanged with shards (both directions summed).
+    pub cluster_frames: u64,
+    /// Wire bytes exchanged with shards (both directions summed).
+    pub cluster_bytes: u64,
     /// Rounds that injected at least one fault.
     pub fault_rounds: u64,
     /// Injected-fault totals across all observed rounds (`crashed_bins`
@@ -420,6 +478,13 @@ impl MetricsSink for EngineMetrics {
         agg.fault_rounds += 1;
         agg.faults.absorb(record);
     }
+
+    fn on_cluster(&self, _meta: &ClusterMeta, record: &ClusterShardRecord) {
+        let mut agg = self.inner.lock().unwrap();
+        agg.cluster_shards += 1;
+        agg.cluster_frames += record.frames_sent + record.frames_recv;
+        agg.cluster_bytes += record.bytes_sent + record.bytes_recv;
+    }
 }
 
 /// Broadcasts every event to several sinks, in order.
@@ -465,6 +530,12 @@ impl MetricsSink for FanoutSink {
     fn on_fault(&self, meta: &RunMeta, record: &FaultRecord) {
         for s in &self.sinks {
             s.on_fault(meta, record);
+        }
+    }
+
+    fn on_cluster(&self, meta: &ClusterMeta, record: &ClusterShardRecord) {
+        for s in &self.sinks {
+            s.on_cluster(meta, record);
         }
     }
 }
@@ -649,6 +720,53 @@ mod tests {
         );
         assert_eq!(a.report().faults.straggler_balls, 7);
         assert_eq!(b.report().fault_rounds, 1);
+    }
+
+    #[test]
+    fn engine_metrics_aggregates_cluster_shards() {
+        let m = EngineMetrics::new();
+        let cmeta = ClusterMeta {
+            bins: 64,
+            seed: 7,
+            shards: 2,
+            mode: "engine",
+            workload: "collision",
+        };
+        let rec = ClusterShardRecord {
+            shard: 0,
+            lo: 0,
+            hi: 32,
+            frames_sent: 10,
+            frames_recv: 10,
+            bytes_sent: 1_000,
+            bytes_recv: 500,
+            barriers: 5,
+            wall_nanos: 99,
+            killed: false,
+        };
+        m.on_cluster(&cmeta, &rec);
+        m.on_cluster(&cmeta, &ClusterShardRecord { shard: 1, ..rec });
+        let r = m.report();
+        assert_eq!(r.cluster_shards, 2);
+        assert_eq!(r.cluster_frames, 40);
+        assert_eq!(r.cluster_bytes, 3_000);
+    }
+
+    #[test]
+    fn fanout_broadcasts_cluster_records() {
+        let a = Arc::new(EngineMetrics::new());
+        let b = Arc::new(EngineMetrics::new());
+        let fan = FanoutSink::new(vec![a.clone(), b.clone()]);
+        let cmeta = ClusterMeta {
+            bins: 8,
+            seed: 0,
+            shards: 1,
+            mode: "stream",
+            workload: "two-choice",
+        };
+        fan.on_cluster(&cmeta, &ClusterShardRecord::default());
+        assert_eq!(a.report().cluster_shards, 1);
+        assert_eq!(b.report().cluster_shards, 1);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use pba_par::ThreadPool;
 
 use crate::allocation::Allocation;
 use crate::binstate::BinState;
+use crate::delegate::GrantDelegate;
 use crate::engine::SimState;
 use crate::error::{CoreError, Result};
 use crate::exec::{Backend, Tuning};
@@ -212,8 +213,12 @@ impl RunConfig {
     }
 
     /// **Deprecated**: use [`RunConfig::with_tuning`] with
-    /// [`Tuning::fixed`]. Kept as a thin redirect so existing callers and
-    /// pinned golden tests keep compiling and producing identical plans.
+    /// [`Tuning::fixed`]. Kept as a thin redirect so existing callers
+    /// keep compiling and producing identical plans.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `with_tuning(Tuning::fixed(min_chunk, par_cutoff))` instead"
+    )]
     pub fn with_chunking(self, min_chunk: usize, par_cutoff: usize) -> Self {
         self.with_tuning(Tuning::fixed(min_chunk, par_cutoff))
     }
@@ -392,6 +397,20 @@ impl Simulator {
     /// can inspect the protocol's final internal state afterwards (phase
     /// boundaries, adaptive estimates, …).
     pub fn run_mut<P: RoundProtocol>(&self, protocol: &mut P) -> Result<RunOutcome> {
+        self.run_mut_with_delegate(protocol, None)
+    }
+
+    /// Like [`Simulator::run_mut`], but routing every round's grant phase
+    /// through `delegate` (see [`GrantDelegate`]): the engine still
+    /// gathers choices, scans arrival ranks, resolves, and commits
+    /// locally, while the bin-side accept decision is made externally —
+    /// the seam cluster mode (`pba-cluster`) distributes over shard
+    /// processes. With `None` this is exactly [`Simulator::run_mut`].
+    pub fn run_mut_with_delegate<P: RoundProtocol>(
+        &self,
+        protocol: &mut P,
+        mut delegate: Option<&mut (dyn GrantDelegate + '_)>,
+    ) -> Result<RunOutcome> {
         /// Restores the pool's previous timing flag on every exit path, so
         /// concurrent unobserved runs on the global pool regain the
         /// zero-clock-read path even when this run errors out.
@@ -472,7 +491,8 @@ impl Simulator {
                 None => Backend::Serial,
                 Some(pool) => Backend::Pool(pool),
             };
-            let record: RoundRecord = state.round(protocol, round, backend, obs)?;
+            let record: RoundRecord =
+                state.round(protocol, round, backend, obs, delegate.as_deref_mut())?;
             totals.add(record.messages);
             if let Some(t) = trace.as_mut() {
                 t.push(record);

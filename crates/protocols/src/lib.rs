@@ -61,6 +61,6 @@ pub use par::single_choice::SingleChoice;
 pub use par::stemann_heavy::StemannHeavy;
 pub use par::threshold_heavy::ThresholdHeavy;
 pub use par::trivial::TrivialRoundRobin;
-pub use registry::{protocol_names, run_by_name};
+pub use registry::{protocol_names, run_by_name, visit_protocol, ProtocolVisitor};
 pub use schedule::UndershootSchedule;
 pub use seq::{AlwaysGoLeft, GreedyD, OnePlusBeta, WithMemory};

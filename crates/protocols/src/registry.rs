@@ -1,6 +1,6 @@
 //! Name-based protocol dispatch for the CLI and harness.
 
-use pba_core::{ProblemSpec, Result, RunConfig, RunOutcome, Simulator};
+use pba_core::{ProblemSpec, Result, RoundProtocol, RunConfig, RunOutcome, Simulator};
 
 use crate::{
     ALight, AdlerGreedy, Asymmetric, BatchedTwoChoice, Collision, FixedThreshold,
@@ -24,19 +24,43 @@ pub fn protocol_names() -> &'static [&'static str] {
     ]
 }
 
-/// Run the named parallel protocol with default parameters.
+/// Generic-method callback for name-based protocol construction.
 ///
-/// Returns `None` for unknown names (callers print
-/// [`protocol_names`]).
-pub fn run_by_name(name: &str, spec: ProblemSpec, config: RunConfig) -> Option<Result<RunOutcome>> {
-    let sim = Simulator::new(spec, config);
+/// [`visit_protocol`] looks a protocol up by registry name, constructs it
+/// with the registry's default parameters, and hands the concrete value to
+/// the visitor's generic [`visit`](ProtocolVisitor::visit) method. This
+/// lets every consumer — the simulator front-end here, the cluster
+/// orchestrator and its shard workers — build protocols from one
+/// parameter source without a `Box<dyn RoundProtocol>` indirection (the
+/// engine drives protocols by value through monomorphized kernels).
+pub trait ProtocolVisitor {
+    /// What the visit produces (a run outcome, a worker loop result, ...).
+    type Output;
+
+    /// Receive the concretely-typed protocol the registry built.
+    fn visit<P: RoundProtocol + 'static>(self, protocol: P) -> Self::Output;
+}
+
+/// Construct the named protocol with registry-default parameters and pass
+/// it to `visitor`.
+///
+/// Returns `None` for unknown names (callers print [`protocol_names`]).
+/// This is the single source of truth for per-protocol default
+/// parameters; [`run_by_name`] and the cluster orchestrator/worker both
+/// dispatch through it so distributed runs construct bit-identical
+/// protocol state.
+pub fn visit_protocol<V: ProtocolVisitor>(
+    name: &str,
+    spec: ProblemSpec,
+    visitor: V,
+) -> Option<V::Output> {
     Some(match name {
-        "single-choice" => sim.run(SingleChoice::new(spec)),
-        "fixed-threshold" => sim.run(FixedThreshold::new(spec, 2)),
-        "parallel-two-choice" => sim.run(ParallelTwoChoice::new(spec, 2)),
-        "threshold-heavy" => sim.run(ThresholdHeavy::new(spec)),
-        "a-light" => sim.run(ALight::new(spec, 2)),
-        "collision" => sim.run(Collision::with_params(
+        "single-choice" => visitor.visit(SingleChoice::new(spec)),
+        "fixed-threshold" => visitor.visit(FixedThreshold::new(spec, 2)),
+        "parallel-two-choice" => visitor.visit(ParallelTwoChoice::new(spec, 2)),
+        "threshold-heavy" => visitor.visit(ThresholdHeavy::new(spec)),
+        "a-light" => visitor.visit(ALight::new(spec, 2)),
+        "collision" => visitor.visit(Collision::with_params(
             spec,
             2,
             // Arrivals scale with d·m/n, so the collision bound must sit
@@ -44,13 +68,36 @@ pub fn run_by_name(name: &str, spec: ProblemSpec, config: RunConfig) -> Option<R
             // the structural load cap at O(m/n).
             2 * spec.ceil_avg().saturating_add(2).min(u32::MAX / 2),
         )),
-        "stemann-heavy" => sim.run(StemannHeavy::new(spec)),
-        "adler-greedy" => sim.run(AdlerGreedy::new(spec, 2, 4)),
-        "asymmetric" => sim.run(Asymmetric::new(spec)),
-        "trivial-round-robin" => sim.run(TrivialRoundRobin::new(spec)),
-        "batched-two-choice" => sim.run(BatchedTwoChoice::new(spec, (spec.bins() as u64).max(1))),
+        "stemann-heavy" => visitor.visit(StemannHeavy::new(spec)),
+        "adler-greedy" => visitor.visit(AdlerGreedy::new(spec, 2, 4)),
+        "asymmetric" => visitor.visit(Asymmetric::new(spec)),
+        "trivial-round-robin" => visitor.visit(TrivialRoundRobin::new(spec)),
+        "batched-two-choice" => {
+            visitor.visit(BatchedTwoChoice::new(spec, (spec.bins() as u64).max(1)))
+        }
         _ => return None,
     })
+}
+
+struct RunVisitor {
+    sim: Simulator,
+}
+
+impl ProtocolVisitor for RunVisitor {
+    type Output = Result<RunOutcome>;
+
+    fn visit<P: RoundProtocol + 'static>(self, protocol: P) -> Self::Output {
+        self.sim.run(protocol)
+    }
+}
+
+/// Run the named parallel protocol with default parameters.
+///
+/// Returns `None` for unknown names (callers print
+/// [`protocol_names`]).
+pub fn run_by_name(name: &str, spec: ProblemSpec, config: RunConfig) -> Option<Result<RunOutcome>> {
+    let sim = Simulator::new(spec, config);
+    visit_protocol(name, spec, RunVisitor { sim })
 }
 
 #[cfg(test)]

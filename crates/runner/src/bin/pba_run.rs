@@ -8,6 +8,8 @@
 //! pba-run protocol <name> --m M --n N [--seed S] [--parallel] [--trace F.jsonl]
 //! pba-run protocols            # list protocol names
 //! pba-run stream [--policy P] [--n N] [--batch 8n] …   # streaming allocator
+//! pba-run cluster protocol <name> --shards S …   # multi-process shards
+//! pba-run cluster stream --shards S [--kill S@B] …
 //! pba-run bench [--tier small|medium|large|xl] [--out DIR|FILE.json]
 //! pba-run tune [--tier ...] [--out DIR|FILE.json]     # autotune chunk geometry
 //! pba-run verify [CLAIM…] [--scale ci|full] [--json]  # statistical claim oracles
@@ -16,6 +18,7 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use pba_cluster::ClusterConfig;
 use pba_conformance::{Claim, VerifyOptions, VerifyScale};
 use pba_core::metrics::{EngineMetrics, FanoutSink, MetricsSink, Phase};
 use pba_core::{ExecutorKind, ProblemSpec, RunConfig, Tuning};
@@ -51,13 +54,19 @@ const USAGE: &str = "usage:
                  [--n N] [--batch B | Kn] [--batches K] [--workload uniform|zipf|burst]
                  [--churn F] [--shards S] [--seed S] [--parallel] [--trace FILE.jsonl]
                  [--faults SPEC]
+  pba-run cluster protocol <name> --m M --n N [--shards S] [--seed S]
+                 [--local] [--faults SPEC] [--trace FILE.jsonl]
+  pba-run cluster stream [--policy P] [--n N] [--batch B | Kn] [--batches K]
+                 [--workload W] [--churn F] [--shards S] [--seed S] [--kill S@B]
+                 [--local] [--faults SPEC] [--trace FILE.jsonl]
+  pba-run shard-worker          (internal: spawned per shard by `cluster`)
   pba-run bench [--tier small|medium|large|xl | --scale smoke|default|full]
                 [--out DIR|FILE.json]
   pba-run tune [--tier small|medium|large|xl] [--out DIR|FILE.json]
   pba-run verify [CLAIM…] [--scale ci|full] [--json] [--faults SPEC]
 
 fault spec: comma-separated key=value clauses, e.g.
-  --faults drop=0.1,crash=0.02,straggle=8x0.2,domains=8x0.3,seed=7";
+  --faults drop=0.1,crash=0.02,straggle=8x0.2,domains=8x0.3,kill=2x5,seed=7";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
@@ -87,6 +96,16 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         "protocol" => run_protocol(&args[1..]).map(done),
         "stream" => run_stream_cmd(&args[1..]).map(done),
+        "cluster" => run_cluster(&args[1..]).map(done),
+        // The child mode `cluster` spawns per shard. Errors go to stderr
+        // without the usage banner: the orchestrator is the audience.
+        "shard-worker" => match pba_cluster::worker::serve_stdio() {
+            Ok(()) => Ok(ExitCode::SUCCESS),
+            Err(detail) => {
+                eprintln!("shard-worker: {detail}");
+                Ok(ExitCode::FAILURE)
+            }
+        },
         "bench" => run_bench(&args[1..]).map(done),
         "tune" => run_tune(&args[1..]).map(done),
         // `verify` owns its exit code: a refuted claim is a nonzero exit
@@ -105,12 +124,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 /// Error text for an unrecognized first argument: name the valid range
 /// and, when something known is close, suggest it.
 fn unknown_command_message(id: &str) -> String {
-    const COMMANDS: [&str; 8] = [
+    const COMMANDS: [&str; 9] = [
         "list",
         "all",
         "protocol",
         "protocols",
         "stream",
+        "cluster",
         "bench",
         "tune",
         "verify",
@@ -589,6 +609,358 @@ fn run_stream_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `pba-run cluster` — run an engine protocol or a streaming policy over
+/// real shard processes: one `pba-run shard-worker` child per bin range,
+/// framed JSON over stdin/stdout pipes (`--local` swaps in worker threads
+/// over in-memory pipes speaking the identical wire protocol). Runs are
+/// bit-identical to the single-process equivalent for the same seed; the
+/// orchestrator verifies per-wave checksums and a final drain.
+fn run_cluster(args: &[String]) -> Result<(), String> {
+    let Some(mode) = args.first() else {
+        return Err("cluster: missing mode ('protocol' or 'stream')".into());
+    };
+    match mode.as_str() {
+        "protocol" => run_cluster_protocol(&args[1..]),
+        "stream" => run_cluster_stream(&args[1..]),
+        other => Err(format!(
+            "cluster: unknown mode '{other}' (protocol or stream)"
+        )),
+    }
+}
+
+/// Parse `--kill SHARD@BATCH`, e.g. `2@5`.
+fn parse_kill(v: &str) -> Result<(u32, u64), String> {
+    let (s, b) = v
+        .split_once('@')
+        .ok_or_else(|| format!("bad --kill '{v}' (expected SHARD@BATCH, e.g. 2@5)"))?;
+    let shard = s.parse().map_err(|_| format!("bad --kill shard '{s}'"))?;
+    let batch = b.parse().map_err(|_| format!("bad --kill batch '{b}'"))?;
+    Ok((shard, batch))
+}
+
+/// The metrics sink for a cluster run: the aggregator, fanned out to the
+/// JSONL trace when one was requested.
+fn cluster_sink(
+    metrics: &Arc<EngineMetrics>,
+    trace: &Option<Arc<JsonlTrace>>,
+) -> Arc<dyn MetricsSink> {
+    match trace {
+        None => metrics.clone(),
+        Some(t) => Arc::new(FanoutSink::new(vec![
+            metrics.clone() as Arc<dyn MetricsSink>,
+            t.clone() as Arc<dyn MetricsSink>,
+        ])),
+    }
+}
+
+/// Per-shard wire accounting lines shared by both cluster sub-modes.
+fn print_cluster_wire(out: &pba_cluster::ClusterOutcome) {
+    println!(
+        "wire:       {} frames, {} bytes over {} shard link(s)",
+        out.total_frames(),
+        out.total_bytes(),
+        out.shard_records.len()
+    );
+    for r in &out.shard_records {
+        println!(
+            "  shard {}: bins [{}, {}), frames {} out / {} in, bytes {} out / {} in, \
+             {} barriers{}",
+            r.shard,
+            r.lo,
+            r.hi,
+            r.frames_sent,
+            r.frames_recv,
+            r.bytes_sent,
+            r.bytes_recv,
+            r.barriers,
+            if r.killed { ", killed" } else { "" }
+        );
+    }
+}
+
+fn run_cluster_protocol(args: &[String]) -> Result<(), String> {
+    let Some(name) = args.first() else {
+        return Err("cluster protocol: missing name".into());
+    };
+    let mut m = 1u64 << 20;
+    let mut n = 1u32 << 10;
+    let mut seed = 0u64;
+    let mut shards = 2u32;
+    let mut local = false;
+    let mut trace_path: Option<String> = None;
+    let mut faults = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--faults" => {
+                faults = Some(parse_fault_spec(
+                    it.next().ok_or("--faults needs a value")?,
+                )?);
+            }
+            "--m" => {
+                m = it
+                    .next()
+                    .ok_or("--m needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --m")?
+            }
+            "--n" => {
+                n = it
+                    .next()
+                    .ok_or("--n needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --n")?
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --seed")?
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --shards")?
+            }
+            "--local" => local = true,
+            "--trace" => {
+                trace_path = Some(it.next().ok_or("--trace needs a value")?.clone());
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if !protocol_names().contains(&name.as_str()) {
+        return Err(format!(
+            "unknown protocol '{name}' (try `pba-run protocols`)"
+        ));
+    }
+    if shards == 0 || shards > n {
+        return Err(format!("--shards must be in 1..={n} (the bin count)"));
+    }
+    let spec = ProblemSpec::new(m, n).map_err(|e| e.to_string())?;
+    let metrics = Arc::new(EngineMetrics::new());
+    let trace = match &trace_path {
+        None => None,
+        Some(path) => Some(Arc::new(
+            JsonlTrace::create(path).map_err(|e| format!("--trace {path}: {e}"))?,
+        )),
+    };
+    let mut cfg = ClusterConfig::engine(name, spec, seed)
+        .with_shards(shards)
+        .with_metrics(cluster_sink(&metrics, &trace));
+    if let Some(plan) = faults {
+        cfg = cfg.with_faults(plan);
+    }
+    let started = std::time::Instant::now();
+    let out = if local {
+        cfg.run_local()
+    } else {
+        cfg.run_process()
+    }
+    .map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+    if let Some(t) = &trace {
+        t.flush().map_err(|e| format!("trace flush: {e}"))?;
+    }
+    let run = out.run.as_ref().expect("engine outcome");
+    let stats = run.load_stats();
+    let transport = if local { "local threads" } else { "processes" };
+    println!(
+        "protocol:   {} (cluster: {shards} shard(s) as {transport})",
+        run.protocol
+    );
+    println!("spec:       {spec}");
+    println!("rounds:     {}", run.rounds);
+    println!(
+        "placed:     {} ({} unallocated)",
+        run.placed, run.unallocated
+    );
+    println!("max load:   {} (gap {})", stats.max(), run.gap());
+    if let Some(plan) = &faults {
+        println!("faults:     {}", describe_fault_plan(plan));
+    }
+    println!(
+        "messages:   {} total ({} requests, {} responses, {} commits)",
+        run.messages.total(),
+        run.messages.requests,
+        run.messages.responses,
+        run.messages.commits
+    );
+    print_cluster_wire(&out);
+    println!("wall time:  {elapsed:.2?}");
+    if let Some(path) = &trace_path {
+        println!("trace:      {path}");
+    }
+    Ok(())
+}
+
+fn run_cluster_stream(args: &[String]) -> Result<(), String> {
+    let mut policy = PolicyKind::BatchedTwoChoice;
+    let mut n: u32 = 1 << 10;
+    let mut batch_spec = "4n".to_string();
+    let mut batches: u64 = 32;
+    let mut workload = "uniform".to_string();
+    let mut churn = 0.0f64;
+    let mut shards = 2u32;
+    let mut seed = 0u64;
+    let mut kill: Option<(u32, u64)> = None;
+    let mut local = false;
+    let mut trace_path: Option<String> = None;
+    let mut faults = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--faults" => {
+                faults = Some(parse_fault_spec(
+                    it.next().ok_or("--faults needs a value")?,
+                )?);
+            }
+            "--policy" => {
+                let v = it.next().ok_or("--policy needs a value")?;
+                policy = PolicyKind::parse(v).ok_or_else(|| {
+                    let names: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
+                    format!("unknown policy '{v}' (choose from: {})", names.join(", "))
+                })?;
+            }
+            "--n" => {
+                n = it
+                    .next()
+                    .ok_or("--n needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --n")?;
+            }
+            "--batch" => batch_spec = it.next().ok_or("--batch needs a value")?.clone(),
+            "--batches" => {
+                batches = it
+                    .next()
+                    .ok_or("--batches needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --batches")?;
+            }
+            "--workload" => workload = it.next().ok_or("--workload needs a value")?.clone(),
+            "--churn" => {
+                churn = it
+                    .next()
+                    .ok_or("--churn needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --churn")?;
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --shards")?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --seed")?;
+            }
+            "--kill" => {
+                kill = Some(parse_kill(it.next().ok_or("--kill needs a value")?)?);
+            }
+            "--local" => local = true,
+            "--trace" => {
+                trace_path = Some(it.next().ok_or("--trace needs a value")?.clone());
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if n == 0 {
+        return Err("--n must be at least 1".into());
+    }
+    if batches == 0 {
+        return Err("--batches must be at least 1".into());
+    }
+    if !(0.0..=1.0).contains(&churn) {
+        return Err("--churn must be in [0, 1]".into());
+    }
+    if shards == 0 || shards > n {
+        return Err(format!("--shards must be in 1..={n} (the bin count)"));
+    }
+    let b = parse_batch_size(&batch_spec, n)?;
+    let kind = match workload.as_str() {
+        "uniform" => WorkloadKind::Uniform,
+        "zipf" => WorkloadKind::Zipf { s: 1.2, max: 32 },
+        "burst" => WorkloadKind::Burst {
+            period: 8,
+            factor: 4,
+        },
+        other => {
+            return Err(format!(
+                "unknown workload '{other}' (choose from: uniform, zipf, burst)"
+            ))
+        }
+    };
+    let cfg = WorkloadCfg {
+        kind,
+        batch: b,
+        churn,
+        weights: WeightDist::Constant(1),
+    };
+    let metrics = Arc::new(EngineMetrics::new());
+    let trace = match &trace_path {
+        None => None,
+        Some(path) => Some(Arc::new(
+            JsonlTrace::create(path).map_err(|e| format!("--trace {path}: {e}"))?,
+        )),
+    };
+    let mut cluster = ClusterConfig::stream(policy, n, seed, batches, b)
+        .with_workload(cfg)
+        .with_shards(shards)
+        .with_metrics(cluster_sink(&metrics, &trace));
+    if let Some(plan) = faults {
+        cluster = cluster.with_faults(plan);
+    }
+    if let Some((s, t)) = kill {
+        cluster = cluster.with_kill(s, t);
+    }
+    let started = std::time::Instant::now();
+    let out = if local {
+        cluster.run_local()
+    } else {
+        cluster.run_process()
+    }
+    .map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+    if let Some(t) = &trace {
+        t.flush().map_err(|e| format!("trace flush: {e}"))?;
+    }
+    let transport = if local { "local threads" } else { "processes" };
+    let resident: u64 = out.loads.iter().sum();
+    let max_load = out.loads.iter().copied().max().unwrap_or(0);
+    println!(
+        "policy:     {} (cluster: {shards} shard(s) as {transport})",
+        out.workload
+    );
+    println!("workload:   {workload}, b = {b}, churn {churn}, seed {seed}");
+    if let Some((s, t)) = kill {
+        println!(
+            "chaos:      shard {s} killed before batch {t}; placements redirected to live domains"
+        );
+    }
+    if let Some(plan) = &faults {
+        println!("faults:     {}", describe_fault_plan(plan));
+    }
+    println!("batches:    {}", out.batches);
+    println!(
+        "resident:   {resident} balls in {n} bins (max load {max_load}, gap {})",
+        max_load.saturating_sub(resident / u64::from(n))
+    );
+    print_cluster_wire(&out);
+    println!("wall time:  {elapsed:.2?}");
+    if let Some(path) = &trace_path {
+        println!("trace:      {path}");
+    }
+    Ok(())
+}
+
 /// One benchmark tier: problem size, rep count, protocol subset, executor
 /// sweep, and tuning mode.
 struct BenchTier {
@@ -647,18 +1019,37 @@ fn lane_sweep_tier(name: &'static str, n: u32, reps: u64) -> BenchTier {
     }
 }
 
+/// The named bench/tune tiers, in size order.
+const TIER_NAMES: [&str; 4] = ["small", "medium", "large", "xl"];
+
 fn bench_tier(tier: &str) -> Result<BenchTier, String> {
     Ok(match tier {
         "small" => small_shaped_tier("small", 1 << 10, 5),
         "medium" => lane_sweep_tier("medium", 1 << 16, 3),
         "large" => lane_sweep_tier("large", 1 << 20, 2),
         "xl" => lane_sweep_tier("xl", 1 << 24, 1),
-        other => {
-            return Err(format!(
-                "unknown tier '{other}' (choose from: small, medium, large, xl)"
-            ))
-        }
+        other => return Err(unknown_tier_message(other)),
     })
+}
+
+/// Error text for an unrecognized `--tier` value: list the tiers and,
+/// when something known is close, suggest it — same treatment experiment
+/// ids and verify claims get.
+fn unknown_tier_message(tier: &str) -> String {
+    let lowered = tier.to_lowercase();
+    let best = TIER_NAMES
+        .iter()
+        .map(|t| (edit_distance(&lowered, t), *t))
+        .min()
+        .filter(|&(d, _)| d <= 2);
+    let hint = match best {
+        Some((_, t)) => format!("did you mean '{t}'? "),
+        None => String::new(),
+    };
+    format!(
+        "unknown tier '{tier}': {hint}choose from: {}",
+        TIER_NAMES.join(", ")
+    )
 }
 
 /// Lanes an executor actually runs with (reported in every bench row).
@@ -881,6 +1272,54 @@ fn run_bench(args: &[String]) -> Result<(), String> {
         }
     }
 
+    // Cluster mode (small-shaped tiers): wire cost and throughput of the
+    // sharded orchestration at 1/2/4 shards. Worker threads over
+    // in-memory pipes carry the identical wire protocol; spawning real
+    // processes here would benchmark the OS, not the waves. The rows lack
+    // the protocol/executor and policy/ingest keys `bench_diff.sh`
+    // matches on, so the section rides along outside the regression gate.
+    let mut cluster_entries = Vec::new();
+    if tier.stream {
+        eprintln!("benchmarking cluster mode at m = n = {n}, shards 1/2/4…");
+        println!();
+        println!(
+            "{:<22} {:>7} {:>12} {:>12} {:>12}",
+            "cluster", "shards", "balls/s", "frames", "bytes"
+        );
+        for shards in [1u32, 2, 4] {
+            let started = std::time::Instant::now();
+            let out = ClusterConfig::engine("collision", spec, 93_000)
+                .with_shards(shards)
+                .run_local()
+                .map_err(|e| format!("cluster bench ({shards} shards): {e}"))?;
+            let nanos = started.elapsed().as_nanos() as u64;
+            let run = out.run.as_ref().expect("engine outcome");
+            let bps = run.placed as f64 / (nanos as f64 / 1e9);
+            println!(
+                "{:<22} {:>7} {:>12.0} {:>12} {:>12}",
+                "engine/collision",
+                shards,
+                bps,
+                out.total_frames(),
+                out.total_bytes()
+            );
+            cluster_entries.push(
+                JsonObject::new()
+                    .str("mode", "engine")
+                    .str("workload", out.workload)
+                    .u64("shards", u64::from(shards))
+                    .u64("rounds", u64::from(run.rounds))
+                    .u64("placed", run.placed)
+                    .u64("messages", run.messages.total())
+                    .u64("frames", out.total_frames())
+                    .u64("bytes", out.total_bytes())
+                    .u64("wall_nanos", nanos)
+                    .f64("balls_per_sec", bps)
+                    .finish(),
+            );
+        }
+    }
+
     let mut doc = JsonObject::new()
         .str("bench", "pba protocol registry")
         .str("tier", tier.name)
@@ -895,7 +1334,11 @@ fn run_bench(args: &[String]) -> Result<(), String> {
         doc = doc
             .u64("stream_batch", stream_b)
             .u64("stream_batches", stream_batches)
-            .raw("stream_entries", &format!("[{}]", stream_entries.join(",")));
+            .raw("stream_entries", &format!("[{}]", stream_entries.join(",")))
+            .raw(
+                "cluster_entries",
+                &format!("[{}]", cluster_entries.join(",")),
+            );
     }
     let doc = doc.finish();
     let path = resolve_out_path(out_dir.as_deref(), &format!("BENCH_{}.json", tier.name))?;

@@ -13,6 +13,10 @@
 //!   with probability `P`;
 //! * `domains=DxP` — `D` streaming fault domains (1..=64), each failed
 //!   for a batch with probability `P`;
+//! * `kill=DxB` — domain `D` is permanently dead from batch `B` on
+//!   (requires `domains=…` in the same spec; probability 0.0 gives a
+//!   kill-only plan). In cluster mode the orchestrator maps domains onto
+//!   shards, so this schedules a real worker kill;
 //! * `seed=S` — the fault stream seed (defaults to 0; independent of the
 //!   run seed so the same chaos can be replayed over different runs);
 //! * `backoff=W` — retry-backoff cap in rounds (≥ 1);
@@ -47,6 +51,9 @@ fn parse_count_prob(key: &str, v: &str) -> Result<(u32, f64), String> {
 /// Parse a `--faults` spec string into a [`FaultPlan`].
 pub fn parse_fault_spec(spec: &str) -> Result<FaultPlan, String> {
     let mut plan = FaultPlan::new(0);
+    // Applied after the loop: `kill` needs the domain count, and keys may
+    // appear in any order.
+    let mut kill: Option<(u32, u64)> = None;
     for clause in spec.split(',') {
         let clause = clause.trim();
         if clause.is_empty() {
@@ -82,6 +89,18 @@ pub fn parse_fault_spec(spec: &str) -> Result<FaultPlan, String> {
                 let (domains, p) = parse_count_prob("domains", value)?;
                 plan = plan.with_shard_failures(domains, p);
             }
+            "kill" => {
+                let (domain, batch) = value.split_once(['x', 'X']).ok_or_else(|| {
+                    format!("--faults kill={value}: expected DOMAINxBATCH, e.g. kill=2x5")
+                })?;
+                let domain: u32 = domain
+                    .parse()
+                    .map_err(|_| format!("--faults kill={value}: bad domain '{domain}'"))?;
+                let batch: u64 = batch
+                    .parse()
+                    .map_err(|_| format!("--faults kill={value}: bad batch '{batch}'"))?;
+                kill = Some((domain, batch));
+            }
             "seed" => {
                 let seed: u64 = value
                     .parse()
@@ -109,10 +128,27 @@ pub fn parse_fault_spec(spec: &str) -> Result<FaultPlan, String> {
             other => {
                 return Err(format!(
                     "--faults: unknown key '{other}' (valid: drop, crash, straggle, \
-                     domains, seed, backoff, redraw)"
+                     domains, kill, seed, backoff, redraw)"
                 ))
             }
         }
+    }
+    if let Some((domain, batch)) = kill {
+        if plan.domains == 0 {
+            return Err("--faults kill=DxB requires domains=DxP in the same spec \
+                 (probability 0.0 gives a kill-only plan, e.g. domains=4x0.0,kill=2x5)"
+                .into());
+        }
+        if plan.domains == 1 {
+            return Err("--faults kill: killing the only domain would fail every bin".into());
+        }
+        if domain >= plan.domains {
+            return Err(format!(
+                "--faults kill={domain}x{batch}: domain must be < {} (the domain count)",
+                plan.domains
+            ));
+        }
+        plan = plan.with_dead_domain(domain, batch);
     }
     Ok(plan)
 }
@@ -134,6 +170,9 @@ pub fn describe_fault_plan(plan: &FaultPlan) -> String {
             "domains {}x{}",
             plan.domains, plan.domain_fail_prob
         ));
+    }
+    if let Some((domain, batch)) = plan.dead_domain_from {
+        parts.push(format!("kill domain {domain} from batch {batch}"));
     }
     if parts.is_empty() {
         parts.push("none".into());
@@ -165,6 +204,30 @@ mod tests {
         assert_eq!(plan.seed, 7);
         assert_eq!(plan.max_backoff, 16);
         assert_eq!(plan.redraw_attempts, 2);
+    }
+
+    #[test]
+    fn kill_clause_arms_a_dead_domain() {
+        let plan = parse_fault_spec("domains=4x0.0,kill=2x5").unwrap();
+        assert_eq!(plan.dead_domain_from, Some((2, 5)));
+        assert!(plan.has_domain_faults());
+        // Order-independent: kill may precede domains.
+        let plan = parse_fault_spec("kill=1x0,domains=2x0.1").unwrap();
+        assert_eq!(plan.dead_domain_from, Some((1, 0)));
+    }
+
+    #[test]
+    fn kill_clause_rejects_bad_configurations() {
+        for (spec, needle) in [
+            ("kill=2x5", "requires domains"),
+            ("domains=2x0.0,kill=5", "DOMAINxBATCH"),
+            ("domains=2x0.0,kill=ax5", "bad domain"),
+            ("domains=2x0.0,kill=2x5", "must be < 2"),
+            ("domains=1x0.0,kill=0x5", "only domain"),
+        ] {
+            let err = parse_fault_spec(spec).unwrap_err();
+            assert!(err.contains(needle), "{spec}: {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! End-to-end tests for `pba-run cluster` and its `shard-worker` child
+//! mode: real processes, real pipes. The orchestrator here spawns the
+//! same binary under test as its workers, so these exercise the full
+//! production transport.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn pba_run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_pba-run"))
+        .args(args)
+        .output()
+        .expect("spawn pba-run")
+}
+
+/// The outcome-defining summary lines (loads, rounds, message counts) —
+/// everything that must be bit-identical across process counts.
+fn outcome_lines(stdout: &str) -> Vec<String> {
+    stdout
+        .lines()
+        .filter(|l| {
+            ["rounds:", "placed:", "max load:", "messages:"]
+                .iter()
+                .any(|p| l.starts_with(p))
+        })
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn cluster_processes_match_single_process_run_at_every_shard_count() {
+    let args = |rest: &[&str]| {
+        let mut v = vec![
+            "cluster",
+            "protocol",
+            "collision",
+            "--m",
+            "2048",
+            "--n",
+            "128",
+            "--seed",
+            "7",
+        ];
+        v.extend_from_slice(rest);
+        v.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+    };
+    // The single-process baseline comes from the ordinary `protocol`
+    // command: same engine, no cluster machinery at all.
+    let single = pba_run(&[
+        "protocol",
+        "collision",
+        "--m",
+        "2048",
+        "--n",
+        "128",
+        "--seed",
+        "7",
+    ]);
+    assert!(single.status.success());
+    let want = outcome_lines(&String::from_utf8_lossy(&single.stdout));
+    assert_eq!(want.len(), 4, "baseline must print all four outcome lines");
+
+    for shards in ["1", "2", "4"] {
+        let argv = args(&["--shards", shards]);
+        let argv: Vec<&str> = argv.iter().map(String::as_str).collect();
+        let out = pba_run(&argv);
+        assert!(
+            out.status.success(),
+            "cluster --shards {shards} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            outcome_lines(&stdout),
+            want,
+            "--shards {shards} diverged from the single-process run:\n{stdout}"
+        );
+        assert!(
+            stdout.contains("wire:"),
+            "cluster runs must report wire accounting:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn cluster_stream_kill_chaos_reports_the_dead_shard() {
+    let out = pba_run(&[
+        "cluster",
+        "stream",
+        "--n",
+        "64",
+        "--batch",
+        "n",
+        "--batches",
+        "6",
+        "--shards",
+        "4",
+        "--kill",
+        "1@2",
+        "--seed",
+        "5",
+    ]);
+    assert!(
+        out.status.success(),
+        "kill-chaos run failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("chaos:") && stdout.contains("shard 1 killed before batch 2"),
+        "chaos line missing:\n{stdout}"
+    );
+    assert!(
+        stdout.contains(", killed"),
+        "the dead shard's wire record must be flagged:\n{stdout}"
+    );
+}
+
+#[test]
+fn shard_worker_rejects_garbage_with_nonzero_exit() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pba-run"))
+        .arg("shard-worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn shard-worker");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(b"this is not a wire frame\n")
+        .expect("write garbage");
+    let out = child.wait_with_output().expect("reap shard-worker");
+    assert!(
+        !out.status.success(),
+        "shard-worker must exit nonzero on a malformed frame"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("shard-worker:") && stderr.contains("malformed"),
+        "stderr must describe the bad frame:\n{stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"t\":\"error\""),
+        "an error frame must go out on the wire before exit:\n{stdout}"
+    );
+}
+
+#[test]
+fn cluster_rejects_unknown_protocol_and_bad_kill_spec() {
+    let out = pba_run(&["cluster", "protocol", "colision", "--shards", "2"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown protocol 'colision'"),
+        "unknown protocol must fail before any worker spawns"
+    );
+
+    let out = pba_run(&["cluster", "stream", "--kill", "3-4"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("SHARD@BATCH"),
+        "bad --kill must name the expected shape"
+    );
+}
+
+#[test]
+fn bench_unknown_tier_gets_did_you_mean() {
+    let out = pba_run(&["bench", "--tier", "smal"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("did you mean 'small'?"),
+        "expected a did-you-mean suggestion:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("small, medium, large, xl"),
+        "error should list the tiers:\n{stderr}"
+    );
+}

@@ -32,6 +32,27 @@ run cargo run --release -q -p pba-runner --bin pba-run -- verify --scale ci
 # are noisy — so only order-of-magnitude regressions trip it. Medium+
 # tiers stay manual (scripts/bench_diff.sh --tier large).
 run scripts/bench_diff.sh --tier small --gate 60
+# Cluster smoke gate: 2- and 4-shard runs over real worker processes
+# must be bit-identical to the single-process engine on a pinned seed,
+# and a kill-a-shard chaos run must survive with the dead shard
+# reported. The test suite asserts the same thing from inside cargo;
+# this exercises the shipping binary spawning itself as `shard-worker`.
+PBA=target/release/pba-run
+outcome() { "$@" | grep -E '^(rounds|placed|max load|messages):'; }
+echo "==> cluster smoke: shard-count bit-identity (seed 11)"
+want=$(outcome "$PBA" protocol collision --m 65536 --n 4096 --seed 11)
+for shards in 2 4; do
+    got=$(outcome "$PBA" cluster protocol collision \
+        --m 65536 --n 4096 --seed 11 --shards "$shards")
+    if [ "$got" != "$want" ]; then
+        echo "cluster --shards $shards diverged from the single-process run:" >&2
+        diff <(echo "$want") <(echo "$got") >&2 || true
+        exit 1
+    fi
+done
+echo "==> cluster smoke: kill-a-shard chaos"
+"$PBA" cluster stream --n 256 --batch n --batches 6 --shards 4 \
+    --kill 1@2 --seed 11 | grep -q 'shard 1 killed before batch 2'
 run cargo build --no-default-features
 run cargo build --workspace --features serde
 

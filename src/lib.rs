@@ -31,6 +31,7 @@
 //! ```
 
 pub use pba_analysis as analysis;
+pub use pba_cluster as cluster;
 pub use pba_conformance as conformance;
 pub use pba_core as core;
 pub use pba_par as par;

@@ -1,0 +1,201 @@
+//! Integration: the multi-process cluster mode is **bit-identical** to
+//! the single-process paths — same final loads, rounds, message counts,
+//! and fault decisions for every shard count — and its chaos harness
+//! (really killing a shard worker) lands on exactly the loads of the
+//! in-process dead-domain run. Shards here are worker threads over
+//! in-memory pipes speaking the same wire protocol as child processes;
+//! `crates/runner/tests/cluster_cli.rs` covers the real-process
+//! transport end to end.
+
+use pba::cluster::wire::Frame;
+use pba::cluster::ClusterConfig;
+use pba::prelude::*;
+
+const SEED: u64 = 1105;
+
+fn single_process(protocol: &str, spec: ProblemSpec, faults: Option<FaultPlan>) -> RunOutcome {
+    let mut cfg = RunConfig::seeded(SEED).with_validation(true);
+    if let Some(plan) = faults {
+        cfg = cfg.with_faults(plan);
+    }
+    pba::protocols::run_by_name(protocol, spec, cfg)
+        .expect("registry name")
+        .expect("run succeeds")
+}
+
+#[test]
+fn engine_cluster_is_bit_identical_across_shard_counts() {
+    let spec = ProblemSpec::new(1 << 11, 1 << 7).unwrap();
+    for protocol in ["collision", "parallel-two-choice"] {
+        let single = single_process(protocol, spec, None);
+        for shards in [1u32, 2, 4] {
+            let out = ClusterConfig::engine(protocol, spec, SEED)
+                .with_shards(shards)
+                .with_validation(true)
+                .run_local()
+                .unwrap();
+            let run = out.run.expect("engine outcome");
+            assert_eq!(
+                run.loads, single.loads,
+                "{protocol} loads at {shards} shards"
+            );
+            assert_eq!(run.rounds, single.rounds, "{protocol} rounds");
+            assert_eq!(run.messages, single.messages, "{protocol} messages");
+            assert_eq!(run.placed, single.placed);
+            assert_eq!(run.unallocated, single.unallocated);
+        }
+    }
+}
+
+#[test]
+fn engine_cluster_reproduces_fault_decisions() {
+    // Crashed bins and dropped requests are drawn from the fault stream;
+    // the distributed grant waves must land on the same decisions.
+    let spec = ProblemSpec::new(1 << 11, 1 << 7).unwrap();
+    let plan = FaultPlan::new(17)
+        .with_crashed_bins(0.08)
+        .with_drop_prob(0.05);
+    let single = single_process("collision", spec, Some(plan));
+    let single_faults = single.faults.expect("fault stats recorded");
+    for shards in [2u32, 4] {
+        let out = ClusterConfig::engine("collision", spec, SEED)
+            .with_shards(shards)
+            .with_faults(plan)
+            .with_validation(true)
+            .run_local()
+            .unwrap();
+        let run = out.run.expect("engine outcome");
+        assert_eq!(run.loads, single.loads, "faulted loads at {shards} shards");
+        assert_eq!(run.rounds, single.rounds);
+        assert_eq!(run.messages, single.messages);
+        let faults = run.faults.expect("fault stats recorded");
+        assert_eq!(faults, single_faults, "fault decisions at {shards} shards");
+    }
+}
+
+/// The orchestrator's stream mirror drives the workload off the run seed
+/// (no salt); the in-process reference must be built the same way.
+fn stream_reference(
+    policy: PolicyKind,
+    bins: u32,
+    cfg: WorkloadCfg,
+    batches: u64,
+    faults: Option<FaultPlan>,
+) -> Vec<u64> {
+    let mut alloc = StreamAllocator::new(bins, SEED, policy);
+    if let Some(plan) = faults {
+        alloc = alloc.with_faults(plan);
+    }
+    let mut traffic = Workload::new(cfg, SEED);
+    for _ in 0..batches {
+        alloc.ingest(&traffic.next_batch());
+    }
+    alloc.bin_state().load_vector()
+}
+
+#[test]
+fn stream_cluster_is_bit_identical_across_shard_counts() {
+    let (bins, batches) = (96u32, 5u64);
+    for policy in [PolicyKind::OneChoice, PolicyKind::BatchedTwoChoice] {
+        let cfg = WorkloadCfg::uniform(4 * u64::from(bins)).with_churn(0.25);
+        let want = stream_reference(policy, bins, cfg, batches, None);
+        for shards in [1u32, 2, 4] {
+            let out = ClusterConfig::stream(policy, bins, SEED, batches, 1)
+                .with_workload(cfg)
+                .with_shards(shards)
+                .run_local()
+                .unwrap();
+            assert_eq!(out.loads, want, "{} at {shards} shards", policy.name());
+            assert_eq!(out.batches, batches);
+        }
+    }
+}
+
+#[test]
+fn killed_shard_matches_in_process_dead_domain_run() {
+    // The chaos harness really kills shard 1's worker before batch 2; the
+    // surviving placements must equal an in-process run whose fault plan
+    // declares domain 1 dead from batch 2 — the redirect is the same
+    // pure function either way.
+    let (bins, shards, batches) = (64u32, 4u32, 6u64);
+    let (kill_shard, kill_batch) = (1u32, 2u64);
+    let plan = FaultPlan::new(SEED)
+        .with_shard_failures(shards, 0.0)
+        .with_dead_domain(kill_shard, kill_batch);
+    let cfg = WorkloadCfg::uniform(2 * u64::from(bins));
+    let want = stream_reference(PolicyKind::BatchedTwoChoice, bins, cfg, batches, Some(plan));
+
+    let out = ClusterConfig::stream(PolicyKind::BatchedTwoChoice, bins, SEED, batches, 1)
+        .with_workload(cfg)
+        .with_shards(shards)
+        .with_kill(kill_shard, kill_batch)
+        .run_local()
+        .unwrap();
+    assert_eq!(
+        out.loads, want,
+        "killed-shard loads diverge from dead-domain run"
+    );
+    let rec = &out.shard_records[kill_shard as usize];
+    assert!(rec.killed, "the scheduled kill must be recorded");
+    assert!(
+        out.shard_records
+            .iter()
+            .filter(|r| r.shard != kill_shard)
+            .all(|r| !r.killed),
+        "only the scheduled shard dies"
+    );
+    // The dead domain owns bins the mirror stopped placing into after the
+    // kill; its range must have received strictly less than a full share.
+    let lo = pba::cluster::shard_lo(kill_shard, bins, shards) as usize;
+    let hi = pba::cluster::shard_lo(kill_shard + 1, bins, shards) as usize;
+    let dead: u64 = want[lo..hi].iter().sum();
+    let total: u64 = want.iter().sum();
+    assert!(
+        dead * u64::from(shards) < total,
+        "dead domain absorbed a full share: {dead} of {total}"
+    );
+}
+
+#[test]
+fn misbehaving_worker_surfaces_a_clear_error() {
+    // A worker that answers the hello with garbage: the orchestrator
+    // must fail with a transport error naming the shard and the problem,
+    // not hang or panic.
+    let dir = std::env::temp_dir().join(format!("pba-bad-worker-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let exe = dir.join("bad-worker.sh");
+    std::fs::write(&exe, "#!/bin/sh\necho 'not a wire frame'\ncat >/dev/null\n").unwrap();
+    // Sandbox-friendly chmod via std: mark the script executable.
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::PermissionsExt;
+        std::fs::set_permissions(&exe, std::fs::Permissions::from_mode(0o755)).unwrap();
+    }
+    let spec = ProblemSpec::new(64, 16).unwrap();
+    let err = ClusterConfig::engine("collision", spec, 1)
+        .with_shards(2)
+        .with_worker_exe(exe)
+        .run_process()
+        .unwrap_err()
+        .to_string();
+    assert!(
+        err.contains("cluster transport failure") && err.contains("unreadable reply"),
+        "expected a malformed-frame transport error, got: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wire_decode_errors_are_descriptive() {
+    for (line, needle) in [
+        ("not json", "malformed"),
+        ("{\"x\":1}", "missing"),
+        ("{\"t\":\"warp\"}", "warp"),
+    ] {
+        let err = Frame::decode(line).unwrap_err();
+        assert!(
+            err.to_lowercase().contains(needle),
+            "{line}: error should mention '{needle}', got: {err}"
+        );
+    }
+}

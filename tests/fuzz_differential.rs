@@ -77,7 +77,7 @@ impl FuzzCase {
             .with_executor(executor)
             .with_assignment(true)
             .with_validation(true)
-            .with_chunking(self.min_chunk, self.par_cutoff);
+            .with_tuning(Tuning::fixed(self.min_chunk, self.par_cutoff));
         if let Some(plan) = self.faults {
             cfg = cfg.with_faults(plan);
         }
@@ -275,6 +275,58 @@ fn shrunk_repro_seed_replays() {
         (Err(x), Err(y)) => assert_eq!(x, y),
         _ => panic!("same case, different outcome kinds"),
     }
+}
+
+/// Cluster axis: the multi-process orchestration (worker threads over
+/// in-memory pipes here — the wire protocol is identical for child
+/// processes) must reproduce the sequential engine bit for bit on
+/// sampled cases, fault plans included. Errors must agree too: a
+/// round-budget exhaustion looks the same from either side.
+#[test]
+fn cluster_axis_is_bit_identical() {
+    use pba::cluster::ClusterConfig;
+    let mut master = SplitMix64::new(0x00C1_0573_ED01);
+    let mut compared = 0u32;
+    for case_idx in 0..8u64 {
+        let case = FuzzCase::sample(master.next_u64());
+        let spec = ProblemSpec::new(case.m, case.n).expect("sampled sizes are positive");
+        let single = case.run(ExecutorKind::Sequential);
+        for shards in [2u32, 5] {
+            let shards = shards.min(case.n);
+            let mut cc = ClusterConfig::engine(case.protocol, spec, case.seed)
+                .with_shards(shards)
+                .with_validation(true);
+            if let Some(plan) = case.faults {
+                cc = cc.with_faults(plan);
+            }
+            match (&single, cc.run_local()) {
+                (Ok(s), Ok(out)) => {
+                    let c = out.run.expect("engine outcome");
+                    assert_eq!(
+                        s.loads, c.loads,
+                        "case {case_idx} ({case:?}): cluster loads diverge at {shards} shards"
+                    );
+                    assert_eq!(s.rounds, c.rounds, "case {case_idx}: rounds diverge");
+                    assert_eq!(s.messages, c.messages, "case {case_idx}: messages diverge");
+                    compared += 1;
+                }
+                (Err(se), Err(ce)) => {
+                    assert_eq!(
+                        se,
+                        &ce.to_string(),
+                        "case {case_idx} ({case:?}): errors diverge at {shards} shards"
+                    );
+                }
+                (s, c) => panic!(
+                    "case {case_idx} ({case:?}): outcome kinds diverge at {shards} shards: \
+                     single {}, cluster {}",
+                    if s.is_ok() { "ok" } else { "err" },
+                    if c.is_ok() { "ok" } else { "err" },
+                ),
+            }
+        }
+    }
+    assert!(compared > 0, "no successful case was compared");
 }
 
 /// Shard-count axis for the streaming allocator: placements must be

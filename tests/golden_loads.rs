@@ -95,7 +95,7 @@ fn assignment_matrix_identical_across_executors_and_faults() {
                     .with_executor(executor)
                     .with_assignment(true)
                     .with_validation(true)
-                    .with_chunking(256, 512)
+                    .with_tuning(Tuning::fixed(256, 512))
                     .with_trace(false);
                 if let Some(p) = plan {
                     cfg = cfg.with_faults(p);

@@ -74,6 +74,34 @@ fn replayed_session_is_deterministic_end_to_end() {
 }
 
 #[test]
+fn process_count_axis_preserves_final_loads() {
+    // The cluster orchestrator distributes the same allocator over shard
+    // workers behind real message passing; the process count is one more
+    // axis that must not move a single load. The mirror drives its
+    // workload off the run seed (unsalted), so the reference is built the
+    // same way.
+    use pba::cluster::ClusterConfig;
+    let cfg = WorkloadCfg::uniform(2048).with_churn(0.25);
+    let mut reference = StreamAllocator::new(BINS, 42, PolicyKind::BatchedTwoChoice);
+    let mut traffic = Workload::new(cfg, 42);
+    for _ in 0..BATCHES {
+        reference.ingest(&traffic.next_batch());
+    }
+    let want = reference.bin_state().load_vector();
+    for shards in [1u32, 2, 4] {
+        let out = ClusterConfig::stream(PolicyKind::BatchedTwoChoice, BINS, 42, BATCHES, 1)
+            .with_workload(cfg)
+            .with_shards(shards)
+            .run_local()
+            .unwrap();
+        assert_eq!(
+            out.loads, want,
+            "loads diverged at {shards} worker processes"
+        );
+    }
+}
+
+#[test]
 fn explicit_batches_match_workload_generated_ones() {
     // Hand-built batches go through the same ingestion path as workload
     // output; ids are opaque to placement.

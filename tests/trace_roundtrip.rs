@@ -1,184 +1,36 @@
 //! Integration: every line the `--trace` JSONL sink emits parses back as
 //! JSON and carries the documented keys with the documented types, for
-//! all five event kinds (`round`, `fault`, `run`, `pool`, `batch`).
+//! all six event kinds (`round`, `fault`, `run`, `pool`, `batch`,
+//! `cluster`). The parser is the shared one in `pba_core::json` — the
+//! same implementation the cluster wire codec reads frames with.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use pba::core::{ProblemSpec, RunConfig};
 use pba::prelude::*;
+use pba::runner::json::{parse, Json};
 use pba::runner::JsonlTrace;
 
-/// A parsed JSON value — just enough structure for the trace schema.
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(BTreeMap<String, Json>),
+fn obj(v: &Json) -> &std::collections::BTreeMap<String, Json> {
+    v.as_obj()
+        .unwrap_or_else(|| panic!("expected object, got {v:?}"))
 }
 
-/// Minimal recursive-descent JSON parser (the workspace is
-/// zero-dependency, so the test supplies its own reader). Strict enough
-/// to reject truncated or malformed lines.
-fn parse_json(s: &str) -> Result<Json, String> {
-    let bytes: Vec<char> = s.chars().collect();
-    let mut pos = 0usize;
-    let v = parse_value(&bytes, &mut pos)?;
-    skip_ws(&bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing data at {pos}"));
-    }
-    Ok(v)
-}
-
-fn skip_ws(b: &[char], pos: &mut usize) {
-    while *pos < b.len() && b[*pos].is_whitespace() {
-        *pos += 1;
-    }
-}
-
-fn parse_value(b: &[char], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        None => Err("unexpected end".into()),
-        Some('{') => {
-            *pos += 1;
-            let mut map = BTreeMap::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&'}') {
-                *pos += 1;
-                return Ok(Json::Obj(map));
-            }
-            loop {
-                skip_ws(b, pos);
-                let key = match parse_value(b, pos)? {
-                    Json::Str(s) => s,
-                    other => return Err(format!("non-string key {other:?}")),
-                };
-                skip_ws(b, pos);
-                if b.get(*pos) != Some(&':') {
-                    return Err(format!("expected ':' at {pos}"));
-                }
-                *pos += 1;
-                map.insert(key, parse_value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(',') => *pos += 1,
-                    Some('}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(map));
-                    }
-                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
-                }
-            }
-        }
-        Some('[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(',') => *pos += 1,
-                    Some(']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    other => return Err(format!("expected ',' or ']', got {other:?}")),
-                }
-            }
-        }
-        Some('"') => {
-            *pos += 1;
-            let mut out = String::new();
-            loop {
-                match b.get(*pos) {
-                    None => return Err("unterminated string".into()),
-                    Some('"') => {
-                        *pos += 1;
-                        return Ok(Json::Str(out));
-                    }
-                    Some('\\') => {
-                        *pos += 1;
-                        match b.get(*pos) {
-                            Some('"') => out.push('"'),
-                            Some('\\') => out.push('\\'),
-                            Some('n') => out.push('\n'),
-                            Some('r') => out.push('\r'),
-                            Some('t') => out.push('\t'),
-                            Some('u') => {
-                                let hex: String = b[*pos + 1..*pos + 5].iter().collect();
-                                let code =
-                                    u32::from_str_radix(&hex, 16).map_err(|e| e.to_string())?;
-                                out.push(char::from_u32(code).ok_or("bad codepoint")?);
-                                *pos += 4;
-                            }
-                            other => return Err(format!("bad escape {other:?}")),
-                        }
-                        *pos += 1;
-                    }
-                    Some(&c) => {
-                        out.push(c);
-                        *pos += 1;
-                    }
-                }
-            }
-        }
-        Some('t') if b[*pos..].starts_with(&['t', 'r', 'u', 'e']) => {
-            *pos += 4;
-            Ok(Json::Bool(true))
-        }
-        Some('f') if b[*pos..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
-            *pos += 5;
-            Ok(Json::Bool(false))
-        }
-        Some('n') if b[*pos..].starts_with(&['n', 'u', 'l', 'l']) => {
-            *pos += 4;
-            Ok(Json::Null)
-        }
-        Some(_) => {
-            let start = *pos;
-            while *pos < b.len() && matches!(b[*pos], '0'..='9' | '-' | '+' | '.' | 'e' | 'E') {
-                *pos += 1;
-            }
-            let text: String = b[start..*pos].iter().collect();
-            text.parse::<f64>()
-                .map(Json::Num)
-                .map_err(|_| format!("bad number '{text}'"))
-        }
-    }
-}
-
-fn obj(v: &Json) -> &BTreeMap<String, Json> {
-    match v {
-        Json::Obj(m) => m,
-        other => panic!("expected object, got {other:?}"),
-    }
-}
-
-fn expect_num(m: &BTreeMap<String, Json>, key: &str) -> f64 {
+fn expect_num(m: &std::collections::BTreeMap<String, Json>, key: &str) -> f64 {
     match m.get(key) {
         Some(Json::Num(x)) => *x,
         other => panic!("key '{key}' should be a number, got {other:?}"),
     }
 }
 
-fn expect_str<'a>(m: &'a BTreeMap<String, Json>, key: &str) -> &'a str {
+fn expect_str<'a>(m: &'a std::collections::BTreeMap<String, Json>, key: &str) -> &'a str {
     match m.get(key) {
         Some(Json::Str(s)) => s,
         other => panic!("key '{key}' should be a string, got {other:?}"),
     }
 }
 
-fn expect_num_array(m: &BTreeMap<String, Json>, key: &str) -> Vec<f64> {
+fn expect_num_array(m: &std::collections::BTreeMap<String, Json>, key: &str) -> Vec<f64> {
     match m.get(key) {
         Some(Json::Arr(items)) => items
             .iter()
@@ -243,6 +95,21 @@ const FAULT_NUM_KEYS: [&str; 11] = [
     "backoff_escalations",
 ];
 
+const CLUSTER_NUM_KEYS: [&str; 12] = [
+    "seed",
+    "n",
+    "shards",
+    "shard",
+    "lo",
+    "hi",
+    "frames_sent",
+    "frames_recv",
+    "bytes_sent",
+    "bytes_recv",
+    "barriers",
+    "killed",
+];
+
 #[test]
 fn every_trace_line_parses_with_documented_schema() {
     let dir = std::env::temp_dir().join("pba_trace_roundtrip");
@@ -281,6 +148,13 @@ fn every_trace_line_parses_with_documented_schema() {
         alloc.ingest(&traffic.next_batch());
     }
 
+    // Cluster events: a 2-shard in-thread cluster run over the same sink.
+    pba::cluster::ClusterConfig::engine("collision", spec, 7)
+        .with_shards(2)
+        .with_metrics(trace.clone())
+        .run_local()
+        .expect("cluster run succeeds");
+
     trace.flush().unwrap();
     let text = std::fs::read_to_string(&path).unwrap();
     std::fs::remove_file(&path).ok();
@@ -289,9 +163,10 @@ fn every_trace_line_parses_with_documented_schema() {
     let mut faults = 0usize;
     let mut runs = 0usize;
     let mut batches = 0usize;
+    let mut clusters = 0usize;
     for (lineno, line) in text.lines().enumerate() {
-        let parsed = parse_json(line)
-            .unwrap_or_else(|e| panic!("line {lineno} is not valid JSON ({e}): {line}"));
+        let parsed =
+            parse(line).unwrap_or_else(|e| panic!("line {lineno} is not valid JSON ({e}): {line}"));
         let m = obj(&parsed);
         match expect_str(m, "event") {
             "round" => {
@@ -341,11 +216,22 @@ fn every_trace_line_parses_with_documented_schema() {
                     "shard touches must cover every placement"
                 );
             }
+            "cluster" => {
+                clusters += 1;
+                assert_eq!(expect_str(m, "mode"), "engine");
+                assert_eq!(expect_str(m, "workload"), "collision");
+                for key in CLUSTER_NUM_KEYS {
+                    expect_num(m, key);
+                }
+                assert!(expect_num(m, "hi") > expect_num(m, "lo"));
+                assert!(expect_num(m, "frames_sent") > 0.0);
+            }
             other => panic!("line {lineno}: unknown event kind '{other}'"),
         }
     }
     assert!(rounds > 0, "no round events traced");
     assert!(faults > 0, "the 20% drop plan must trace fault events");
-    assert_eq!(runs, 2, "expected one run event per engine run");
+    assert_eq!(runs, 3, "one run event per engine run, cluster included");
     assert_eq!(batches, 3, "expected one batch event per ingested batch");
+    assert_eq!(clusters, 2, "one cluster event per shard");
 }
