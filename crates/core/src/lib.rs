@@ -37,6 +37,9 @@
 //!   one-shot engine and the streaming allocator (`pba-stream`).
 //! * [`json`] — the zero-dependency JSON emitter + parser behind the
 //!   runner's JSONL traces and the cluster wire protocol.
+//! * [`snapshot`] — the hand-rolled binary snapshot codec (framed,
+//!   checksummed, little-endian) behind allocator checkpoint/restore in
+//!   the service facade; usable without the `serde` feature.
 //! * [`load`], [`messages`], [`allocation`], [`trace`] — statistics and
 //!   run records.
 //! * `validate` — the in-engine invariant checker armed by
@@ -61,6 +64,7 @@ pub mod model;
 pub mod protocol;
 pub mod rng;
 pub mod sim;
+pub mod snapshot;
 pub mod trace;
 pub(crate) mod validate;
 
@@ -74,7 +78,7 @@ pub use load::LoadStats;
 pub use messages::{MessageStats, MessageTracking};
 pub use metrics::{
     BatchRecord, ClusterMeta, ClusterShardRecord, EngineMetrics, FanoutSink, MetricsReport,
-    MetricsSink, Phase, RoundTiming, RunMeta, RunSummary, StreamMeta,
+    MetricsSink, Phase, RoundTiming, RunMeta, RunSummary, ServiceMeta, ServiceRecord, StreamMeta,
 };
 pub use model::ProblemSpec;
 pub use protocol::{
@@ -82,4 +86,5 @@ pub use protocol::{
 };
 pub use rng::{ball_stream, RoundStreams, SplitMix64, Xoshiro256pp};
 pub use sim::{ExecutorKind, RunConfig, RunOutcome, Simulator};
+pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use trace::{RoundRecord, RunTrace};

@@ -182,6 +182,65 @@ pub struct BatchRecord {
     pub fault_redirects: u64,
 }
 
+/// Identity of the replay service session a checkpoint callback belongs
+/// to.
+///
+/// The service facade (`pba-run serve`, crate `pba-stream`'s service
+/// module) wraps a `StreamAllocator` in a long-lived ingestion loop; its
+/// events carry the allocator identity plus the service-side shape —
+/// queue capacity and the target replay rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceMeta {
+    /// Number of bins.
+    pub bins: u32,
+    /// RNG seed of the session.
+    pub seed: u64,
+    /// Placement policy name.
+    pub policy: &'static str,
+    /// Shards the bin state is split across.
+    pub shards: usize,
+    /// Bounded ingestion-queue capacity (submitters block when full).
+    pub queue: usize,
+    /// Target replay rate in balls/sec (`0.0` = unthrottled).
+    pub rate: f64,
+}
+
+/// Per-checkpoint totals delivered to [`MetricsSink::on_service`].
+///
+/// One record per service checkpoint (every `checkpoint_every` batches,
+/// plus a final partial window at drain). Latency quantiles come from the
+/// window's log₂ placement-latency histogram: the time from a batch
+/// entering the bounded queue to its last placement landing, charged to
+/// every ball of the batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceRecord {
+    /// Zero-based checkpoint sequence number within the session.
+    pub checkpoint: u64,
+    /// Batches ingested in this checkpoint window.
+    pub batches: u64,
+    /// Balls placed in this checkpoint window.
+    pub balls: u64,
+    /// Balls resident after the window.
+    pub resident: u64,
+    /// Maximum bin load after the window.
+    pub max_load: u64,
+    /// Gap above `⌈total/bins⌉` after the window.
+    pub gap: u64,
+    /// Median per-ball placement latency (nanoseconds).
+    pub p50_nanos: u64,
+    /// 99th-percentile placement latency (nanoseconds).
+    pub p99_nanos: u64,
+    /// 99.9th-percentile placement latency (nanoseconds).
+    pub p999_nanos: u64,
+    /// Worst placement latency observed in the window (nanoseconds).
+    pub max_nanos: u64,
+    /// Wall-clock nanoseconds the window spanned.
+    pub wall_nanos: u64,
+    /// Size in bytes of the state snapshot taken at this checkpoint
+    /// (0 when no snapshot was requested here).
+    pub snapshot_bytes: u64,
+}
+
 /// Identity of a cluster run a shard callback belongs to.
 ///
 /// Cluster mode (`pba-run cluster`, crate `pba-cluster`) distributes the
@@ -270,6 +329,12 @@ pub trait MetricsSink: Send + Sync {
     fn on_cluster(&self, meta: &ClusterMeta, record: &ClusterShardRecord) {
         let _ = (meta, record);
     }
+
+    /// One service checkpoint closed (replay service only): the window's
+    /// batch/ball totals plus per-ball placement-latency quantiles.
+    fn on_service(&self, meta: &ServiceMeta, record: &ServiceRecord) {
+        let _ = (meta, record);
+    }
 }
 
 /// Measures one round's phases; constructed **only** when a sink is
@@ -336,6 +401,10 @@ pub struct MetricsReport {
     pub cluster_frames: u64,
     /// Wire bytes exchanged with shards (both directions summed).
     pub cluster_bytes: u64,
+    /// Service checkpoints closed across all replay sessions.
+    pub service_checkpoints: u64,
+    /// Balls placed across all service checkpoint windows.
+    pub service_balls: u64,
     /// Rounds that injected at least one fault.
     pub fault_rounds: u64,
     /// Injected-fault totals across all observed rounds (`crashed_bins`
@@ -485,6 +554,12 @@ impl MetricsSink for EngineMetrics {
         agg.cluster_frames += record.frames_sent + record.frames_recv;
         agg.cluster_bytes += record.bytes_sent + record.bytes_recv;
     }
+
+    fn on_service(&self, _meta: &ServiceMeta, record: &ServiceRecord) {
+        let mut agg = self.inner.lock().unwrap();
+        agg.service_checkpoints += 1;
+        agg.service_balls += record.balls;
+    }
 }
 
 /// Broadcasts every event to several sinks, in order.
@@ -536,6 +611,12 @@ impl MetricsSink for FanoutSink {
     fn on_cluster(&self, meta: &ClusterMeta, record: &ClusterShardRecord) {
         for s in &self.sinks {
             s.on_cluster(meta, record);
+        }
+    }
+
+    fn on_service(&self, meta: &ServiceMeta, record: &ServiceRecord) {
+        for s in &self.sinks {
+            s.on_service(meta, record);
         }
     }
 }
@@ -767,6 +848,62 @@ mod tests {
         fan.on_cluster(&cmeta, &ClusterShardRecord::default());
         assert_eq!(a.report().cluster_shards, 1);
         assert_eq!(b.report().cluster_shards, 1);
+    }
+
+    #[test]
+    fn engine_metrics_aggregates_service_checkpoints() {
+        let m = EngineMetrics::new();
+        let smeta = ServiceMeta {
+            bins: 64,
+            seed: 3,
+            policy: "batched-two-choice",
+            shards: 2,
+            queue: 4,
+            rate: 0.0,
+        };
+        let rec = ServiceRecord {
+            checkpoint: 0,
+            batches: 8,
+            balls: 512,
+            resident: 512,
+            max_load: 10,
+            gap: 2,
+            p50_nanos: 1_000,
+            p99_nanos: 2_000,
+            p999_nanos: 4_000,
+            max_nanos: 5_000,
+            wall_nanos: 10_000,
+            snapshot_bytes: 0,
+        };
+        m.on_service(&smeta, &rec);
+        m.on_service(
+            &smeta,
+            &ServiceRecord {
+                checkpoint: 1,
+                ..rec
+            },
+        );
+        let r = m.report();
+        assert_eq!(r.service_checkpoints, 2);
+        assert_eq!(r.service_balls, 1024);
+    }
+
+    #[test]
+    fn fanout_broadcasts_service_records() {
+        let a = Arc::new(EngineMetrics::new());
+        let b = Arc::new(EngineMetrics::new());
+        let fan = FanoutSink::new(vec![a.clone(), b.clone()]);
+        let smeta = ServiceMeta {
+            bins: 8,
+            seed: 0,
+            policy: "one-choice",
+            shards: 1,
+            queue: 1,
+            rate: 1e6,
+        };
+        fan.on_service(&smeta, &ServiceRecord::default());
+        assert_eq!(a.report().service_checkpoints, 1);
+        assert_eq!(b.report().service_checkpoints, 1);
     }
 
     #[test]

@@ -56,6 +56,20 @@ impl UndershootSchedule {
         self.gamma
     }
 
+    /// Number of bins the schedule contracts over.
+    pub fn bins(&self) -> u32 {
+        self.bins
+    }
+
+    /// The current unallocated-mass estimate `m̃`, exactly as stored.
+    ///
+    /// State snapshots persist this instead of [`ratio`](Self::ratio):
+    /// `ratio() * n` does not round-trip in f64 for arbitrary `n`, and a
+    /// restored schedule must continue the recurrence *bit-identically*.
+    pub fn mass(&self) -> f64 {
+        self.m_tilde
+    }
+
     /// Current estimate ratio `m̃ / n`.
     pub fn ratio(&self) -> f64 {
         self.m_tilde / self.bins as f64
@@ -139,6 +153,26 @@ mod tests {
     #[should_panic(expected = "gamma")]
     fn rejects_gamma_one() {
         let _ = UndershootSchedule::with_gamma(8, 64.0, 1.0);
+    }
+
+    /// `(bins, mass, gamma)` is the schedule's complete state: a copy
+    /// reconstructed from the accessors continues bit-identically — the
+    /// contract the streaming snapshot codec relies on. `n = 100` is
+    /// deliberately not a power of two, where a `ratio()`-based
+    /// round-trip would drift.
+    #[test]
+    fn accessor_roundtrip_is_bit_identical() {
+        let mut a = UndershootSchedule::with_gamma(100, 7777.7, 0.61);
+        a.advance();
+        a.advance();
+        let mut b = UndershootSchedule::with_gamma(a.bins(), a.mass(), a.gamma());
+        assert_eq!(a, b);
+        for _ in 0..6 {
+            a.advance();
+            b.advance();
+            assert_eq!(a.mass().to_bits(), b.mass().to_bits());
+            assert_eq!(a.threshold(777.7), b.threshold(777.7));
+        }
     }
 
     // Property-style cases below use the workspace's hand-rolled seeded

@@ -8,6 +8,7 @@
 //! pba-run protocol <name> --m M --n N [--seed S] [--parallel] [--trace F.jsonl]
 //! pba-run protocols            # list protocol names
 //! pba-run stream [--policy P] [--n N] [--batch 8n] …   # streaming allocator
+//! pba-run serve --replay [--rate R] [--snapshot F] …   # replay service facade
 //! pba-run cluster protocol <name> --shards S …   # multi-process shards
 //! pba-run cluster stream --shards S [--kill S@B] …
 //! pba-run bench [--tier small|medium|large|xl] [--out DIR|FILE.json]
@@ -28,7 +29,10 @@ use pba_runner::{
     all_experiments, describe_fault_plan, experiment_by_id, parse_fault_spec, JsonlTrace,
     RunOptions, Scale, Table,
 };
-use pba_stream::{PolicyKind, StreamAllocator, WeightDist, Workload, WorkloadCfg, WorkloadKind};
+use pba_stream::{
+    replay, PolicyKind, ServiceConfig, StreamAllocator, WeightDist, Workload, WorkloadCfg,
+    WorkloadKind,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +58,11 @@ const USAGE: &str = "usage:
                  [--n N] [--batch B | Kn] [--batches K] [--workload uniform|zipf|burst]
                  [--churn F] [--shards S] [--seed S] [--parallel] [--trace FILE.jsonl]
                  [--faults SPEC]
+  pba-run serve --replay [--policy P] [--n N] [--batch B | Kn] [--batches K]
+                 [--workload W] [--churn F] [--shards S] [--seed S] [--parallel]
+                 [--rate BALLS_PER_SEC] [--queue DEPTH] [--checkpoint-every K]
+                 [--snapshot-at K] [--snapshot FILE] [--restore FILE]
+                 [--faults SPEC] [--trace FILE.jsonl]
   pba-run cluster protocol <name> --m M --n N [--shards S] [--seed S]
                  [--local] [--faults SPEC] [--trace FILE.jsonl]
   pba-run cluster stream [--policy P] [--n N] [--batch B | Kn] [--batches K]
@@ -96,6 +105,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         "protocol" => run_protocol(&args[1..]).map(done),
         "stream" => run_stream_cmd(&args[1..]).map(done),
+        "serve" => run_serve(&args[1..]).map(done),
         "cluster" => run_cluster(&args[1..]).map(done),
         // The child mode `cluster` spawns per shard. Errors go to stderr
         // without the usage banner: the orchestrator is the audience.
@@ -124,12 +134,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 /// Error text for an unrecognized first argument: name the valid range
 /// and, when something known is close, suggest it.
 fn unknown_command_message(id: &str) -> String {
-    const COMMANDS: [&str; 9] = [
+    const COMMANDS: [&str; 10] = [
         "list",
         "all",
         "protocol",
         "protocols",
         "stream",
+        "serve",
         "cluster",
         "bench",
         "tune",
@@ -410,6 +421,34 @@ fn parse_batch_size(spec: &str, n: u32) -> Result<u64, String> {
     Ok(value)
 }
 
+/// Parse a `--workload` name, shared by `stream`, `serve`, and
+/// `cluster stream`; unknown names get a did-you-mean suggestion.
+fn parse_workload_kind(name: &str) -> Result<WorkloadKind, String> {
+    const WORKLOADS: [&str; 3] = ["uniform", "zipf", "burst"];
+    match name {
+        "uniform" => Ok(WorkloadKind::Uniform),
+        "zipf" => Ok(WorkloadKind::Zipf { s: 1.2, max: 32 }),
+        "burst" => Ok(WorkloadKind::Burst {
+            period: 8,
+            factor: 4,
+        }),
+        other => {
+            let lowered = other.to_lowercase();
+            let hint = WORKLOADS
+                .iter()
+                .map(|&w| (edit_distance(&lowered, w), w))
+                .min()
+                .filter(|&(d, _)| d <= 2)
+                .map(|(_, w)| format!("did you mean '{w}'? "))
+                .unwrap_or_default();
+            Err(format!(
+                "unknown workload '{other}' ({hint}choose from: {})",
+                WORKLOADS.join(", ")
+            ))
+        }
+    }
+}
+
 /// `pba-run stream` — drive a synthetic workload through a long-lived
 /// [`StreamAllocator`] and print a paper-style checkpoint table plus a
 /// throughput summary.
@@ -494,19 +533,7 @@ fn run_stream_cmd(args: &[String]) -> Result<(), String> {
         return Err("--churn must be in [0, 1]".into());
     }
     let b = parse_batch_size(&batch_spec, n)?;
-    let kind = match workload.as_str() {
-        "uniform" => WorkloadKind::Uniform,
-        "zipf" => WorkloadKind::Zipf { s: 1.2, max: 32 },
-        "burst" => WorkloadKind::Burst {
-            period: 8,
-            factor: 4,
-        },
-        other => {
-            return Err(format!(
-                "unknown workload '{other}' (choose from: uniform, zipf, burst)"
-            ))
-        }
-    };
+    let kind = parse_workload_kind(&workload)?;
     let cfg = WorkloadCfg {
         kind,
         batch: b,
@@ -602,6 +629,320 @@ fn run_stream_cmd(args: &[String]) -> Result<(), String> {
         "throughput: {:.1} batches/s, {:.0} balls/s",
         report.batches_per_sec(),
         report.stream_balls_per_sec()
+    );
+    if let Some(path) = &trace_path {
+        println!("trace:      {path}");
+    }
+    Ok(())
+}
+
+/// Render nanoseconds as microseconds with one decimal, for the serve
+/// checkpoint table.
+fn micros(nanos: u64) -> String {
+    format!("{:.1}", nanos as f64 / 1e3)
+}
+
+/// `pba-run serve --replay` — the production facade: replay a synthetic
+/// workload through a long-lived [`pba_stream::ReplayService`] (worker
+/// thread + bounded backpressure queue) at a target rate, print one row
+/// per checkpoint window with queue-to-placement latency percentiles, and
+/// optionally snapshot the allocator state mid-replay (`--snapshot-at K
+/// --snapshot FILE`) or resume a previous session (`--restore FILE`).
+///
+/// With `--snapshot FILE` but no `--snapshot-at`, the *final* state is
+/// written — the natural handoff for a later `--restore` run. On restore
+/// the snapshot defines the bin count, policy, shards, and seed (the
+/// corresponding flags are ignored) and the workload generator is
+/// fast-forwarded past the already-ingested prefix, so the resumed replay
+/// continues bit-identically to an uninterrupted one.
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut policy = PolicyKind::BatchedTwoChoice;
+    let mut n: u32 = 1 << 10;
+    let mut batch_spec = "4n".to_string();
+    let mut batches: u64 = 32;
+    let mut workload = "uniform".to_string();
+    let mut churn = 0.0f64;
+    let mut shards: usize = 1;
+    let mut seed = 0u64;
+    let mut parallel = false;
+    let mut rate = 0.0f64;
+    let mut queue: usize = 4;
+    let mut checkpoint_every: u64 = 8;
+    let mut snapshot_at: Option<u64> = None;
+    let mut snapshot_path: Option<String> = None;
+    let mut restore_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut faults = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            // The only mode today; named so `serve` can grow ingestion
+            // modes later without breaking scripts.
+            "--replay" => {}
+            "--faults" => {
+                faults = Some(parse_fault_spec(
+                    it.next().ok_or("--faults needs a value")?,
+                )?);
+            }
+            "--policy" => {
+                let v = it.next().ok_or("--policy needs a value")?;
+                policy = PolicyKind::parse(v).ok_or_else(|| {
+                    let names: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
+                    format!("unknown policy '{v}' (choose from: {})", names.join(", "))
+                })?;
+            }
+            "--n" => {
+                n = it
+                    .next()
+                    .ok_or("--n needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --n")?;
+            }
+            "--batch" => batch_spec = it.next().ok_or("--batch needs a value")?.clone(),
+            "--batches" => {
+                batches = it
+                    .next()
+                    .ok_or("--batches needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --batches")?;
+            }
+            "--workload" => workload = it.next().ok_or("--workload needs a value")?.clone(),
+            "--churn" => {
+                churn = it
+                    .next()
+                    .ok_or("--churn needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --churn")?;
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --shards")?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --seed")?;
+            }
+            "--parallel" => parallel = true,
+            "--rate" => {
+                rate = it
+                    .next()
+                    .ok_or("--rate needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --rate")?;
+            }
+            "--queue" => {
+                queue = it
+                    .next()
+                    .ok_or("--queue needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --queue")?;
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = it
+                    .next()
+                    .ok_or("--checkpoint-every needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --checkpoint-every")?;
+            }
+            "--snapshot-at" => {
+                snapshot_at = Some(
+                    it.next()
+                        .ok_or("--snapshot-at needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --snapshot-at")?,
+                );
+            }
+            "--snapshot" => {
+                snapshot_path = Some(it.next().ok_or("--snapshot needs a value")?.clone());
+            }
+            "--restore" => {
+                restore_path = Some(it.next().ok_or("--restore needs a value")?.clone());
+            }
+            "--trace" => {
+                trace_path = Some(it.next().ok_or("--trace needs a value")?.clone());
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if n == 0 {
+        return Err("--n must be at least 1".into());
+    }
+    if batches == 0 {
+        return Err("--batches must be at least 1".into());
+    }
+    if !(0.0..=1.0).contains(&churn) {
+        return Err("--churn must be in [0, 1]".into());
+    }
+    if !rate.is_finite() || rate < 0.0 {
+        return Err("--rate must be a finite rate >= 0 (0 = unthrottled)".into());
+    }
+    if queue == 0 {
+        return Err("--queue must be at least 1".into());
+    }
+    if checkpoint_every == 0 {
+        return Err("--checkpoint-every must be at least 1".into());
+    }
+    if snapshot_at.is_some_and(|k| k == 0 || k > batches) {
+        return Err(format!(
+            "--snapshot-at must be in 1..={batches} (--batches)"
+        ));
+    }
+
+    let (alloc, restored_bytes) = match &restore_path {
+        Some(path) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("--restore {path}: {e}"))?;
+            let alloc =
+                StreamAllocator::restore(&bytes).map_err(|e| format!("--restore {path}: {e}"))?;
+            (alloc, bytes.len() as u64)
+        }
+        None => (StreamAllocator::new(n, seed, policy).with_shards(shards), 0),
+    };
+    // From here on the allocator is authoritative: on restore its meta
+    // (bins, seed, policy, shards) comes from the snapshot, not the flags.
+    let meta = alloc.meta();
+    let (n, seed, shards, policy_name) = (meta.bins, meta.seed, meta.shards, meta.policy);
+    let start_batch = alloc.batches();
+
+    let b = parse_batch_size(&batch_spec, n)?;
+    let kind = parse_workload_kind(&workload)?;
+    let cfg = WorkloadCfg {
+        kind,
+        batch: b,
+        churn,
+        weights: WeightDist::Constant(1),
+    };
+
+    let metrics = Arc::new(EngineMetrics::new());
+    let trace = match &trace_path {
+        None => None,
+        Some(path) => Some(Arc::new(
+            JsonlTrace::create(path).map_err(|e| format!("--trace {path}: {e}"))?,
+        )),
+    };
+    let sink: Arc<dyn MetricsSink> = match &trace {
+        None => metrics.clone(),
+        Some(t) => Arc::new(FanoutSink::new(vec![
+            metrics.clone() as Arc<dyn MetricsSink>,
+            t.clone() as Arc<dyn MetricsSink>,
+        ])),
+    };
+    let mut alloc = alloc.with_metrics(sink);
+    if parallel {
+        alloc = alloc.parallel();
+    }
+    if let Some(plan) = faults {
+        alloc = alloc.with_faults(plan);
+    }
+
+    // Same workload salt as `pba-run stream`; a restored session
+    // fast-forwards the deterministic generator past the ingested prefix.
+    let mut traffic = Workload::new(cfg, seed ^ 0x57AEA3);
+    for _ in 0..start_batch {
+        traffic.next_batch();
+    }
+
+    let mut service_cfg = ServiceConfig::default()
+        .with_queue_capacity(queue)
+        .with_checkpoint_every(checkpoint_every)
+        .with_rate(rate);
+    if let Some(k) = snapshot_at {
+        service_cfg = service_cfg.with_snapshot_at(k);
+    }
+
+    let started = std::time::Instant::now();
+    let (alloc, report) = replay(alloc, &mut traffic, batches, service_cfg);
+    let elapsed = started.elapsed();
+    if let Some(t) = &trace {
+        t.flush().map_err(|e| format!("trace flush: {e}"))?;
+    }
+
+    // `--snapshot FILE` writes the mid-replay capture when `--snapshot-at`
+    // named one, the final state otherwise.
+    let mut snapshot_note = None;
+    if let Some(path) = &snapshot_path {
+        let (at, bytes) = match &report.snapshot {
+            Some((at, bytes)) => (start_batch + at, bytes.clone()),
+            None => (start_batch + report.batches, alloc.snapshot()),
+        };
+        std::fs::write(path, &bytes).map_err(|e| format!("--snapshot {path}: {e}"))?;
+        snapshot_note = Some(format!("{path} ({} bytes, after batch {at})", bytes.len()));
+    }
+
+    let mut table = Table::new(
+        format!(
+            "Replay service {policy_name}: {batches} batches of b = {batch_spec} \
+             ({b} arrivals), n = {n}, queue {queue}"
+        ),
+        &[
+            "ckpt", "batches", "balls", "resident", "gap", "p50 µs", "p99 µs", "p999 µs",
+        ],
+    );
+    for c in &report.checkpoints {
+        table.push_row(vec![
+            c.checkpoint.to_string(),
+            c.batches.to_string(),
+            c.balls.to_string(),
+            c.resident.to_string(),
+            c.gap.to_string(),
+            micros(c.p50_nanos),
+            micros(c.p99_nanos),
+            micros(c.p999_nanos),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+
+    let mode = if parallel { ", parallel" } else { "" };
+    println!("policy:     {policy_name} ({shards} shard(s){mode})");
+    println!("workload:   {workload}, b = {b}, churn {churn}, seed {seed}");
+    let pacing = if rate > 0.0 {
+        format!("{rate:.0} balls/s target")
+    } else {
+        "unthrottled".into()
+    };
+    println!("service:    queue {queue}, checkpoint every {checkpoint_every} batches, {pacing}");
+    if let Some(path) = &restore_path {
+        println!("restored:   {path} ({restored_bytes} bytes, resumed at batch {start_batch})");
+    }
+    if let Some(plan) = &faults {
+        println!(
+            "faults:     {} — {}/{batches} batches degraded, {} redirects",
+            describe_fault_plan(plan),
+            report.degraded_batches,
+            report.fault_redirects
+        );
+    }
+    println!(
+        "latency:    p50 {} µs, p99 {} µs, p999 {} µs, max {} µs (queue to placement)",
+        micros(report.total.p50()),
+        micros(report.total.p99()),
+        micros(report.total.p999()),
+        micros(report.total.max())
+    );
+    println!(
+        "resident:   {} balls in {n} bins (max load {}, gap {})",
+        alloc.resident(),
+        alloc.bin_state().max_load(),
+        alloc.bin_state().gap()
+    );
+    if let Some(note) = snapshot_note {
+        println!("snapshot:   {note}");
+    } else if let Some((at, bytes)) = &report.snapshot {
+        println!(
+            "snapshot:   {} bytes after batch {} (pass --snapshot FILE to keep it)",
+            bytes.len(),
+            start_batch + at
+        );
+    }
+    println!("wall time:  {elapsed:.2?}");
+    println!(
+        "throughput: {:.0} balls/s through the service",
+        report.balls as f64 / elapsed.as_secs_f64().max(1e-9)
     );
     if let Some(path) = &trace_path {
         println!("trace:      {path}");
@@ -885,19 +1226,7 @@ fn run_cluster_stream(args: &[String]) -> Result<(), String> {
         return Err(format!("--shards must be in 1..={n} (the bin count)"));
     }
     let b = parse_batch_size(&batch_spec, n)?;
-    let kind = match workload.as_str() {
-        "uniform" => WorkloadKind::Uniform,
-        "zipf" => WorkloadKind::Zipf { s: 1.2, max: 32 },
-        "burst" => WorkloadKind::Burst {
-            period: 8,
-            factor: 4,
-        },
-        other => {
-            return Err(format!(
-                "unknown workload '{other}' (choose from: uniform, zipf, burst)"
-            ))
-        }
-    };
+    let kind = parse_workload_kind(&workload)?;
     let cfg = WorkloadCfg {
         kind,
         batch: b,
@@ -1320,6 +1649,65 @@ fn run_bench(args: &[String]) -> Result<(), String> {
         }
     }
 
+    // Replay-service latency (small-shaped tiers): each workload shape
+    // replayed unthrottled through the service facade, reporting
+    // queue-to-placement latency percentiles per ball. Entries carry no
+    // `ingest` key, so they ride outside the `bench_diff.sh` gate like
+    // the cluster section.
+    let serve_b = 4 * n as u64;
+    let serve_batches = 12u64;
+    let mut service_entries = Vec::new();
+    if tier.stream {
+        eprintln!("benchmarking replay service at n = {n}, b = 4n, 3 workloads…");
+        println!();
+        println!(
+            "{:<22} {:>12} {:>10} {:>10} {:>10}",
+            "serve workload", "balls/s", "p50 µs", "p99 µs", "p999 µs"
+        );
+        for workload in ["uniform", "zipf", "burst"] {
+            let kind = parse_workload_kind(workload)?;
+            let cfg = WorkloadCfg {
+                kind,
+                batch: serve_b,
+                churn: 0.0,
+                weights: WeightDist::Constant(1),
+            };
+            let alloc = StreamAllocator::new(n, 94_000, PolicyKind::BatchedTwoChoice);
+            let mut traffic = Workload::new(cfg, 94_500);
+            let service_cfg = ServiceConfig::default()
+                .with_queue_capacity(4)
+                .with_checkpoint_every(4);
+            let started = std::time::Instant::now();
+            let (_, report) = replay(alloc, &mut traffic, serve_batches, service_cfg);
+            let nanos = started.elapsed().as_nanos() as u64;
+            let bps = report.balls as f64 / (nanos as f64 / 1e9);
+            println!(
+                "{:<22} {:>12.0} {:>10.1} {:>10.1} {:>10.1}",
+                workload,
+                bps,
+                report.total.p50() as f64 / 1e3,
+                report.total.p99() as f64 / 1e3,
+                report.total.p999() as f64 / 1e3
+            );
+            service_entries.push(
+                JsonObject::new()
+                    .str("workload", workload)
+                    .str("policy", "batched-two-choice")
+                    .u64("queue", 4)
+                    .u64("batches", report.batches)
+                    .u64("balls", report.balls)
+                    .u64("checkpoints", report.checkpoints.len() as u64)
+                    .u64("p50_nanos", report.total.p50())
+                    .u64("p99_nanos", report.total.p99())
+                    .u64("p999_nanos", report.total.p999())
+                    .u64("max_nanos", report.total.max())
+                    .u64("wall_nanos", nanos)
+                    .f64("balls_per_sec", bps)
+                    .finish(),
+            );
+        }
+    }
+
     let mut doc = JsonObject::new()
         .str("bench", "pba protocol registry")
         .str("tier", tier.name)
@@ -1338,6 +1726,12 @@ fn run_bench(args: &[String]) -> Result<(), String> {
             .raw(
                 "cluster_entries",
                 &format!("[{}]", cluster_entries.join(",")),
+            )
+            .u64("service_batch", serve_b)
+            .u64("service_batches", serve_batches)
+            .raw(
+                "service_entries",
+                &format!("[{}]", service_entries.join(",")),
             );
     }
     let doc = doc.finish();

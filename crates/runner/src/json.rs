@@ -14,7 +14,7 @@ use std::sync::Mutex;
 
 use pba_core::metrics::{
     BatchRecord, ClusterMeta, ClusterShardRecord, MetricsSink, Phase, RoundTiming, RunMeta,
-    RunSummary, StreamMeta,
+    RunSummary, ServiceMeta, ServiceRecord, StreamMeta,
 };
 use pba_core::trace::RoundRecord;
 use pba_core::{ExecutorKind, FaultRecord};
@@ -46,7 +46,7 @@ fn meta_fields(event: &str, meta: &RunMeta) -> JsonObject {
 /// A [`MetricsSink`] that streams every engine event as one JSON object
 /// per line (JSON Lines), the format behind `pba-run … --trace out.jsonl`.
 ///
-/// Six event kinds share a file, discriminated by the `"event"` field:
+/// Seven event kinds share a file, discriminated by the `"event"` field:
 ///
 /// * `"round"` — the full [`RoundRecord`] plus per-phase nanoseconds
 ///   (`gather_nanos`, `count_scan_nanos`, `grant_nanos`,
@@ -61,7 +61,11 @@ fn meta_fields(event: &str, meta: &RunMeta) -> JsonObject {
 ///   and the streaming experiments E15–E19);
 /// * `"cluster"` — one shard process's wire totals at the end of a
 ///   `pba-run cluster` run ([`ClusterShardRecord`]: frames/bytes each
-///   way, barrier count, wall time, kill flag).
+///   way, barrier count, wall time, kill flag);
+/// * `"service"` — one replay-service checkpoint window
+///   ([`ServiceRecord`], `pba-run serve`): latency percentiles
+///   (`p50_nanos`/`p99_nanos`/`p999_nanos`/`max_nanos`), gap, resident
+///   count, and the snapshot size when one was taken in the window.
 ///
 /// Every line carries the run identity (`protocol`, `seed`, `m`, `n`,
 /// `executor`, `lanes` — or `policy`, `seed`, `n`, `shards` for batch
@@ -189,6 +193,31 @@ impl MetricsSink for JsonlTrace {
             .u64("barriers", record.barriers)
             .u64("wall_nanos", record.wall_nanos)
             .u64("killed", record.killed as u64)
+            .finish();
+        self.write_line(&line);
+    }
+
+    fn on_service(&self, meta: &ServiceMeta, record: &ServiceRecord) {
+        let line = JsonObject::new()
+            .str("event", "service")
+            .str("policy", meta.policy)
+            .u64("seed", meta.seed)
+            .u64("n", meta.bins as u64)
+            .u64("shards", meta.shards as u64)
+            .u64("queue", meta.queue as u64)
+            .f64("rate", meta.rate)
+            .u64("checkpoint", record.checkpoint)
+            .u64("batches", record.batches)
+            .u64("balls", record.balls)
+            .u64("resident", record.resident)
+            .u64("max_load", record.max_load)
+            .u64("gap", record.gap)
+            .u64("p50_nanos", record.p50_nanos)
+            .u64("p99_nanos", record.p99_nanos)
+            .u64("p999_nanos", record.p999_nanos)
+            .u64("max_nanos", record.max_nanos)
+            .u64("wall_nanos", record.wall_nanos)
+            .u64("snapshot_bytes", record.snapshot_bytes)
             .finish();
         self.write_line(&line);
     }

@@ -40,23 +40,25 @@ use crate::policy::{PlacementPolicy, PolicyKind};
 /// assert!(out.record.gap <= 16, "gap {}", out.record.gap);
 /// ```
 pub struct StreamAllocator {
-    bins: u32,
-    seed: u64,
-    policy: Box<dyn PlacementPolicy>,
-    loads: ShardedLoads,
+    // Fields are `pub(crate)` so the sibling `snapshot` module can encode
+    // and rebuild the full state without a parallel accessor surface.
+    pub(crate) bins: u32,
+    pub(crate) seed: u64,
+    pub(crate) policy: Box<dyn PlacementPolicy>,
+    pub(crate) loads: ShardedLoads,
     /// Resident ball id → (bin, weight); consulted on departure.
-    resident: HashMap<u64, (u32, u64)>,
-    batch_seq: u64,
-    metrics: Option<Arc<dyn MetricsSink>>,
-    parallel: bool,
+    pub(crate) resident: HashMap<u64, (u32, u64)>,
+    pub(crate) batch_seq: u64,
+    pub(crate) metrics: Option<Arc<dyn MetricsSink>>,
+    pub(crate) parallel: bool,
     /// Chunk-geometry policy for the snapshot ingest path, resolved per
     /// batch through [`Tuning::plan_ingest`] (the ingest table has a
     /// lower fan-out cutoff than the round engine — two probes per ball
     /// amortize dispatch sooner than a full round pass does).
-    tuning: Tuning,
+    pub(crate) tuning: Tuning,
     /// Fault injection; only the shard-domain failure component applies
     /// to streaming. `None` is the zero-overhead path.
-    faults: Option<FaultPlan>,
+    pub(crate) faults: Option<FaultPlan>,
 }
 
 impl StreamAllocator {

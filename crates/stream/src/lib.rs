@@ -22,6 +22,12 @@
 //!   `pba-protocols`, refreshed per batch).
 //! * [`Workload`] — deterministic synthetic traffic: uniform, Zipf-skewed
 //!   weights, bursts; churn; weighted balls ([`WeightDist`]).
+//! * [`ReplayService`] — the production facade: a worker thread owning the
+//!   allocator behind a bounded backpressure queue, with per-checkpoint
+//!   latency percentiles ([`LatencyHistogram`]) and graceful drain.
+//! * Snapshot/restore ([`StreamAllocator::snapshot`] /
+//!   [`StreamAllocator::restore`]) — the full allocator state to framed,
+//!   checksummed bytes; a restored session continues bit-identically.
 //!
 //! ## Determinism
 //!
@@ -49,14 +55,20 @@
 
 pub mod allocator;
 pub mod batch;
+pub mod hist;
 pub mod loads;
 pub mod policy;
+pub mod service;
+pub mod snapshot;
 pub mod workload;
 
 pub use allocator::StreamAllocator;
 pub use batch::{Ball, Batch, BatchOutcome};
+pub use hist::LatencyHistogram;
 pub use loads::ShardedLoads;
 pub use policy::{BatchedTwoChoice, OneChoice, PlacementPolicy, PolicyKind, Threshold, TwoChoice};
+pub use service::{replay, ReplayService, ServiceConfig, ServiceReport};
+pub use snapshot::{SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use workload::{WeightDist, Workload, WorkloadCfg, WorkloadKind};
 
 use pba_core::SplitMix64;

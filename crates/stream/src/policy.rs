@@ -23,6 +23,7 @@
 //! count and lane scheduling (see the crate docs on determinism).
 
 use pba_core::rng::{Rand64, SplitMix64};
+use pba_core::snapshot::{SnapshotReader, SnapshotWriter};
 use pba_core::BinState;
 use pba_protocols::UndershootSchedule;
 
@@ -50,6 +51,30 @@ pub trait PlacementPolicy: Send + Sync {
 
     /// Choose a bin for one arrival.
     fn place(&self, loads: &dyn BinState, rng: &mut SplitMix64) -> u32;
+
+    /// Serialize the policy's internal mutable state for an allocator
+    /// snapshot. Stateless policies return empty bytes (the default);
+    /// stateful ones must capture everything
+    /// [`begin_batch`](Self::begin_batch) evolves, bit-exactly, so a
+    /// restored session continues placing identically.
+    fn state_snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restore internal state captured by
+    /// [`state_snapshot`](Self::state_snapshot) on a freshly built policy
+    /// of the same kind.
+    fn state_restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "policy '{}' carries no state, but the snapshot has {} state byte(s)",
+                self.name(),
+                bytes.len()
+            ))
+        }
+    }
 }
 
 /// Pick the lesser-loaded of two probes; ties go to the first probe (the
@@ -173,6 +198,37 @@ impl PlacementPolicy for Threshold {
             lesser_loaded(loads, a, b)
         }
     }
+
+    /// The schedule's complete state is `(bins, γ, m̃)` plus the cached
+    /// threshold; `bins` comes from the rebuilt policy, the rest is
+    /// persisted bit-exactly (`m̃` directly, *not* via `ratio()` — see
+    /// [`UndershootSchedule::mass`]).
+    fn state_snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::unframed();
+        w.f64(self.schedule.gamma());
+        w.f64(self.schedule.mass());
+        w.u64(self.threshold);
+        w.finish()
+    }
+
+    fn state_restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let err = |e| format!("threshold policy state: {e}");
+        let mut r = SnapshotReader::unframed(bytes);
+        let gamma = r.f64().map_err(err)?;
+        let mass = r.f64().map_err(err)?;
+        let threshold = r.u64().map_err(err)?;
+        r.finish().map_err(err)?;
+        if !(gamma > 0.0 && gamma < 1.0) {
+            return Err(format!(
+                "threshold policy state: gamma {gamma} out of (0,1)"
+            ));
+        }
+        let mut schedule = UndershootSchedule::with_gamma(self.schedule.bins(), 0.0, gamma);
+        schedule.reset_mass(mass);
+        self.schedule = schedule;
+        self.threshold = threshold;
+        Ok(())
+    }
 }
 
 /// Policy selector for the CLI and experiment registry.
@@ -277,6 +333,57 @@ mod tests {
                 assert_eq!(chosen, 1, "second probe under T must win over full first");
             }
         }
+    }
+
+    #[test]
+    fn stateless_policies_snapshot_empty_and_reject_state() {
+        for kind in [
+            PolicyKind::OneChoice,
+            PolicyKind::TwoChoice,
+            PolicyKind::BatchedTwoChoice,
+        ] {
+            let mut policy = kind.build(16);
+            assert!(policy.state_snapshot().is_empty(), "{kind:?}");
+            assert!(policy.state_restore(&[]).is_ok());
+            assert!(policy.state_restore(&[1, 2, 3]).is_err());
+        }
+    }
+
+    #[test]
+    fn threshold_state_roundtrip_continues_bit_identically() {
+        let mut original = Threshold::new(96); // not a power of two
+        original.begin_batch(0, 96 * 500, 500.0);
+        original.begin_batch(1, 96 * 500, 1000.0);
+
+        let mut restored = Threshold::new(96);
+        restored
+            .state_restore(&original.state_snapshot())
+            .expect("state restores");
+        assert_eq!(restored.current_threshold(), original.current_threshold());
+
+        // Continue both for several batches: thresholds (the full
+        // f64 recurrence) must stay bit-identical.
+        for t in 2..10u64 {
+            let avg = 500.0 * (t + 1) as f64;
+            original.begin_batch(t, 96 * 500, avg);
+            restored.begin_batch(t, 96 * 500, avg);
+            assert_eq!(
+                original.current_threshold(),
+                restored.current_threshold(),
+                "batch {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_rejects_corrupt_state() {
+        let mut policy = Threshold::new(8);
+        assert!(policy.state_restore(&[0u8; 3]).is_err(), "truncated");
+        let mut w = pba_core::snapshot::SnapshotWriter::unframed();
+        w.f64(1.5); // gamma out of range
+        w.f64(64.0);
+        w.u64(0);
+        assert!(policy.state_restore(&w.finish()).is_err());
     }
 
     #[test]

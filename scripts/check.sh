@@ -53,6 +53,33 @@ done
 echo "==> cluster smoke: kill-a-shard chaos"
 "$PBA" cluster stream --n 256 --batch n --batches 6 --shards 4 \
     --kill 1@2 --seed 11 | grep -q 'shard 1 killed before batch 2'
+# Service smoke gate: a replay interrupted by a snapshot and finished
+# from the restored state must land on exactly the final allocator
+# state of the uninterrupted replay (the pinned guarantee of
+# tests/service.rs, exercised here through the shipping binary and the
+# on-disk snapshot file), and the JSONL trace must carry one "service"
+# event per checkpoint window.
+echo "==> serve smoke: snapshot/restore bit-identity (seed 11)"
+snap=$(mktemp /tmp/pba_serve_snap.XXXXXX)
+serve_trace=$(mktemp /tmp/pba_serve_trace.XXXXXX)
+want=$("$PBA" serve --replay --n 256 --batch 2n --batches 8 --workload zipf \
+    --churn 0.4 --checkpoint-every 2 --seed 11 | grep '^resident:')
+"$PBA" serve --replay --n 256 --batch 2n --batches 8 --workload zipf \
+    --churn 0.4 --checkpoint-every 2 --seed 11 \
+    --snapshot-at 4 --snapshot "$snap" --trace "$serve_trace" >/dev/null
+got=$("$PBA" serve --replay --restore "$snap" --batch 2n --batches 4 \
+    --workload zipf --churn 0.4 --checkpoint-every 2 | grep '^resident:')
+if [ "$got" != "$want" ]; then
+    echo "restored serve replay diverged from the uninterrupted run:" >&2
+    diff <(echo "$want") <(echo "$got") >&2 || true
+    exit 1
+fi
+services=$(grep -c '"event":"service"' "$serve_trace")
+if [ "$services" -ne 4 ]; then
+    echo "expected 4 service trace events (8 batches / checkpoint 2), got $services" >&2
+    exit 1
+fi
+rm -f "$snap" "$serve_trace"
 run cargo build --no-default-features
 run cargo build --workspace --features serde
 

@@ -51,5 +51,8 @@ pub mod prelude {
         ParallelTwoChoice, SingleChoice, StemannHeavy, ThresholdHeavy, TrivialRoundRobin,
         WithMemory,
     };
-    pub use pba_stream::{Batch, PolicyKind, StreamAllocator, WeightDist, Workload, WorkloadCfg};
+    pub use pba_stream::{
+        replay, Batch, LatencyHistogram, PolicyKind, ReplayService, ServiceConfig, ServiceReport,
+        StreamAllocator, WeightDist, Workload, WorkloadCfg, WorkloadKind,
+    };
 }

@@ -85,6 +85,7 @@ impl MetricsSink for AllocSnapshots {
 fn parallel_rounds_and_stream_batches_stay_allocation_free() {
     engine_rounds_allocate_nothing_after_warmup();
     stream_batches_allocate_a_bounded_amount();
+    latency_histogram_record_path_allocates_nothing();
 }
 
 /// Engine half: a multi-round collision run on a 5-lane executor, with
@@ -161,4 +162,29 @@ fn stream_batches_allocate_a_bounded_amount() {
              number (placement/pair/touch vectors only)"
         );
     }
+}
+
+/// Histogram half: the service records one latency per placed ball, so
+/// the record path sits on the hot loop and must never touch the heap —
+/// the histogram is a fixed `[u64; 64]` with scalar side state. Quantile
+/// reads and merges are allocation-free too.
+fn latency_histogram_record_path_allocates_nothing() {
+    let mut hist = LatencyHistogram::new();
+    let mut other = LatencyHistogram::new();
+    other.record(123);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        hist.record(i.wrapping_mul(0x9E37_79B9) % (1 << 30));
+    }
+    hist.record_n(42, 1_000_000);
+    hist.merge(&other);
+    let q = hist.p50() + hist.p99() + hist.p999() + hist.max();
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert!(q > 0, "quantiles over recorded data are positive");
+    assert_eq!(
+        after - before,
+        0,
+        "latency histogram record/merge/quantile path must not allocate"
+    );
 }

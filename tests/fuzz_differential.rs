@@ -380,3 +380,79 @@ fn stream_placements(
         .map(|_| alloc.ingest(&traffic.next_batch()).placements)
         .collect()
 }
+
+/// Service axis: the replay facade (bounded queue + worker thread) must
+/// be transparent — sampled `(policy, n, batch, faults, queue depth,
+/// pipeline shape, snapshot interruption)` configurations place exactly
+/// like direct ingestion, Serial and Pool backends alike.
+#[test]
+fn service_axis_is_bit_identical() {
+    let mut master = SplitMix64::new(0x005E_1273_ACE5);
+    for case in 0..10u64 {
+        let n = 64 + master.below(192);
+        let seed = master.next_u64();
+        let policy = [
+            PolicyKind::OneChoice,
+            PolicyKind::BatchedTwoChoice,
+            PolicyKind::Threshold,
+        ][master.below(3) as usize];
+        let faults = (master.below(2) == 1)
+            .then(|| FaultPlan::new(master.next_u64()).with_shard_failures(4, 0.3));
+        let batch = (n as u64) * (1 + master.below(8) as u64);
+        let shards = [1usize, 4][master.below(2) as usize];
+        let parallel = master.below(2) == 1;
+        // Queue capacity is the pipeline depth; 1 forces full backpressure
+        // on every submit, larger values let batches pile up in flight.
+        let queue = 1 + master.below(8) as usize;
+        let checkpoint_every = 1 + master.below(4) as u64;
+        let snapshot_at = (master.below(2) == 1).then(|| 1 + master.below(3) as u64);
+
+        let direct = stream_placements(n, seed, policy, faults, batch, shards, parallel);
+
+        let build = |resume: Option<StreamAllocator>| {
+            let mut alloc = match resume {
+                Some(a) => a,
+                None => StreamAllocator::new(n, seed, policy).with_shards(shards),
+            };
+            if parallel {
+                alloc = alloc.parallel();
+            }
+            if let Some(plan) = faults {
+                alloc = alloc.with_faults(plan);
+            }
+            alloc
+        };
+        let mut cfg = ServiceConfig::default()
+            .with_queue_capacity(queue)
+            .with_checkpoint_every(checkpoint_every)
+            .with_placements();
+        if let Some(k) = snapshot_at {
+            cfg = cfg.with_snapshot_at(k);
+        }
+        let mut traffic = Workload::new(WorkloadCfg::uniform(batch), seed ^ 0x57AEA3);
+        let (_, report) = replay(build(None), &mut traffic, 4, cfg);
+        assert_eq!(
+            direct, report.placements,
+            "case {case}: {policy:?} n={n} queue={queue} service path diverges"
+        );
+
+        // When a snapshot was taken mid-replay, restoring it and replaying
+        // the tail must produce the same remaining placements.
+        if let Some((at, bytes)) = report.snapshot {
+            let restored = StreamAllocator::restore(&bytes).expect("snapshot restores");
+            let mut traffic = Workload::new(WorkloadCfg::uniform(batch), seed ^ 0x57AEA3);
+            for _ in 0..at {
+                traffic.next_batch();
+            }
+            let cfg = ServiceConfig::default()
+                .with_queue_capacity(queue)
+                .with_placements();
+            let (_, tail) = replay(build(Some(restored)), &mut traffic, 4 - at, cfg);
+            assert_eq!(
+                &direct[at as usize..],
+                &tail.placements[..],
+                "case {case}: resumed tail diverges after snapshot at {at}"
+            );
+        }
+    }
+}

@@ -1,8 +1,9 @@
 //! Integration: every line the `--trace` JSONL sink emits parses back as
 //! JSON and carries the documented keys with the documented types, for
-//! all six event kinds (`round`, `fault`, `run`, `pool`, `batch`,
-//! `cluster`). The parser is the shared one in `pba_core::json` — the
-//! same implementation the cluster wire codec reads frames with.
+//! all seven event kinds (`round`, `fault`, `run`, `pool`, `batch`,
+//! `cluster`, `service`). The parser is the shared one in
+//! `pba_core::json` — the same implementation the cluster wire codec
+//! reads frames with.
 
 use std::sync::Arc;
 
@@ -95,6 +96,26 @@ const FAULT_NUM_KEYS: [&str; 11] = [
     "backoff_escalations",
 ];
 
+const SERVICE_NUM_KEYS: [&str; 17] = [
+    "seed",
+    "n",
+    "shards",
+    "queue",
+    "rate",
+    "checkpoint",
+    "batches",
+    "balls",
+    "resident",
+    "max_load",
+    "gap",
+    "p50_nanos",
+    "p99_nanos",
+    "p999_nanos",
+    "max_nanos",
+    "wall_nanos",
+    "snapshot_bytes",
+];
+
 const CLUSTER_NUM_KEYS: [&str; 12] = [
     "seed",
     "n",
@@ -148,6 +169,18 @@ fn every_trace_line_parses_with_documented_schema() {
         alloc.ingest(&traffic.next_batch());
     }
 
+    // Service checkpoint events: replay through the facade with a
+    // mid-replay snapshot, so one window reports nonzero snapshot_bytes.
+    let alloc = StreamAllocator::new(64, 9, PolicyKind::BatchedTwoChoice)
+        .with_shards(4)
+        .with_metrics(trace.clone());
+    let mut traffic = Workload::new(WorkloadCfg::uniform(256).with_churn(0.5), 11);
+    let cfg = ServiceConfig::default()
+        .with_checkpoint_every(2)
+        .with_snapshot_at(3);
+    let (_, report) = replay(alloc, &mut traffic, 6, cfg);
+    assert_eq!(report.checkpoints.len(), 3);
+
     // Cluster events: a 2-shard in-thread cluster run over the same sink.
     pba::cluster::ClusterConfig::engine("collision", spec, 7)
         .with_shards(2)
@@ -164,6 +197,8 @@ fn every_trace_line_parses_with_documented_schema() {
     let mut runs = 0usize;
     let mut batches = 0usize;
     let mut clusters = 0usize;
+    let mut services = 0usize;
+    let mut snapshot_bytes = 0.0f64;
     for (lineno, line) in text.lines().enumerate() {
         let parsed =
             parse(line).unwrap_or_else(|e| panic!("line {lineno} is not valid JSON ({e}): {line}"));
@@ -216,6 +251,17 @@ fn every_trace_line_parses_with_documented_schema() {
                     "shard touches must cover every placement"
                 );
             }
+            "service" => {
+                services += 1;
+                assert_eq!(expect_str(m, "policy"), "batched-two-choice");
+                for key in SERVICE_NUM_KEYS {
+                    expect_num(m, key);
+                }
+                assert!(expect_num(m, "p99_nanos") >= expect_num(m, "p50_nanos"));
+                assert!(expect_num(m, "p999_nanos") >= expect_num(m, "p99_nanos"));
+                assert!(expect_num(m, "max_nanos") >= expect_num(m, "p999_nanos"));
+                snapshot_bytes += expect_num(m, "snapshot_bytes");
+            }
             "cluster" => {
                 clusters += 1;
                 assert_eq!(expect_str(m, "mode"), "engine");
@@ -232,6 +278,14 @@ fn every_trace_line_parses_with_documented_schema() {
     assert!(rounds > 0, "no round events traced");
     assert!(faults > 0, "the 20% drop plan must trace fault events");
     assert_eq!(runs, 3, "one run event per engine run, cluster included");
-    assert_eq!(batches, 3, "expected one batch event per ingested batch");
+    assert_eq!(
+        batches, 9,
+        "one batch event per ingested batch, service-driven included"
+    );
     assert_eq!(clusters, 2, "one cluster event per shard");
+    assert_eq!(services, 3, "one service event per checkpoint window");
+    assert!(
+        snapshot_bytes > 0.0,
+        "the snapshot-at window must report its snapshot size"
+    );
 }
