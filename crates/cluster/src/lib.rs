@@ -2,16 +2,22 @@
 //!
 //! Distributes a balanced-allocation run over shard workers that own
 //! disjoint, contiguous bin ranges and communicate over **real message
-//! passing**: framed, line-delimited JSON on stdin/stdout pipes (child
-//! processes) or in-memory pipes with identical semantics (threads). The
-//! papers' synchronous-rounds model becomes literal: each round is a
-//! request wave, a reply wave, and a commit wave, with a barrier at the
-//! orchestrator between waves.
+//! passing**: checksummed binary frames (default) or line-delimited JSON
+//! (`--wire json`, the debug/compat path) over stdin/stdout pipes (child
+//! processes), TCP/Unix-domain sockets (`shard-worker --listen`), or
+//! in-memory pipes with identical semantics (threads). The papers'
+//! synchronous-rounds model becomes literal: each round is a request
+//! wave, a reply wave, and a commit wave, with a barrier at the
+//! orchestrator between waves — and with overlapped sends (default on),
+//! wave `k+1` is serialized and written while the workers still chew on
+//! wave `k`, without moving any barrier.
 //!
-//! * [`wire`] — the frame vocabulary and its codec (built on
-//!   [`pba_core::json`]; no external dependencies).
-//! * [`transport`] — [`ShardLink`]: process and local transports with
-//!   wire accounting and real dead-pipe failure modes.
+//! * [`wire`] — the frame vocabulary and its two codecs (binary frames
+//!   on [`pba_core::wire`], JSON lines on [`pba_core::json`]; both
+//!   checksummed, no external dependencies).
+//! * [`transport`] — the [`Transport`] trait (local threads, child
+//!   processes, sockets) and [`ShardLink`]: wire accounting, overlapped
+//!   sender threads, and real dead-pipe failure modes.
 //! * [`worker`] — the shard side: [`worker::serve`] answers waves using
 //!   the same [`grant_slice`](pba_core::exec::grant_slice) kernel the
 //!   in-process engine runs.
@@ -50,5 +56,5 @@ pub mod wire;
 pub mod worker;
 
 pub use orchestrator::{shard_lo, shard_of, ClusterConfig, ClusterOutcome};
-pub use transport::ShardLink;
-pub use wire::{Frame, Hello};
+pub use transport::{ShardLink, Transport};
+pub use wire::{Frame, Hello, WireFormat};

@@ -40,7 +40,7 @@ use pba_protocols::{visit_protocol, ProtocolVisitor};
 use pba_stream::{PolicyKind, StreamAllocator, Workload, WorkloadCfg};
 
 use crate::transport::ShardLink;
-use crate::wire::{Frame, Hello};
+use crate::wire::{Frame, Hello, WireFormat};
 
 /// First bin of shard `s` among `n` bins and `shards` shards.
 ///
@@ -80,6 +80,8 @@ pub struct ClusterConfig {
     kill: Option<(u32, u64)>,
     worker_exe: Option<PathBuf>,
     validate: bool,
+    wire: WireFormat,
+    overlap: bool,
 }
 
 /// What a cluster run produced.
@@ -132,6 +134,8 @@ impl ClusterConfig {
             kill: None,
             worker_exe: None,
             validate: false,
+            wire: WireFormat::Binary,
+            overlap: true,
         }
     }
 
@@ -153,6 +157,8 @@ impl ClusterConfig {
             kill: None,
             worker_exe: None,
             validate: false,
+            wire: WireFormat::Binary,
+            overlap: true,
         }
     }
 
@@ -208,6 +214,25 @@ impl ClusterConfig {
         self
     }
 
+    /// Pick the frame codec: [`WireFormat::Binary`] (default) or
+    /// [`WireFormat::Json`] as the debug/compat path. Runs are
+    /// bit-identical either way; only the bytes on the wire differ.
+    pub fn with_wire(mut self, wire: WireFormat) -> Self {
+        self.wire = wire;
+        self
+    }
+
+    /// Enable/disable overlapped sends (default on). When on, each link
+    /// serializes and writes wave `k+1` on a dedicated sender thread
+    /// (bounded [`crate::transport::SEND_QUEUE_DEPTH`]-slot queue) while
+    /// the worker still runs wave `k`, and ack collection is deferred one
+    /// wave. Barrier semantics and results are unchanged — only wall
+    /// time moves. `false` restores strict send-all-then-wait waves.
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
     fn bins(&self) -> u32 {
         match &self.mode {
             ModeCfg::Engine { spec, .. } => spec.bins(),
@@ -215,26 +240,67 @@ impl ClusterConfig {
         }
     }
 
+    fn exe(&self) -> Result<PathBuf> {
+        match &self.worker_exe {
+            Some(p) => Ok(p.clone()),
+            None => std::env::current_exe().map_err(|e| CoreError::ClusterTransport {
+                shard: 0,
+                detail: format!("cannot locate worker executable: {e}"),
+            }),
+        }
+    }
+
     /// Run with every shard as a thread in this process (in-memory
     /// pipes, identical wire protocol). The default for tests and the
     /// baseline the process transport is verified against.
     pub fn run_local(self) -> Result<ClusterOutcome> {
-        let links = (0..self.shards).map(ShardLink::local).collect();
+        let links = (0..self.shards)
+            .map(|s| ShardLink::local(s, self.wire, self.overlap))
+            .collect();
         self.run(links)
     }
 
     /// Run with every shard as a real child process (`pba-run
     /// shard-worker` over stdin/stdout pipes).
     pub fn run_process(self) -> Result<ClusterOutcome> {
-        let exe = match &self.worker_exe {
-            Some(p) => p.clone(),
-            None => std::env::current_exe().map_err(|e| CoreError::ClusterTransport {
-                shard: 0,
-                detail: format!("cannot locate worker executable: {e}"),
-            })?,
-        };
+        let exe = self.exe()?;
         let links = (0..self.shards)
-            .map(|s| ShardLink::process(s, &exe))
+            .map(|s| ShardLink::process(s, &exe, self.wire, self.overlap))
+            .collect::<Result<Vec<_>>>()?;
+        self.run(links)
+    }
+
+    /// Run with every shard as a managed child listening on its own
+    /// Unix-domain socket (`pba-run shard-worker --listen PATH`): same
+    /// protocol as [`ClusterConfig::run_process`], real sockets instead
+    /// of stdio pipes.
+    pub fn run_socket(self) -> Result<ClusterOutcome> {
+        let exe = self.exe()?;
+        let links = (0..self.shards)
+            .map(|s| ShardLink::socket(s, &exe, self.wire, self.overlap))
+            .collect::<Result<Vec<_>>>()?;
+        self.run(links)
+    }
+
+    /// Run against already-listening workers, one address (TCP
+    /// `host:port` or Unix-socket path) per shard, in shard order. The
+    /// workers are *not* managed: they must have been started with
+    /// `pba-run shard-worker --listen ADDR` beforehand, and each serves
+    /// exactly one run.
+    pub fn run_connect(self, addrs: &[String]) -> Result<ClusterOutcome> {
+        if addrs.len() != self.shards as usize {
+            return Err(CoreError::InvalidSpec {
+                reason: format!(
+                    "need one worker address per shard ({} addresses for {} shards)",
+                    addrs.len(),
+                    self.shards
+                ),
+            });
+        }
+        let links = addrs
+            .iter()
+            .enumerate()
+            .map(|(s, addr)| ShardLink::socket_connect(s as u32, addr, self.wire, self.overlap))
             .collect::<Result<Vec<_>>>()?;
         self.run(links)
     }
@@ -407,14 +473,19 @@ impl ClusterConfig {
             shards: self.shards,
             shadow: vec![0u32; n as usize],
             barriers: 1, // the hello wave
+            overlap: self.overlap,
+            pending_commit: None,
         };
         let visitor = ClusterRunVisitor { sim, delegate };
-        let Some((run, delegate)) = visit_protocol(protocol, spec, visitor) else {
+        let Some((run, mut delegate)) = visit_protocol(protocol, spec, visitor) else {
             return Err(CoreError::InvalidSpec {
                 reason: format!("unknown protocol '{protocol}'"),
             });
         };
         let run = run?;
+        // Overlap defers the last round's commit acks; settle them
+        // before the drain wave reuses the links.
+        delegate.collect_pending_commit()?;
         let loads: Vec<u64> = run.loads.iter().map(|&l| u64::from(l)).collect();
         let shard_records = self.teardown(
             delegate.links,
@@ -481,10 +552,17 @@ impl ClusterConfig {
         let mut workload = Workload::new(workload_cfg, self.seed);
         let mut shadow = vec![0u64; bins as usize];
         let mut barriers = 1u64; // the hello wave
+                                 // Per-shard delta ack still owed from the previous batch
+                                 // (overlap mode defers collection one batch).
+        let mut pending: Vec<Option<PendingDelta>> = (0..links.len()).map(|_| None).collect();
         for t in 0..batches {
             if let Some((shard, batch)) = self.kill {
                 if t == batch {
+                    // A real kill: the pipe dies under the worker, so any
+                    // ack still in flight is unrecoverable — drop it
+                    // rather than verify against a severed pipe.
                     links[shard as usize].kill();
+                    pending[shard as usize] = None;
                 }
             }
             let batch = workload.next_batch();
@@ -498,54 +576,54 @@ impl ClusterConfig {
                     *old = new;
                 }
             }
-            // Delta wave. A just-killed shard is discovered here: the
-            // send or recv fails on the dead pipe and the shard is
-            // marked dead; placements already route around its bins via
-            // the dead-domain redirect, so its (empty) delta is dropped.
+            // Settle the previous batch's acks only now — the workers
+            // chewed on batch t-1 while the mirror ingested and routed
+            // batch t above. (Without overlap this is a no-op: acks were
+            // collected inside the previous wave.)
+            collect_delta_acks(&mut links, &mut pending)?;
+            // Delta wave out. A just-killed shard is discovered here:
+            // the send fails on the dead pipe and the shard is marked
+            // dead; placements already route around its bins via the
+            // dead-domain redirect, so its (empty) delta is dropped.
             for (s, link) in links.iter_mut().enumerate() {
                 if !link.is_alive() {
                     continue;
                 }
+                let s32 = s as u32;
+                let expect_dead = self.kill.is_some_and(|(ks, kb)| s32 == ks && t >= kb);
                 let frame = Frame::Delta {
                     batch: t,
                     loads: std::mem::take(&mut per[s]),
                 };
-                let expect_dead = self.kill.is_some_and(|(ks, kb)| s as u32 == ks && t >= kb);
-                match link.send(&frame).and_then(|()| link.recv()) {
-                    Ok(Frame::DeltaOk { batch, total, max }) => {
-                        let s32 = s as u32;
+                match link.send(&frame) {
+                    Ok(()) => {
                         let (lo, hi) = (
                             shard_lo(s32, bins, self.shards) as usize,
                             shard_lo(s32 + 1, bins, self.shards) as usize,
                         );
-                        let want_total: u64 = loads[lo..hi].iter().sum();
-                        let want_max = loads[lo..hi].iter().copied().max().unwrap_or(0);
-                        if batch != t || total != want_total || max != want_max {
-                            return Err(CoreError::ClusterTransport {
-                                shard: s32,
-                                detail: format!(
-                                    "batch {t} verification failed: shard reported \
-                                     total {total}/max {max}, orchestrator has \
-                                     {want_total}/{want_max}"
-                                ),
-                            });
-                        }
-                    }
-                    Ok(other) => {
-                        return Err(CoreError::ClusterTransport {
-                            shard: s as u32,
-                            detail: format!("expected delta_ok, got {}", other.tag()),
+                        pending[s] = Some(PendingDelta {
+                            batch: t,
+                            want_total: loads[lo..hi].iter().sum(),
+                            want_max: loads[lo..hi].iter().copied().max().unwrap_or(0),
+                            expect_dead,
                         });
                     }
                     Err(e) if expect_dead => {
                         // The scheduled kill, observed as a dead pipe.
                         let _ = e;
+                        pending[s] = None;
                     }
                     Err(e) => return Err(e),
                 }
             }
+            if !self.overlap {
+                // Strict waves: block on this batch's acks right away.
+                collect_delta_acks(&mut links, &mut pending)?;
+            }
             barriers += 1;
         }
+        // Overlap leaves the final batch's acks outstanding.
+        collect_delta_acks(&mut links, &mut pending)?;
         let loads = mirror.bin_state().load_vector();
         let shard_records = self.teardown(
             links,
@@ -566,6 +644,50 @@ impl ClusterConfig {
     }
 }
 
+/// A delta ack owed by a shard for an already-sent batch.
+struct PendingDelta {
+    batch: u64,
+    want_total: u64,
+    want_max: u64,
+    /// The shard is scheduled to die this batch or earlier — a failed
+    /// ack is the expected chaos outcome, not an error.
+    expect_dead: bool,
+}
+
+/// Collect every outstanding delta ack, verifying each shard's reported
+/// (total, max) against the expectations recorded at send time.
+fn collect_delta_acks(links: &mut [ShardLink], pending: &mut [Option<PendingDelta>]) -> Result<()> {
+    for (s, link) in links.iter_mut().enumerate() {
+        let Some(p) = pending[s].take() else { continue };
+        match link.recv() {
+            Ok(Frame::DeltaOk { batch, total, max }) => {
+                if batch != p.batch || total != p.want_total || max != p.want_max {
+                    return Err(CoreError::ClusterTransport {
+                        shard: s as u32,
+                        detail: format!(
+                            "batch {} verification failed: shard reported \
+                             total {total}/max {max}, orchestrator has {}/{}",
+                            p.batch, p.want_total, p.want_max
+                        ),
+                    });
+                }
+            }
+            Ok(other) => {
+                return Err(CoreError::ClusterTransport {
+                    shard: s as u32,
+                    detail: format!("expected delta_ok, got {}", other.tag()),
+                });
+            }
+            Err(e) if p.expect_dead => {
+                // The scheduled kill, observed as a dead pipe.
+                let _ = e;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// Adapts the cluster's shard links to the engine's [`GrantDelegate`]
 /// seam: request/reply/commit waves with a barrier per wave.
 struct EngineDelegate {
@@ -575,6 +697,53 @@ struct EngineDelegate {
     /// Loads as last shipped to the workers; commit diffs against it.
     shadow: Vec<u32>,
     barriers: u64,
+    /// Defer commit acks one wave (collected while the next round's
+    /// grants are already on the wire).
+    overlap: bool,
+    /// Outstanding commit wave: `(round, expected per-shard load sums)`.
+    pending_commit: Option<(u32, Vec<u64>)>,
+}
+
+impl EngineDelegate {
+    /// Collect commit acks for `round`, verifying each shard's load-sum
+    /// checksum against the orchestrator's own slice sums.
+    fn collect_commit_acks(&mut self, round: u32, wants: &[u64]) -> Result<()> {
+        for link in self.links.iter_mut() {
+            let s = link.shard();
+            match link.recv()? {
+                Frame::CommitOk { round: r, sum } if r == round => {
+                    let want = wants[s as usize];
+                    if sum != want {
+                        return Err(CoreError::ClusterTransport {
+                            shard: s,
+                            detail: format!(
+                                "round {round} checksum mismatch: shard sums {sum}, \
+                                 orchestrator {want}"
+                            ),
+                        });
+                    }
+                }
+                other => {
+                    return Err(CoreError::ClusterTransport {
+                        shard: s,
+                        detail: format!(
+                            "expected commit_ok for round {round}, got {}",
+                            other.tag()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Settle the deferred commit wave, if one is outstanding.
+    fn collect_pending_commit(&mut self) -> Result<()> {
+        match self.pending_commit.take() {
+            Some((round, wants)) => self.collect_commit_acks(round, &wants),
+            None => Ok(()),
+        }
+    }
 }
 
 impl GrantDelegate for EngineDelegate {
@@ -606,6 +775,10 @@ impl GrantDelegate for EngineDelegate {
                 crashed: std::mem::take(&mut per_crashed[s]),
             })?;
         }
+        // Settle the previous round's deferred commit acks only now —
+        // this round's requests were routed and serialized while the
+        // workers were still applying that commit.
+        self.collect_pending_commit()?;
         // …replies back, merged in shard order (the barrier).
         let mut underloaded = 0u32;
         let mut unfilled = 0u64;
@@ -670,37 +843,21 @@ impl GrantDelegate for EngineDelegate {
                 record: *record,
             })?;
         }
-        for link in self.links.iter_mut() {
-            let s = link.shard();
-            let (lo, hi) = (
-                shard_lo(s, self.n, self.shards) as usize,
-                shard_lo(s + 1, self.n, self.shards) as usize,
-            );
-            match link.recv()? {
-                Frame::CommitOk { round, sum } if round == ctx.round => {
-                    let want: u64 = loads[lo..hi].iter().map(|&l| u64::from(l)).sum();
-                    if sum != want {
-                        return Err(CoreError::ClusterTransport {
-                            shard: s,
-                            detail: format!(
-                                "round {} checksum mismatch: shard sums {sum}, \
-                                 orchestrator {want} over bins [{lo}, {hi})",
-                                ctx.round
-                            ),
-                        });
-                    }
-                }
-                other => {
-                    return Err(CoreError::ClusterTransport {
-                        shard: s,
-                        detail: format!(
-                            "expected commit_ok for round {}, got {}",
-                            ctx.round,
-                            other.tag()
-                        ),
-                    });
-                }
-            }
+        let wants: Vec<u64> = (0..self.shards)
+            .map(|s| {
+                let (lo, hi) = (
+                    shard_lo(s, self.n, self.shards) as usize,
+                    shard_lo(s + 1, self.n, self.shards) as usize,
+                );
+                loads[lo..hi].iter().map(|&l| u64::from(l)).sum()
+            })
+            .collect();
+        if self.overlap {
+            // Defer the ack barrier one wave: the workers apply this
+            // commit while the engine resolves the next round.
+            self.pending_commit = Some((ctx.round, wants));
+        } else {
+            self.collect_commit_acks(ctx.round, &wants)?;
         }
         self.barriers += 1;
         Ok(())

@@ -1,32 +1,60 @@
-//! Shard transports: framed lines over real pipes.
+//! Shard transports: one [`Transport`] trait, three ways to reach a
+//! worker, one overlapped send path.
 //!
-//! A [`ShardLink`] is the orchestrator's half-duplex channel to one shard
-//! worker. Two transports exist:
+//! A [`ShardLink`] is the orchestrator's channel to one shard worker.
+//! It speaks either wire codec (see [`crate::wire`]) over any
+//! transport:
 //!
-//! * [`ShardLink::process`] — spawn a real OS process (the `pba-run
-//!   shard-worker` child mode) and speak over its stdin/stdout pipes.
-//! * [`ShardLink::local`] — run [`crate::worker::serve`] on a thread over
+//! * [`LocalTransport`] — run [`crate::worker::serve`] on a thread over
 //!   in-memory byte pipes with pipe semantics (blocking reads, EOF on
 //!   writer drop, `BrokenPipe` after a kill). `std::io::pipe` landed in
-//!   Rust 1.87; the workspace floor is 1.85, so the pipes are hand-rolled
-//!   on `Mutex` + `Condvar`.
+//!   Rust 1.87; the workspace floor is 1.85, so the pipes are
+//!   hand-rolled on `Mutex` + `Condvar`.
+//! * [`PipeTransport`] — spawn a real OS process (the `pba-run
+//!   shard-worker` child mode) and speak over its stdin/stdout pipes.
+//! * [`SocketTransport`] — connect to a worker over TCP or a
+//!   Unix-domain socket. The orchestrator can manage the worker itself
+//!   (spawn `pba-run shard-worker --listen <path>` and connect) or
+//!   attach to pre-started workers at given addresses.
 //!
-//! Both transports surface the same failure mode: killing the peer makes
-//! subsequent sends/receives fail, which the orchestrator detects as a
-//! dead pipe — that detection, not any bookkeeping flag, is what drives
-//! the chaos-path redirect.
+//! Every transport surfaces the same failure mode: killing the peer
+//! makes subsequent sends/receives fail, which the orchestrator detects
+//! as a dead link — that detection, not any bookkeeping flag, is what
+//! drives the chaos-path redirect.
+//!
+//! ## Overlapped send
+//!
+//! By default each link owns a **sender thread** behind a bounded
+//! two-slot queue: [`ShardLink::send`] serializes the frame, enqueues
+//! the bytes, and returns immediately, so the orchestrator can
+//! serialize wave *k+1* (and run its own half of the kernel) while wave
+//! *k* is still being written to the OS. The queue preserves FIFO
+//! order, so barrier semantics are untouched — replies are still
+//! awaited in shard order, one wave behind at most (see the deferred
+//! ack collection in `orchestrator.rs`). Write failures park in an
+//! error slot and surface at the next `send`/`recv` on the link.
 
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::path::Path;
+use std::net::{Shutdown, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use pba_core::{CoreError, Result};
 
-use crate::wire::Frame;
+use crate::wire::{read_frame, Frame, WireFormat};
 use crate::worker;
+
+/// Depth of the per-link send queue: the wave in flight plus one being
+/// serialized. Two is enough to hide serialization behind the kernel
+/// without letting the orchestrator run unboundedly ahead.
+pub const SEND_QUEUE_DEPTH: usize = 2;
 
 /// Shared state of one in-memory pipe direction.
 #[derive(Default)]
@@ -115,41 +143,42 @@ impl Read for PipeReader {
     }
 }
 
-/// What backs a [`ShardLink`].
-enum LinkKind {
-    /// Worker thread over in-memory pipes. The pipe handles let
-    /// [`ShardLink::kill`] sever both directions.
-    Local {
-        handle: Option<JoinHandle<std::result::Result<(), String>>>,
-        to_worker: Arc<Pipe>,
-        from_worker: Arc<Pipe>,
-    },
-    /// Real child process over stdin/stdout.
-    Process { child: Child },
+/// A live duplex channel to one shard worker. Implementations hand the
+/// two halves to the [`ShardLink`] once; `kill` must make both halves
+/// fail (and wake any blocked peer), because the write half may be
+/// owned by a sender thread at that point.
+pub trait Transport: Send {
+    /// Transport name for diagnostics: `"local"`, `"pipe"`, `"socket"`.
+    fn kind(&self) -> &'static str;
+
+    /// Take the write half. Called exactly once, before any I/O.
+    fn take_writer(&mut self) -> Box<dyn Write + Send>;
+
+    /// Take the buffered read half. Called exactly once, before any I/O.
+    fn take_reader(&mut self) -> Box<dyn BufRead + Send>;
+
+    /// Forcibly sever the channel: subsequent operations on the taken
+    /// halves fail, a blocked peer wakes up, a managed peer is killed.
+    fn kill(&mut self);
+
+    /// Reap the peer after the conversation ended (or after `kill`).
+    /// Idempotent. `killed` suppresses exit-status complaints — a
+    /// killed worker dying messily is the expected chaos outcome.
+    fn reap(&mut self, killed: bool) -> std::result::Result<(), String>;
 }
 
-/// The orchestrator's channel to one shard worker, with wire accounting.
-pub struct ShardLink {
-    shard: u32,
-    writer: Box<dyn Write + Send>,
-    reader: Box<dyn BufRead + Send>,
-    kind: LinkKind,
-    alive: bool,
-    /// Frames the orchestrator sent over this link.
-    pub frames_sent: u64,
-    /// Frames the orchestrator received over this link.
-    pub frames_recv: u64,
-    /// Bytes sent (framed lines, newline included).
-    pub bytes_sent: u64,
-    /// Bytes received.
-    pub bytes_recv: u64,
-    /// True once [`ShardLink::kill`] ran.
-    pub killed: bool,
+/// Worker thread over in-memory pipes.
+pub struct LocalTransport {
+    handle: Option<JoinHandle<std::result::Result<(), String>>>,
+    to_worker: Arc<Pipe>,
+    from_worker: Arc<Pipe>,
+    writer: Option<PipeWriter>,
+    reader: Option<PipeReader>,
 }
 
-impl ShardLink {
+impl LocalTransport {
     /// Spawn [`worker::serve`] on a thread connected by in-memory pipes.
-    pub fn local(shard: u32) -> ShardLink {
+    pub fn spawn(shard: u32) -> Self {
         let (orch_w, worker_r) = mem_pipe();
         let (worker_w, orch_r) = mem_pipe();
         let to_worker = worker_r.0.clone();
@@ -158,27 +187,58 @@ impl ShardLink {
             .name(format!("pba-shard-{shard}"))
             .spawn(move || worker::serve(BufReader::new(worker_r), worker_w))
             .expect("spawn shard worker thread");
-        ShardLink {
-            shard,
-            writer: Box::new(orch_w),
-            reader: Box::new(BufReader::new(orch_r)),
-            kind: LinkKind::Local {
-                handle: Some(handle),
-                to_worker,
-                from_worker,
-            },
-            alive: true,
-            frames_sent: 0,
-            frames_recv: 0,
-            bytes_sent: 0,
-            bytes_recv: 0,
-            killed: false,
+        LocalTransport {
+            handle: Some(handle),
+            to_worker,
+            from_worker,
+            writer: Some(orch_w),
+            reader: Some(orch_r),
         }
     }
+}
 
-    /// Spawn `exe shard-worker` as a child process piped on stdin/stdout
-    /// (stderr passes through for diagnostics).
-    pub fn process(shard: u32, exe: &Path) -> Result<ShardLink> {
+impl Transport for LocalTransport {
+    fn kind(&self) -> &'static str {
+        "local"
+    }
+
+    fn take_writer(&mut self) -> Box<dyn Write + Send> {
+        Box::new(self.writer.take().expect("writer taken once"))
+    }
+
+    fn take_reader(&mut self) -> Box<dyn BufRead + Send> {
+        Box::new(BufReader::new(
+            self.reader.take().expect("reader taken once"),
+        ))
+    }
+
+    fn kill(&mut self) {
+        self.to_worker.sever();
+        self.from_worker.sever();
+    }
+
+    fn reap(&mut self, killed: bool) -> std::result::Result<(), String> {
+        if let Some(h) = self.handle.take() {
+            let outcome = h.join().map_err(|_| "worker thread panicked".to_string())?;
+            if let (Err(detail), false) = (outcome, killed) {
+                return Err(format!("worker exited with error: {detail}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Real child process over stdin/stdout pipes.
+pub struct PipeTransport {
+    child: Option<Child>,
+    stdin: Option<Box<dyn Write + Send>>,
+    stdout: Option<Box<dyn BufRead + Send>>,
+}
+
+impl PipeTransport {
+    /// Spawn `exe shard-worker` piped on stdin/stdout (stderr passes
+    /// through for diagnostics).
+    pub fn spawn(shard: u32, exe: &Path) -> Result<Self> {
         let mut child = Command::new(exe)
             .arg("shard-worker")
             .stdin(Stdio::piped())
@@ -191,23 +251,379 @@ impl ShardLink {
             })?;
         let stdin = child.stdin.take().expect("stdin piped");
         let stdout = child.stdout.take().expect("stdout piped");
-        Ok(ShardLink {
+        Ok(PipeTransport {
+            child: Some(child),
+            stdin: Some(Box::new(stdin)),
+            stdout: Some(Box::new(BufReader::new(stdout))),
+        })
+    }
+}
+
+impl Transport for PipeTransport {
+    fn kind(&self) -> &'static str {
+        "pipe"
+    }
+
+    fn take_writer(&mut self) -> Box<dyn Write + Send> {
+        self.stdin.take().expect("writer taken once")
+    }
+
+    fn take_reader(&mut self) -> Box<dyn BufRead + Send> {
+        self.stdout.take().expect("reader taken once")
+    }
+
+    fn kill(&mut self) {
+        if let Some(child) = &mut self.child {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    fn reap(&mut self, killed: bool) -> std::result::Result<(), String> {
+        if let Some(mut child) = self.child.take() {
+            let status = child.wait().map_err(|e| format!("wait failed: {e}"))?;
+            if !status.success() && !killed {
+                return Err(format!("worker exited with {status}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Either flavor of stream socket, unified for the read/write halves.
+enum SocketStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl SocketStream {
+    fn connect(addr: &str) -> io::Result<SocketStream> {
+        if is_unix_addr(addr) {
+            #[cfg(unix)]
+            return Ok(SocketStream::Unix(UnixStream::connect(addr)?));
+            #[cfg(not(unix))]
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix-domain sockets are not available on this platform",
+            ));
+        }
+        Ok(SocketStream::Tcp(TcpStream::connect(addr)?))
+    }
+
+    fn split(&self) -> io::Result<(Box<dyn Write + Send>, Box<dyn BufRead + Send>)> {
+        match self {
+            SocketStream::Tcp(s) => {
+                let w = s.try_clone()?;
+                let r = s.try_clone()?;
+                Ok((Box::new(w), Box::new(BufReader::new(r))))
+            }
+            #[cfg(unix)]
+            SocketStream::Unix(s) => {
+                let w = s.try_clone()?;
+                let r = s.try_clone()?;
+                Ok((Box::new(w), Box::new(BufReader::new(r))))
+            }
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            SocketStream::Tcp(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            #[cfg(unix)]
+            SocketStream::Unix(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// An address names a Unix-domain socket when it looks like a path;
+/// anything else is `host:port` TCP.
+pub fn is_unix_addr(addr: &str) -> bool {
+    addr.contains('/') || addr.starts_with('.')
+}
+
+/// Worker over a TCP or Unix-domain stream socket — either a child this
+/// transport spawned with `shard-worker --listen`, or a pre-started
+/// worker it merely connected to.
+pub struct SocketTransport {
+    stream: SocketStream,
+    write_half: Option<Box<dyn Write + Send>>,
+    read_half: Option<Box<dyn BufRead + Send>>,
+    child: Option<Child>,
+    /// Socket file to clean up (managed Unix-domain workers).
+    path: Option<PathBuf>,
+}
+
+impl SocketTransport {
+    /// Spawn `exe shard-worker --listen <socket>` on a fresh Unix-domain
+    /// socket path and connect to it (retrying while the child binds).
+    pub fn spawn(shard: u32, exe: &Path) -> Result<Self> {
+        let sock =
+            std::env::temp_dir().join(format!("pba-worker-{}-{shard}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&sock);
+        let child = Command::new(exe)
+            .arg("shard-worker")
+            .arg("--listen")
+            .arg(&sock)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| CoreError::ClusterTransport {
+                shard,
+                detail: format!("failed to spawn socket worker {}: {e}", exe.display()),
+            })?;
+        let mut child = Some(child);
+        let addr = sock.to_string_lossy().into_owned();
+        // The child needs a moment to bind; a dead child means we stop
+        // retrying immediately instead of timing out.
+        let mut last_err = String::new();
+        for _ in 0..250 {
+            match SocketStream::connect(&addr) {
+                Ok(stream) => {
+                    return Self::from_stream(shard, stream, child, Some(sock));
+                }
+                Err(e) => last_err = e.to_string(),
+            }
+            if let Some(c) = &mut child {
+                if let Ok(Some(status)) = c.try_wait() {
+                    let _ = std::fs::remove_file(&sock);
+                    return Err(CoreError::ClusterTransport {
+                        shard,
+                        detail: format!("socket worker exited with {status} before accepting"),
+                    });
+                }
+            }
+            std::thread::sleep(Duration::from_millis(4));
+        }
+        if let Some(mut c) = child.take() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+        let _ = std::fs::remove_file(&sock);
+        Err(CoreError::ClusterTransport {
             shard,
-            writer: Box::new(stdin),
-            reader: Box::new(BufReader::new(stdout)),
-            kind: LinkKind::Process { child },
+            detail: format!("socket worker never accepted on {addr}: {last_err}"),
+        })
+    }
+
+    /// Connect to a pre-started worker listening at `addr` (a `/`-ful
+    /// path means Unix-domain, anything else `host:port` TCP).
+    pub fn connect(shard: u32, addr: &str) -> Result<Self> {
+        let stream = SocketStream::connect(addr).map_err(|e| CoreError::ClusterTransport {
+            shard,
+            detail: format!("connect to worker at {addr} failed: {e}"),
+        })?;
+        Self::from_stream(shard, stream, None, None)
+    }
+
+    fn from_stream(
+        shard: u32,
+        stream: SocketStream,
+        child: Option<Child>,
+        path: Option<PathBuf>,
+    ) -> Result<Self> {
+        let (write_half, read_half) = stream.split().map_err(|e| CoreError::ClusterTransport {
+            shard,
+            detail: format!("socket clone failed: {e}"),
+        })?;
+        Ok(SocketTransport {
+            stream,
+            write_half: Some(write_half),
+            read_half: Some(read_half),
+            child,
+            path,
+        })
+    }
+}
+
+impl Transport for SocketTransport {
+    fn kind(&self) -> &'static str {
+        "socket"
+    }
+
+    fn take_writer(&mut self) -> Box<dyn Write + Send> {
+        self.write_half.take().expect("writer taken once")
+    }
+
+    fn take_reader(&mut self) -> Box<dyn BufRead + Send> {
+        self.read_half.take().expect("reader taken once")
+    }
+
+    fn kill(&mut self) {
+        self.stream.shutdown();
+        if let Some(child) = &mut self.child {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    fn reap(&mut self, killed: bool) -> std::result::Result<(), String> {
+        let outcome = if let Some(mut child) = self.child.take() {
+            let status = child.wait().map_err(|e| format!("wait failed: {e}"))?;
+            if !status.success() && !killed {
+                Err(format!("worker exited with {status}"))
+            } else {
+                Ok(())
+            }
+        } else {
+            Ok(())
+        };
+        if let Some(path) = self.path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+        outcome
+    }
+}
+
+/// The write side of a link: either direct blocking writes, or the
+/// bounded overlapped sender thread.
+enum SendHalf {
+    Sync(Box<dyn Write + Send>),
+    Overlapped {
+        tx: Option<SyncSender<Vec<u8>>>,
+        err: Arc<Mutex<Option<String>>>,
+        handle: Option<JoinHandle<()>>,
+    },
+    Closed,
+}
+
+/// The orchestrator's channel to one shard worker, with wire accounting.
+pub struct ShardLink {
+    shard: u32,
+    wire: WireFormat,
+    sender: SendHalf,
+    reader: Box<dyn BufRead + Send>,
+    transport: Box<dyn Transport>,
+    alive: bool,
+    /// Frames the orchestrator sent over this link.
+    pub frames_sent: u64,
+    /// Frames the orchestrator received over this link.
+    pub frames_recv: u64,
+    /// Bytes sent (complete frames, envelope/newline included).
+    pub bytes_sent: u64,
+    /// Bytes received.
+    pub bytes_recv: u64,
+    /// True once [`ShardLink::kill`] ran.
+    pub killed: bool,
+}
+
+impl ShardLink {
+    /// Wrap a connected transport. `overlap` arms the two-slot sender
+    /// thread; without it every send is a blocking write.
+    pub fn new(
+        shard: u32,
+        mut transport: Box<dyn Transport>,
+        wire: WireFormat,
+        overlap: bool,
+    ) -> ShardLink {
+        let mut writer = transport.take_writer();
+        let reader = transport.take_reader();
+        let sender = if overlap {
+            let err = Arc::new(Mutex::new(None::<String>));
+            let err_slot = err.clone();
+            let (tx, rx) = sync_channel::<Vec<u8>>(SEND_QUEUE_DEPTH);
+            let handle = std::thread::Builder::new()
+                .name(format!("pba-send-{shard}"))
+                .spawn(move || {
+                    let mut failed = false;
+                    // Keep draining after a failure so enqueuers never
+                    // block on a dead link; the error is already parked.
+                    for buf in rx {
+                        if failed {
+                            continue;
+                        }
+                        if let Err(e) = writer.write_all(&buf).and_then(|()| writer.flush()) {
+                            *err_slot.lock().unwrap() = Some(e.to_string());
+                            failed = true;
+                        }
+                    }
+                    // Dropping the writer here closes the worker's stdin
+                    // (EOF) once everything queued has been written.
+                })
+                .expect("spawn link sender thread");
+            SendHalf::Overlapped {
+                tx: Some(tx),
+                err,
+                handle: Some(handle),
+            }
+        } else {
+            SendHalf::Sync(writer)
+        };
+        ShardLink {
+            shard,
+            wire,
+            sender,
+            reader,
+            transport,
             alive: true,
             frames_sent: 0,
             frames_recv: 0,
             bytes_sent: 0,
             bytes_recv: 0,
             killed: false,
-        })
+        }
+    }
+
+    /// Worker thread over in-memory pipes (tests, `--local` runs).
+    pub fn local(shard: u32, wire: WireFormat, overlap: bool) -> ShardLink {
+        ShardLink::new(shard, Box::new(LocalTransport::spawn(shard)), wire, overlap)
+    }
+
+    /// Worker child process over stdin/stdout pipes.
+    pub fn process(shard: u32, exe: &Path, wire: WireFormat, overlap: bool) -> Result<ShardLink> {
+        Ok(ShardLink::new(
+            shard,
+            Box::new(PipeTransport::spawn(shard, exe)?),
+            wire,
+            overlap,
+        ))
+    }
+
+    /// Managed socket worker: spawn `exe shard-worker --listen` on a
+    /// fresh Unix-domain socket and connect.
+    pub fn socket(shard: u32, exe: &Path, wire: WireFormat, overlap: bool) -> Result<ShardLink> {
+        Ok(ShardLink::new(
+            shard,
+            Box::new(SocketTransport::spawn(shard, exe)?),
+            wire,
+            overlap,
+        ))
+    }
+
+    /// Pre-started socket worker at `addr` (TCP `host:port`, or a
+    /// Unix-domain socket path).
+    pub fn socket_connect(
+        shard: u32,
+        addr: &str,
+        wire: WireFormat,
+        overlap: bool,
+    ) -> Result<ShardLink> {
+        Ok(ShardLink::new(
+            shard,
+            Box::new(SocketTransport::connect(shard, addr)?),
+            wire,
+            overlap,
+        ))
     }
 
     /// This link's shard index.
     pub fn shard(&self) -> u32 {
         self.shard
+    }
+
+    /// The codec this link speaks.
+    pub fn wire(&self) -> WireFormat {
+        self.wire
+    }
+
+    /// The transport flavor ("local", "pipe", "socket").
+    pub fn transport_kind(&self) -> &'static str {
+        self.transport.kind()
     }
 
     /// True until [`ShardLink::kill`] or an observed transport failure.
@@ -222,39 +638,92 @@ impl ShardLink {
         }
     }
 
-    /// Send one frame (line-framed, flushed).
+    /// A write failure parked by the sender thread, if any.
+    fn parked_error(&self) -> Option<String> {
+        match &self.sender {
+            SendHalf::Overlapped { err, .. } => err.lock().unwrap().clone(),
+            _ => None,
+        }
+    }
+
+    /// Send one frame: serialize, then either write through (sync) or
+    /// enqueue on the sender thread (overlapped — returns as soon as a
+    /// queue slot is free, at most [`SEND_QUEUE_DEPTH`] waves ahead).
     pub fn send(&mut self, frame: &Frame) -> Result<()> {
-        let mut line = frame.encode();
-        line.push('\n');
-        self.writer
-            .write_all(line.as_bytes())
-            .and_then(|()| self.writer.flush())
-            .map_err(|e| {
+        let bytes = frame.encode_wire(self.wire);
+        let len = bytes.len();
+        match &mut self.sender {
+            SendHalf::Sync(writer) => {
+                writer
+                    .write_all(&bytes)
+                    .and_then(|()| writer.flush())
+                    .map_err(|e| {
+                        self.alive = false;
+                        CoreError::ClusterTransport {
+                            shard: self.shard,
+                            detail: format!("send {} failed: {e}", frame.tag()),
+                        }
+                    })?;
+            }
+            SendHalf::Overlapped { tx, err, .. } => {
+                let parked = err.lock().unwrap().clone();
+                if let Some(detail) = parked {
+                    self.alive = false;
+                    return Err(CoreError::ClusterTransport {
+                        shard: self.shard,
+                        detail: format!("send {} failed: {detail}", frame.tag()),
+                    });
+                }
+                let sent = tx
+                    .as_ref()
+                    .map(|tx| tx.send(bytes).is_ok())
+                    .unwrap_or(false);
+                if !sent {
+                    self.alive = false;
+                    return Err(CoreError::ClusterTransport {
+                        shard: self.shard,
+                        detail: format!("send {} failed: sender gone", frame.tag()),
+                    });
+                }
+            }
+            SendHalf::Closed => {
                 self.alive = false;
-                self.transport_err(format!("send {} failed: {e}", frame.tag()))
-            })?;
+                return Err(CoreError::ClusterTransport {
+                    shard: self.shard,
+                    detail: format!("send {} on closed link", frame.tag()),
+                });
+            }
+        }
         self.frames_sent += 1;
-        self.bytes_sent += line.len() as u64;
+        self.bytes_sent += len as u64;
         Ok(())
     }
 
-    /// Receive one frame. EOF, unreadable lines, and worker-reported
-    /// `error` frames all surface as
-    /// [`CoreError::ClusterTransport`].
+    /// Receive one frame (either codec — the lead byte disambiguates).
+    /// EOF, unreadable frames, and worker-reported `error` frames all
+    /// surface as [`CoreError::ClusterTransport`].
     pub fn recv(&mut self) -> Result<Frame> {
-        let mut line = String::new();
-        let read = self.reader.read_line(&mut line).map_err(|e| {
+        let got = read_frame(self.reader.as_mut()).map_err(|e| {
             self.alive = false;
-            self.transport_err(format!("recv failed: {e}"))
+            let parked = self
+                .parked_error()
+                .map(|p| format!(" (send side: {p})"))
+                .unwrap_or_default();
+            CoreError::ClusterTransport {
+                shard: self.shard,
+                detail: format!("unreadable reply: {e}{parked}"),
+            }
         })?;
-        if read == 0 {
+        let Some((frame, bytes, _)) = got else {
             self.alive = false;
-            return Err(self.transport_err("shard closed the pipe (EOF)".into()));
-        }
+            let parked = self
+                .parked_error()
+                .map(|p| format!(" (send side: {p})"))
+                .unwrap_or_default();
+            return Err(self.transport_err(format!("shard closed the pipe (EOF){parked}")));
+        };
         self.frames_recv += 1;
-        self.bytes_recv += read as u64;
-        let frame = Frame::decode(&line)
-            .map_err(|e| self.transport_err(format!("unreadable reply: {e}")))?;
+        self.bytes_recv += bytes as u64;
         if let Frame::Error { detail } = frame {
             self.alive = false;
             return Err(self.transport_err(format!("worker error: {detail}")));
@@ -262,25 +731,28 @@ impl ShardLink {
         Ok(frame)
     }
 
-    /// Kill the shard: sever the pipes (local) or kill the process. The
-    /// next send/recv observes a dead pipe.
+    /// Kill the shard: sever the transport (and any managed peer). The
+    /// next send/recv observes a dead link; a blocked sender thread
+    /// fails out and parks its error.
     pub fn kill(&mut self) {
-        match &mut self.kind {
-            LinkKind::Local {
-                to_worker,
-                from_worker,
-                ..
-            } => {
-                to_worker.sever();
-                from_worker.sever();
-            }
-            LinkKind::Process { child } => {
-                let _ = child.kill();
-                let _ = child.wait();
-            }
-        }
+        self.transport.kill();
         self.killed = true;
         self.alive = false;
+    }
+
+    /// Drop the send half: joins the sender thread (flushing anything
+    /// queued) and closes the peer's input so it sees EOF.
+    fn close_sender(&mut self) {
+        match &mut self.sender {
+            SendHalf::Overlapped { tx, handle, .. } => {
+                tx.take();
+                if let Some(h) = handle.take() {
+                    let _ = h.join();
+                }
+            }
+            SendHalf::Sync(_) | SendHalf::Closed => {}
+        }
+        self.sender = SendHalf::Closed;
     }
 
     /// Clean teardown: `shutdown` → `bye`, then reap the worker. Errors
@@ -297,37 +769,13 @@ impl ShardLink {
             }
             self.alive = false;
         }
-        match &mut self.kind {
-            LinkKind::Local { handle, .. } => {
-                if let Some(h) = handle.take() {
-                    // A killed worker exits with a pipe error; that is the
-                    // expected chaos outcome, not a failure.
-                    let outcome = h.join().map_err(|_| CoreError::ClusterTransport {
-                        shard: self.shard,
-                        detail: "worker thread panicked".into(),
-                    })?;
-                    if let (Err(detail), false) = (outcome, self.killed) {
-                        return Err(CoreError::ClusterTransport {
-                            shard: self.shard,
-                            detail: format!("worker exited with error: {detail}"),
-                        });
-                    }
-                }
-            }
-            LinkKind::Process { child } => {
-                let status = child.wait().map_err(|e| CoreError::ClusterTransport {
-                    shard: self.shard,
-                    detail: format!("wait failed: {e}"),
-                })?;
-                if !status.success() && !self.killed {
-                    return Err(CoreError::ClusterTransport {
-                        shard: self.shard,
-                        detail: format!("worker exited with {status}"),
-                    });
-                }
-            }
-        }
-        Ok(())
+        self.close_sender();
+        self.transport
+            .reap(self.killed)
+            .map_err(|detail| CoreError::ClusterTransport {
+                shard: self.shard,
+                detail,
+            })
     }
 }
 
@@ -337,11 +785,8 @@ impl Drop for ShardLink {
         if self.alive {
             self.kill();
         }
-        if let LinkKind::Local { handle, .. } = &mut self.kind {
-            if let Some(h) = handle.take() {
-                let _ = h.join();
-            }
-        }
+        self.close_sender();
+        let _ = self.transport.reap(true);
     }
 }
 
@@ -389,5 +834,32 @@ mod tests {
             t.join().unwrap().unwrap_err().kind(),
             io::ErrorKind::BrokenPipe
         );
+    }
+
+    #[test]
+    fn unix_addr_detection() {
+        assert!(is_unix_addr("/tmp/worker.sock"));
+        assert!(is_unix_addr("./worker.sock"));
+        assert!(!is_unix_addr("127.0.0.1:9000"));
+        assert!(!is_unix_addr("localhost:9000"));
+    }
+
+    #[test]
+    fn overlapped_sender_parks_write_errors() {
+        // A local link whose pipes are severed under the sender thread:
+        // the enqueue succeeds, the error surfaces on the next call.
+        let mut link = ShardLink::local(0, WireFormat::Binary, true);
+        link.transport.kill();
+        link.send(&Frame::Drain).ok(); // may or may not observe it yet
+        let mut saw_error = false;
+        for _ in 0..100 {
+            if link.send(&Frame::Drain).is_err() {
+                saw_error = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(saw_error, "severed link never surfaced the write error");
+        link.killed = true; // suppress exit-status complaints in Drop
     }
 }

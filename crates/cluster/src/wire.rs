@@ -1,9 +1,4 @@
-//! The cluster wire protocol: framed, line-delimited JSON.
-//!
-//! Every frame is **one JSON object on one line**, terminated by `\n`,
-//! with a `"t"` key naming the frame type. Both sides use the hand-rolled
-//! codec in [`pba_core::json`] — no external dependencies, and the same
-//! encoder that writes the JSONL traces.
+//! The cluster wire protocol: one frame vocabulary, two codecs.
 //!
 //! ## Conversation (engine mode)
 //!
@@ -25,19 +20,69 @@
 //! `delta_ok` exchange per batch (absolute loads for changed bins; the
 //! reply carries the shard's total and max for verification).
 //!
-//! ## Precision
+//! ## Codecs
 //!
-//! Plain numeric fields ride as JSON numbers and are exact up to `2^53`
-//! (the codec's documented wire limit — counts, loads, and rounds are far
-//! below it). Seeds are full-width `u64` with no such guarantee, so the
-//! `hello` frame carries them as **decimal strings**.
+//! The default codec is **binary**: each frame is a
+//! [`pba_core::wire`] message — one `0xB5` magic byte, a type tag, a
+//! `u32` payload length, the payload, and a trailing FNV-1a 64
+//! checksum. Payload integers are LEB128 varints; sparse `(bin, value)`
+//! lists delta-encode the bin ids (zigzag, since routing order is not
+//! guaranteed ascending); seeds are fixed-width `u64` — all 64 bits
+//! survive the wire natively, no decimal-string workaround.
 //!
-//! A malformed line is a protocol error: the worker answers with an
-//! `error` frame and exits nonzero; the orchestrator surfaces
+//! The **JSON compat codec** (`--wire json`) keeps the original
+//! line-delimited dialect for debugging with a text `tee`: one JSON
+//! object per line with a `"t"` type key, now hardened with the same
+//! FNV-1a checksum carried as a trailing `"sum"` field over the rest of
+//! the object text. Seeds ride as plain JSON integers — the parser's
+//! [`Json::UInt`](pba_core::json::Json) variant keeps full `u64`
+//! fidelity, so the compat path is bit-identical to binary.
+//!
+//! A reader never needs to be told which codec a peer speaks:
+//! [`read_frame`] sniffs the first byte of each frame (`0xB5` is not
+//! valid ASCII, `{` starts every JSON frame) and decodes accordingly.
+//!
+//! A malformed, truncated, or bit-flipped frame is a protocol error
+//! with a diagnostic message — never a silently wrong decode: the
+//! worker answers with an `error` frame and exits nonzero; the
+//! orchestrator surfaces
 //! [`CoreError::ClusterTransport`](pba_core::CoreError).
 
+use std::io::BufRead;
+
 use pba_core::json::{parse, u64_array, Json, JsonObject};
+use pba_core::wire::{self, WireError, WireReader, WireWriter};
 use pba_core::{MessageStats, RoundRecord};
+
+/// Which codec a link speaks. Binary is the default; JSON is the
+/// debug/compat path. Both carry identical frame contents (enforced by
+/// the cross-codec bit-identity tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFormat {
+    /// Checksummed binary messages with varint payloads (default).
+    Binary,
+    /// Line-delimited JSON objects with a trailing checksum field.
+    Json,
+}
+
+impl WireFormat {
+    /// Parse a `--wire` flag value.
+    pub fn parse_flag(s: &str) -> Result<Self, String> {
+        match s {
+            "binary" => Ok(WireFormat::Binary),
+            "json" => Ok(WireFormat::Json),
+            other => Err(format!("unknown wire format '{other}' (binary|json)")),
+        }
+    }
+
+    /// The flag spelling, for display.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireFormat::Binary => "binary",
+            WireFormat::Json => "json",
+        }
+    }
+}
 
 /// Everything the worker needs to set up its shard, sent first.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,7 +101,7 @@ pub struct Hello {
     pub n: u32,
     /// Total balls (engine mode; 0 for stream).
     pub m: u64,
-    /// Run seed (exact — strings on the wire).
+    /// Run seed (full-width u64, exact on both codecs).
     pub seed: u64,
     /// Protocol name (engine) or policy name (stream).
     pub workload: String,
@@ -64,7 +109,7 @@ pub struct Hello {
     pub straggle_prob: f64,
     /// Sleep in microseconds when a barrier straggles.
     pub straggle_us: u64,
-    /// Seed of the straggle stream (exact — strings on the wire).
+    /// Seed of the straggle stream (full-width u64, exact).
     pub fault_seed: u64,
 }
 
@@ -155,7 +200,23 @@ pub enum Frame {
     },
 }
 
-/// Flatten `(k, v)` pairs as `[k, v, k, v, …]`.
+// Binary frame type tags. Tag 0 is reserved so an all-zero header never
+// looks like a valid frame.
+const TAG_HELLO: u8 = 1;
+const TAG_READY: u8 = 2;
+const TAG_GRANTS: u8 = 3;
+const TAG_GRANTS_OK: u8 = 4;
+const TAG_COMMIT: u8 = 5;
+const TAG_COMMIT_OK: u8 = 6;
+const TAG_DELTA: u8 = 7;
+const TAG_DELTA_OK: u8 = 8;
+const TAG_DRAIN: u8 = 9;
+const TAG_LOADS: u8 = 10;
+const TAG_SHUTDOWN: u8 = 11;
+const TAG_BYE: u8 = 12;
+const TAG_ERROR: u8 = 13;
+
+/// Flatten `(k, v)` pairs as `[k, v, k, v, …]` (JSON codec).
 fn pairs_array(pairs: &[(u32, u64)]) -> String {
     let flat: Vec<u64> = pairs.iter().flat_map(|&(k, v)| [u64::from(k), v]).collect();
     u64_array(&flat)
@@ -167,9 +228,83 @@ fn u32_array(values: &[u32]) -> String {
     u64_array(&wide)
 }
 
+/// Sparse `(bin, value)` pairs, binary layout: varint count, then per
+/// pair a zigzag-varint bin delta from the previous bin (routing order
+/// is usually ascending, so deltas stay small, but it is not a format
+/// requirement) and a varint value.
+fn write_pairs(w: &mut WireWriter, pairs: &[(u32, u64)]) {
+    w.varint(pairs.len() as u64);
+    let mut prev: i64 = 0;
+    for &(bin, v) in pairs {
+        w.varint_signed(i64::from(bin) - prev);
+        w.varint(v);
+        prev = i64::from(bin);
+    }
+}
+
+fn read_pairs(r: &mut WireReader<'_>) -> Result<Vec<(u32, u64)>, WireError> {
+    let count = r.varint()?;
+    let mut out = Vec::with_capacity(count.min(1 << 20) as usize);
+    let mut prev: i64 = 0;
+    for _ in 0..count {
+        let bin = prev + r.varint_signed()?;
+        let bin = u32::try_from(bin)
+            .map_err(|_| WireError::Malformed(format!("pair bin id out of u32 range: {bin}")))?;
+        out.push((bin, r.varint()?));
+        prev = i64::from(bin);
+    }
+    Ok(out)
+}
+
+/// A `u32` id list, binary layout: varint count + zigzag bin deltas.
+fn write_u32s(w: &mut WireWriter, values: &[u32]) {
+    w.varint(values.len() as u64);
+    let mut prev: i64 = 0;
+    for &v in values {
+        w.varint_signed(i64::from(v) - prev);
+        prev = i64::from(v);
+    }
+}
+
+fn read_u32s(r: &mut WireReader<'_>) -> Result<Vec<u32>, WireError> {
+    let count = r.varint()?;
+    let mut out = Vec::with_capacity(count.min(1 << 20) as usize);
+    let mut prev: i64 = 0;
+    for _ in 0..count {
+        let v = prev + r.varint_signed()?;
+        let v = u32::try_from(v)
+            .map_err(|_| WireError::Malformed(format!("id out of u32 range: {v}")))?;
+        out.push(v);
+        prev = i64::from(v);
+    }
+    Ok(out)
+}
+
 impl Frame {
-    /// Encode as a single JSON line (no trailing newline).
+    /// Encode in the given format, ready for the wire: binary frames
+    /// are self-delimiting, JSON frames end with `\n`.
+    pub fn encode_wire(&self, format: WireFormat) -> Vec<u8> {
+        match format {
+            WireFormat::Binary => self.encode_binary(),
+            WireFormat::Json => {
+                let mut line = self.encode().into_bytes();
+                line.push(b'\n');
+                line
+            }
+        }
+    }
+
+    /// Encode as a single checksummed JSON line (no trailing newline).
     pub fn encode(&self) -> String {
+        let body = self.encode_json_body();
+        let sum = wire::fnv1a(body.as_bytes());
+        // Splice the checksum in as the last field: the sum covers the
+        // complete object text *without* it, so the decoder can strip
+        // the fixed-width suffix and verify what remains.
+        format!("{},\"sum\":\"{sum:016x}\"}}", &body[..body.len() - 1])
+    }
+
+    fn encode_json_body(&self) -> String {
         match self {
             Frame::Hello(h) => JsonObject::new()
                 .str("t", "hello")
@@ -180,11 +315,11 @@ impl Frame {
                 .u64("hi", u64::from(h.hi))
                 .u64("n", u64::from(h.n))
                 .u64("m", h.m)
-                .str("seed", &h.seed.to_string())
+                .u64("seed", h.seed)
                 .str("workload", &h.workload)
                 .f64("straggle_prob", h.straggle_prob)
                 .u64("straggle_us", h.straggle_us)
-                .str("fault_seed", &h.fault_seed.to_string())
+                .u64("fault_seed", h.fault_seed)
                 .finish(),
             Frame::Ready { shard } => JsonObject::new()
                 .str("t", "ready")
@@ -259,72 +394,285 @@ impl Frame {
         }
     }
 
-    /// Decode one line. Errors are human-readable descriptions suitable
-    /// for an `error` frame or a transport error.
+    /// Decode one JSON line. The trailing `"sum"` checksum field is
+    /// mandatory and verified before the object is parsed. Errors are
+    /// human-readable descriptions suitable for an `error` frame or a
+    /// transport error.
     pub fn decode(line: &str) -> Result<Frame, String> {
-        let v = parse(line.trim_end()).map_err(|e| format!("malformed frame: {e}"))?;
-        let t = req_str(&v, "t")?;
+        let line = line.trim_end();
+        // `,"sum":"<16 hex>"}` is a fixed-width 26-char suffix.
+        const SUFFIX: usize = 26;
+        let body = if line.len() >= SUFFIX
+            && line.ends_with("\"}")
+            && line.is_char_boundary(line.len() - SUFFIX)
+        {
+            let (head, tail) = line.split_at(line.len() - SUFFIX);
+            let sum = tail
+                .strip_prefix(",\"sum\":\"")
+                .and_then(|t| t.strip_suffix("\"}"))
+                .ok_or_else(|| {
+                    "malformed frame: missing checksum (no trailing sum field)".to_string()
+                })?;
+            let sum = u64::from_str_radix(sum, 16)
+                .map_err(|_| format!("frame checksum is not 16 hex digits: '{sum}'"))?;
+            let body = format!("{head}}}");
+            if wire::fnv1a(body.as_bytes()) != sum {
+                return Err("frame checksum mismatch: bytes corrupted".into());
+            }
+            body
+        } else {
+            return Err("malformed frame: missing checksum (no trailing sum field)".into());
+        };
+        let v = parse(&body).map_err(|e| format!("malformed frame: {e}"))?;
+        Self::from_json(&v)
+    }
+
+    fn from_json(v: &Json) -> Result<Frame, String> {
+        let t = req_str(v, "t")?;
         Ok(match t.as_str() {
             "hello" => Frame::Hello(Hello {
-                mode: req_str(&v, "mode")?,
-                shard: req_u32(&v, "shard")?,
-                shards: req_u32(&v, "shards")?,
-                lo: req_u32(&v, "lo")?,
-                hi: req_u32(&v, "hi")?,
-                n: req_u32(&v, "n")?,
-                m: req_u64(&v, "m")?,
-                seed: req_u64_str(&v, "seed")?,
-                workload: req_str(&v, "workload")?,
-                straggle_prob: req_f64(&v, "straggle_prob")?,
-                straggle_us: req_u64(&v, "straggle_us")?,
-                fault_seed: req_u64_str(&v, "fault_seed")?,
+                mode: req_str(v, "mode")?,
+                shard: req_u32(v, "shard")?,
+                shards: req_u32(v, "shards")?,
+                lo: req_u32(v, "lo")?,
+                hi: req_u32(v, "hi")?,
+                n: req_u32(v, "n")?,
+                m: req_u64(v, "m")?,
+                seed: req_u64(v, "seed")?,
+                workload: req_str(v, "workload")?,
+                straggle_prob: req_f64(v, "straggle_prob")?,
+                straggle_us: req_u64(v, "straggle_us")?,
+                fault_seed: req_u64(v, "fault_seed")?,
             }),
             "ready" => Frame::Ready {
-                shard: req_u32(&v, "shard")?,
+                shard: req_u32(v, "shard")?,
             },
             "grants" => Frame::Grants {
-                round: req_u32(&v, "round")?,
-                active: req_u64(&v, "active")?,
-                placed: req_u64(&v, "placed")?,
-                counts: req_pairs(&v, "counts")?,
-                crashed: req_u32s(&v, "crashed")?,
+                round: req_u32(v, "round")?,
+                active: req_u64(v, "active")?,
+                placed: req_u64(v, "placed")?,
+                counts: req_pairs(v, "counts")?,
+                crashed: req_u32s(v, "crashed")?,
             },
             "grants_ok" => Frame::GrantsOk {
-                round: req_u32(&v, "round")?,
-                accept: req_pairs(&v, "accept")?,
-                underloaded: req_u32(&v, "underloaded")?,
-                unfilled: req_u64(&v, "unfilled")?,
+                round: req_u32(v, "round")?,
+                accept: req_pairs(v, "accept")?,
+                underloaded: req_u32(v, "underloaded")?,
+                unfilled: req_u64(v, "unfilled")?,
             },
             "commit" => Frame::Commit {
-                round: req_u32(&v, "round")?,
-                loads: req_pairs(&v, "loads")?,
+                round: req_u32(v, "round")?,
+                loads: req_pairs(v, "loads")?,
                 record: decode_record(v.get("record").ok_or("missing key 'record'")?)?,
             },
             "commit_ok" => Frame::CommitOk {
-                round: req_u32(&v, "round")?,
-                sum: req_u64(&v, "sum")?,
+                round: req_u32(v, "round")?,
+                sum: req_u64(v, "sum")?,
             },
             "delta" => Frame::Delta {
-                batch: req_u64(&v, "batch")?,
-                loads: req_pairs(&v, "loads")?,
+                batch: req_u64(v, "batch")?,
+                loads: req_pairs(v, "loads")?,
             },
             "delta_ok" => Frame::DeltaOk {
-                batch: req_u64(&v, "batch")?,
-                total: req_u64(&v, "total")?,
-                max: req_u64(&v, "max")?,
+                batch: req_u64(v, "batch")?,
+                total: req_u64(v, "total")?,
+                max: req_u64(v, "max")?,
             },
             "drain" => Frame::Drain,
             "loads" => Frame::Loads {
-                loads: req_u64s(&v, "loads")?,
+                loads: req_u64s(v, "loads")?,
             },
             "shutdown" => Frame::Shutdown,
             "bye" => Frame::Bye {
-                shard: req_u32(&v, "shard")?,
+                shard: req_u32(v, "shard")?,
             },
             "error" => Frame::Error {
-                detail: req_str(&v, "detail")?,
+                detail: req_str(v, "detail")?,
             },
             other => return Err(format!("unknown frame type '{other}'")),
+        })
+    }
+
+    /// Encode as one self-delimiting checksummed binary message.
+    pub fn encode_binary(&self) -> Vec<u8> {
+        let mut w = WireWriter::unframed();
+        let tag = match self {
+            Frame::Hello(h) => {
+                w.str(&h.mode);
+                w.varint(u64::from(h.shard));
+                w.varint(u64::from(h.shards));
+                w.varint(u64::from(h.lo));
+                w.varint(u64::from(h.hi));
+                w.varint(u64::from(h.n));
+                w.varint(h.m);
+                w.u64(h.seed);
+                w.str(&h.workload);
+                w.f64(h.straggle_prob);
+                w.varint(h.straggle_us);
+                w.u64(h.fault_seed);
+                TAG_HELLO
+            }
+            Frame::Ready { shard } => {
+                w.varint(u64::from(*shard));
+                TAG_READY
+            }
+            Frame::Grants {
+                round,
+                active,
+                placed,
+                counts,
+                crashed,
+            } => {
+                w.varint(u64::from(*round));
+                w.varint(*active);
+                w.varint(*placed);
+                write_pairs(&mut w, counts);
+                write_u32s(&mut w, crashed);
+                TAG_GRANTS
+            }
+            Frame::GrantsOk {
+                round,
+                accept,
+                underloaded,
+                unfilled,
+            } => {
+                w.varint(u64::from(*round));
+                write_pairs(&mut w, accept);
+                w.varint(u64::from(*underloaded));
+                w.varint(*unfilled);
+                TAG_GRANTS_OK
+            }
+            Frame::Commit {
+                round,
+                loads,
+                record,
+            } => {
+                w.varint(u64::from(*round));
+                write_pairs(&mut w, loads);
+                write_record(&mut w, record);
+                TAG_COMMIT
+            }
+            Frame::CommitOk { round, sum } => {
+                w.varint(u64::from(*round));
+                w.varint(*sum);
+                TAG_COMMIT_OK
+            }
+            Frame::Delta { batch, loads } => {
+                w.varint(*batch);
+                write_pairs(&mut w, loads);
+                TAG_DELTA
+            }
+            Frame::DeltaOk { batch, total, max } => {
+                w.varint(*batch);
+                w.varint(*total);
+                w.varint(*max);
+                TAG_DELTA_OK
+            }
+            Frame::Drain => TAG_DRAIN,
+            Frame::Loads { loads } => {
+                w.varint(loads.len() as u64);
+                for &v in loads {
+                    w.varint(v);
+                }
+                TAG_LOADS
+            }
+            Frame::Shutdown => TAG_SHUTDOWN,
+            Frame::Bye { shard } => {
+                w.varint(u64::from(*shard));
+                TAG_BYE
+            }
+            Frame::Error { detail } => {
+                w.str(detail);
+                TAG_ERROR
+            }
+        };
+        wire::encode_msg(tag, &w.finish())
+    }
+
+    /// Decode one complete binary message (envelope included).
+    pub fn decode_binary(bytes: &[u8]) -> Result<Frame, String> {
+        let (tag, payload) = wire::decode_msg(bytes).map_err(|e| e.to_string())?;
+        Self::from_binary_payload(tag, payload)
+    }
+
+    fn from_binary_payload(tag: u8, payload: &[u8]) -> Result<Frame, String> {
+        let mut r = WireReader::unframed(payload);
+        let frame = Self::read_binary_fields(tag, &mut r).map_err(|e| e.to_string())?;
+        r.finish().map_err(|e| format!("frame tag {tag}: {e}"))?;
+        Ok(frame)
+    }
+
+    fn read_binary_fields(tag: u8, r: &mut WireReader<'_>) -> Result<Frame, WireError> {
+        Ok(match tag {
+            TAG_HELLO => Frame::Hello(Hello {
+                mode: r.str()?.to_owned(),
+                shard: varint_u32(r)?,
+                shards: varint_u32(r)?,
+                lo: varint_u32(r)?,
+                hi: varint_u32(r)?,
+                n: varint_u32(r)?,
+                m: r.varint()?,
+                seed: r.u64()?,
+                workload: r.str()?.to_owned(),
+                straggle_prob: r.f64()?,
+                straggle_us: r.varint()?,
+                fault_seed: r.u64()?,
+            }),
+            TAG_READY => Frame::Ready {
+                shard: varint_u32(r)?,
+            },
+            TAG_GRANTS => Frame::Grants {
+                round: varint_u32(r)?,
+                active: r.varint()?,
+                placed: r.varint()?,
+                counts: read_pairs(r)?,
+                crashed: read_u32s(r)?,
+            },
+            TAG_GRANTS_OK => Frame::GrantsOk {
+                round: varint_u32(r)?,
+                accept: read_pairs(r)?,
+                underloaded: varint_u32(r)?,
+                unfilled: r.varint()?,
+            },
+            TAG_COMMIT => Frame::Commit {
+                round: varint_u32(r)?,
+                loads: read_pairs(r)?,
+                record: read_record(r)?,
+            },
+            TAG_COMMIT_OK => Frame::CommitOk {
+                round: varint_u32(r)?,
+                sum: r.varint()?,
+            },
+            TAG_DELTA => Frame::Delta {
+                batch: r.varint()?,
+                loads: read_pairs(r)?,
+            },
+            TAG_DELTA_OK => Frame::DeltaOk {
+                batch: r.varint()?,
+                total: r.varint()?,
+                max: r.varint()?,
+            },
+            TAG_DRAIN => Frame::Drain,
+            TAG_LOADS => {
+                let count = r.varint()?;
+                let mut loads = Vec::with_capacity(count.min(1 << 24) as usize);
+                for _ in 0..count {
+                    loads.push(r.varint()?);
+                }
+                Frame::Loads { loads }
+            }
+            TAG_SHUTDOWN => Frame::Shutdown,
+            TAG_BYE => Frame::Bye {
+                shard: varint_u32(r)?,
+            },
+            TAG_ERROR => Frame::Error {
+                detail: r.str()?.to_owned(),
+            },
+            other => {
+                return Err(WireError::Malformed(format!(
+                    "unknown binary frame tag {other}"
+                )))
+            }
         })
     }
 
@@ -346,6 +694,52 @@ impl Frame {
             Frame::Error { .. } => "error",
         }
     }
+}
+
+/// Read one frame from a buffered stream, sniffing the codec from the
+/// first byte: `0xB5` starts a binary message, anything else is read as
+/// one JSON line. Returns the frame, the bytes consumed (wire
+/// accounting), and the codec it arrived in; `Ok(None)` on clean EOF at
+/// a frame boundary.
+pub fn read_frame(
+    reader: &mut (impl BufRead + ?Sized),
+) -> Result<Option<(Frame, usize, WireFormat)>, String> {
+    let lead = loop {
+        match reader.fill_buf() {
+            Ok(buf) => break buf.first().copied(),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(format!("transport read failed: {e}")),
+        }
+    };
+    match lead {
+        None => Ok(None),
+        Some(wire::MSG_MAGIC) => {
+            let (tag, payload) = match wire::read_msg(reader) {
+                Ok(Some(msg)) => msg,
+                Ok(None) => return Ok(None),
+                Err(e) => return Err(e.to_string()),
+            };
+            let bytes = wire::MSG_OVERHEAD + payload.len();
+            let frame = Frame::from_binary_payload(tag, &payload)?;
+            Ok(Some((frame, bytes, WireFormat::Binary)))
+        }
+        Some(_) => {
+            let mut line = String::new();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| format!("transport read failed: {e}"))?;
+            if n == 0 {
+                return Ok(None);
+            }
+            let frame = Frame::decode(&line)?;
+            Ok(Some((frame, n, WireFormat::Json)))
+        }
+    }
+}
+
+fn varint_u32(r: &mut WireReader<'_>) -> Result<u32, WireError> {
+    let raw = r.varint()?;
+    u32::try_from(raw).map_err(|_| WireError::Malformed(format!("value out of u32 range: {raw}")))
 }
 
 /// The round record, flattened into one nested object (drives the
@@ -386,6 +780,42 @@ fn decode_record(v: &Json) -> Result<RoundRecord, String> {
     })
 }
 
+/// The round record, binary layout: the same 12 fields as varints in
+/// declaration order.
+fn write_record(w: &mut WireWriter, r: &RoundRecord) {
+    w.varint(u64::from(r.round));
+    w.varint(r.active_before);
+    w.varint(r.requests);
+    w.varint(r.granted);
+    w.varint(r.committed);
+    w.varint(r.wasted_grants);
+    w.varint(u64::from(r.underloaded_bins));
+    w.varint(r.unfilled_want);
+    w.varint(u64::from(r.max_load));
+    w.varint(r.messages.requests);
+    w.varint(r.messages.responses);
+    w.varint(r.messages.commits);
+}
+
+fn read_record(r: &mut WireReader<'_>) -> Result<RoundRecord, WireError> {
+    Ok(RoundRecord {
+        round: varint_u32(r)?,
+        active_before: r.varint()?,
+        requests: r.varint()?,
+        granted: r.varint()?,
+        committed: r.varint()?,
+        wasted_grants: r.varint()?,
+        underloaded_bins: varint_u32(r)?,
+        unfilled_want: r.varint()?,
+        max_load: varint_u32(r)?,
+        messages: MessageStats {
+            requests: r.varint()?,
+            responses: r.varint()?,
+            commits: r.varint()?,
+        },
+    })
+}
+
 fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
     v.get(key)
         .and_then(Json::as_u64)
@@ -408,13 +838,6 @@ fn req_str(v: &Json, key: &str) -> Result<String, String> {
         .and_then(Json::as_str)
         .map(str::to_owned)
         .ok_or_else(|| format!("missing or non-string key '{key}'"))
-}
-
-/// Full-width `u64` carried as a decimal string (seeds).
-fn req_u64_str(v: &Json, key: &str) -> Result<u64, String> {
-    let s = req_str(v, key)?;
-    s.parse::<u64>()
-        .map_err(|_| format!("key '{key}' is not a decimal u64: '{s}'"))
 }
 
 fn req_u64s(v: &Json, key: &str) -> Result<Vec<u64>, String> {
@@ -454,86 +877,146 @@ fn req_pairs(v: &Json, key: &str) -> Result<Vec<(u32, u64)>, String> {
 mod tests {
     use super::*;
 
-    fn roundtrip(f: Frame) {
-        let line = f.encode();
-        assert!(!line.contains('\n'), "frames must be single lines");
-        let back = Frame::decode(&line).unwrap_or_else(|e| panic!("{e} in {line}"));
-        assert_eq!(f, back);
-    }
-
-    #[test]
-    fn every_frame_roundtrips() {
-        roundtrip(Frame::Hello(Hello {
-            mode: "engine".into(),
-            shard: 1,
-            shards: 4,
-            lo: 16,
-            hi: 32,
-            n: 64,
-            m: 4096,
-            seed: u64::MAX,
-            workload: "collision".into(),
-            straggle_prob: 0.25,
-            straggle_us: 500,
-            fault_seed: 0x9E37_79B9_7F4A_7C15,
-        }));
-        roundtrip(Frame::Ready { shard: 3 });
-        roundtrip(Frame::Grants {
-            round: 2,
-            active: 100,
-            placed: 900,
-            counts: vec![(17, 3), (30, 1)],
-            crashed: vec![18],
-        });
-        roundtrip(Frame::GrantsOk {
-            round: 2,
-            accept: vec![(17, 2)],
-            underloaded: 5,
-            unfilled: 12,
-        });
-        roundtrip(Frame::Commit {
-            round: 2,
-            loads: vec![(17, 7), (30, 2)],
-            record: RoundRecord {
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello(Hello {
+                mode: "engine".into(),
+                shard: 1,
+                shards: 4,
+                lo: 16,
+                hi: 32,
+                n: 64,
+                m: 4096,
+                seed: u64::MAX,
+                workload: "collision".into(),
+                straggle_prob: 0.25,
+                straggle_us: 500,
+                fault_seed: 0x9E37_79B9_7F4A_7C15,
+            }),
+            Frame::Ready { shard: 3 },
+            Frame::Grants {
                 round: 2,
-                active_before: 100,
-                requests: 100,
-                granted: 80,
-                committed: 80,
-                wasted_grants: 3,
-                underloaded_bins: 5,
-                unfilled_want: 12,
-                max_load: 9,
-                messages: MessageStats {
+                active: 100,
+                placed: 900,
+                counts: vec![(17, 3), (30, 1), (19, 2)],
+                crashed: vec![18, 25],
+            },
+            Frame::GrantsOk {
+                round: 2,
+                accept: vec![(17, 2)],
+                underloaded: 5,
+                unfilled: 12,
+            },
+            Frame::Commit {
+                round: 2,
+                loads: vec![(17, 7), (30, 2)],
+                record: RoundRecord {
+                    round: 2,
+                    active_before: 100,
                     requests: 100,
-                    responses: 80,
-                    commits: 80,
+                    granted: 80,
+                    committed: 80,
+                    wasted_grants: 3,
+                    underloaded_bins: 5,
+                    unfilled_want: 12,
+                    max_load: 9,
+                    messages: MessageStats {
+                        requests: 100,
+                        responses: 80,
+                        commits: 80,
+                    },
                 },
             },
-        });
-        roundtrip(Frame::CommitOk { round: 2, sum: 980 });
-        roundtrip(Frame::Delta {
-            batch: 9,
-            loads: vec![(0, 5)],
-        });
-        roundtrip(Frame::DeltaOk {
-            batch: 9,
-            total: 55,
-            max: 8,
-        });
-        roundtrip(Frame::Drain);
-        roundtrip(Frame::Loads {
-            loads: vec![1, 2, 3],
-        });
-        roundtrip(Frame::Shutdown);
-        roundtrip(Frame::Bye { shard: 0 });
-        roundtrip(Frame::Error {
-            detail: "bad \"frame\"".into(),
-        });
+            Frame::CommitOk { round: 2, sum: 980 },
+            Frame::Delta {
+                batch: 9,
+                loads: vec![(0, 5)],
+            },
+            Frame::DeltaOk {
+                batch: 9,
+                total: 55,
+                max: 8,
+            },
+            Frame::Drain,
+            Frame::Loads {
+                loads: vec![1, 2, 3],
+            },
+            Frame::Shutdown,
+            Frame::Bye { shard: 0 },
+            Frame::Error {
+                detail: "bad \"frame\"".into(),
+            },
+        ]
     }
 
     #[test]
-    fn full_width_seeds_survive_the_wire() {
+    fn every_frame_roundtrips_on_both_codecs() {
+        for f in sample_frames() {
+            let line = f.encode();
+            assert!(!line.contains('\n'), "frames must be single lines");
+            let back = Frame::decode(&line).unwrap_or_else(|e| panic!("{e} in {line}"));
+            assert_eq!(f, back, "json codec mangled {}", f.tag());
+
+            let bytes = f.encode_binary();
+            let back = Frame::decode_binary(&bytes)
+                .unwrap_or_else(|e| panic!("{e} decoding binary {}", f.tag()));
+            assert_eq!(f, back, "binary codec mangled {}", f.tag());
+        }
+    }
+
+    #[test]
+    fn read_frame_sniffs_the_codec_per_frame() {
+        let frames = sample_frames();
+        let mut mixed = Vec::new();
+        for (i, f) in frames.iter().enumerate() {
+            let format = if i % 2 == 0 {
+                WireFormat::Binary
+            } else {
+                WireFormat::Json
+            };
+            mixed.extend_from_slice(&f.encode_wire(format));
+        }
+        let mut reader = std::io::BufReader::new(&mixed[..]);
+        let mut total = 0usize;
+        for (i, want) in frames.iter().enumerate() {
+            let (got, bytes, format) = read_frame(&mut reader)
+                .unwrap_or_else(|e| panic!("frame {i}: {e}"))
+                .expect("frame present");
+            assert_eq!(&got, want);
+            assert_eq!(
+                format,
+                if i % 2 == 0 {
+                    WireFormat::Binary
+                } else {
+                    WireFormat::Json
+                }
+            );
+            total += bytes;
+        }
+        assert_eq!(total, mixed.len(), "byte accounting must be exact");
+        assert!(read_frame(&mut reader).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json_for_wave_frames() {
+        for f in sample_frames() {
+            if matches!(
+                f,
+                Frame::Grants { .. } | Frame::Commit { .. } | Frame::Delta { .. }
+            ) {
+                let json = f.encode_wire(WireFormat::Json).len();
+                let binary = f.encode_wire(WireFormat::Binary).len();
+                assert!(
+                    binary * 3 <= json,
+                    "{}: binary {binary}B not ≥3× smaller than json {json}B",
+                    f.tag()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_width_seeds_survive_both_codecs() {
         let f = Frame::Hello(Hello {
             mode: "stream".into(),
             shard: 0,
@@ -548,27 +1031,75 @@ mod tests {
             straggle_us: 0,
             fault_seed: (1 << 60) + 7,
         });
-        let Frame::Hello(h) = Frame::decode(&f.encode()).unwrap() else {
-            panic!("wrong frame");
-        };
-        assert_eq!(h.seed, 0xFFFF_FFFF_FFFF_FFFE);
-        assert_eq!(h.fault_seed, (1 << 60) + 7);
+        for bytes in [
+            f.encode_wire(WireFormat::Json),
+            f.encode_wire(WireFormat::Binary),
+        ] {
+            let mut reader = std::io::BufReader::new(&bytes[..]);
+            let (got, _, _) = read_frame(&mut reader).unwrap().expect("frame");
+            let Frame::Hello(h) = got else {
+                panic!("wrong frame");
+            };
+            assert_eq!(h.seed, 0xFFFF_FFFF_FFFF_FFFE);
+            assert_eq!(h.fault_seed, (1 << 60) + 7);
+        }
     }
 
     #[test]
     fn malformed_frames_are_described() {
-        assert!(Frame::decode("not json").unwrap_err().contains("malformed"));
-        assert!(Frame::decode("{\"x\":1}").unwrap_err().contains("'t'"));
-        assert!(Frame::decode("{\"t\":\"warp\"}")
+        assert!(Frame::decode("not json").unwrap_err().contains("checksum"));
+        assert!(Frame::decode("{\"x\":1}").unwrap_err().contains("checksum"));
+        // With a valid checksum spliced on, content errors surface.
+        let stamp = |body: &str| {
+            let sum = wire::fnv1a(body.as_bytes());
+            format!("{},\"sum\":\"{sum:016x}\"}}", &body[..body.len() - 1])
+        };
+        assert!(Frame::decode(&stamp("{\"x\":1}"))
+            .unwrap_err()
+            .contains("'t'"));
+        assert!(Frame::decode(&stamp("{\"t\":\"warp\"}"))
             .unwrap_err()
             .contains("unknown frame type"));
-        assert!(Frame::decode("{\"t\":\"ready\"}")
+        assert!(Frame::decode(&stamp("{\"t\":\"ready\"}"))
             .unwrap_err()
             .contains("shard"));
-        assert!(Frame::decode(
+        assert!(Frame::decode(&stamp(
             "{\"t\":\"grants_ok\",\"round\":1,\"accept\":[1],\"underloaded\":0,\"unfilled\":0}"
-        )
+        ))
         .unwrap_err()
         .contains("odd length"));
+        // Tampering with a checksummed line is caught by the sum, not
+        // the parser.
+        let good = Frame::CommitOk { round: 2, sum: 980 }.encode();
+        let tampered = good.replace("980", "981");
+        assert!(Frame::decode(&tampered).unwrap_err().contains("checksum"));
+    }
+
+    #[test]
+    fn binary_frame_corruption_is_always_rejected() {
+        let good = Frame::Grants {
+            round: 3,
+            active: 64,
+            placed: 1000,
+            counts: vec![(5, 2), (9, 1)],
+            crashed: vec![],
+        }
+        .encode_binary();
+        for byte in 0..good.len() {
+            for bit in 0..8 {
+                let mut bad = good.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    Frame::decode_binary(&bad).is_err(),
+                    "flip of byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+        for len in 0..good.len() {
+            assert!(
+                Frame::decode_binary(&good[..len]).is_err(),
+                "truncation to {len} went undetected"
+            );
+        }
     }
 }

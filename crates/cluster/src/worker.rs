@@ -12,8 +12,15 @@
 //! Errors are fail-fast: any malformed or out-of-order frame gets an
 //! `error` frame in reply and the worker exits nonzero (its caller maps
 //! `Err` to a nonzero process exit).
+//!
+//! The worker never needs to be told which codec the orchestrator
+//! speaks: every read sniffs the frame's lead byte (binary messages
+//! start with `0xB5`, JSON lines with `{`), and replies are pinned to
+//! the codec the `hello` frame arrived in.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, Write};
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
 
 use pba_core::exec::grant_slice;
 use pba_core::protocol::RoundContext;
@@ -21,21 +28,35 @@ use pba_core::rng::{Rand64, SplitMix64};
 use pba_core::{ProblemSpec, RoundProtocol};
 use pba_protocols::{visit_protocol, ProtocolVisitor};
 
-use crate::wire::{Frame, Hello};
+use crate::transport::is_unix_addr;
+use crate::wire::{read_frame as sniff_frame, Frame, Hello, WireFormat};
 
 /// Serve one orchestrator connection until `shutdown` (or an error).
 ///
 /// On error the detail has already been written to `writer` as an
 /// `error` frame (best effort); the caller should exit nonzero.
 pub fn serve(mut reader: impl BufRead, mut writer: impl Write) -> Result<(), String> {
+    // Until a frame arrives, error replies use the JSON compat codec —
+    // garbage input is more likely to come from something line-shaped.
+    let mut wire = WireFormat::Json;
     let hello = match read_frame(&mut reader) {
-        Ok(Frame::Hello(h)) => h,
-        Ok(other) => return fail(&mut writer, format!("expected hello, got {}", other.tag())),
-        Err(e) => return fail(&mut writer, e),
+        Ok((Frame::Hello(h), f)) => {
+            wire = f;
+            h
+        }
+        Ok((other, f)) => {
+            return fail(
+                &mut writer,
+                f,
+                format!("expected hello, got {}", other.tag()),
+            )
+        }
+        Err(e) => return fail(&mut writer, wire, e),
     };
     if hello.lo > hello.hi || hello.hi > hello.n {
         return fail(
             &mut writer,
+            wire,
             format!(
                 "bad shard range [{}, {}) of {}",
                 hello.lo, hello.hi, hello.n
@@ -46,25 +67,26 @@ pub fn serve(mut reader: impl BufRead, mut writer: impl Write) -> Result<(), Str
         "engine" => {
             let spec = match ProblemSpec::new(hello.m, hello.n) {
                 Ok(s) => s,
-                Err(e) => return fail(&mut writer, format!("bad spec: {e}")),
+                Err(e) => return fail(&mut writer, wire, format!("bad spec: {e}")),
             };
             let v = EngineWorker {
                 reader: &mut reader,
                 writer: &mut writer,
                 hello: &hello,
                 spec,
+                wire,
             };
             match visit_protocol(&hello.workload, spec, v) {
                 Some(r) => r,
                 None => Err(format!("unknown protocol '{}'", hello.workload)),
             }
         }
-        "stream" => serve_stream(&mut reader, &mut writer, &hello),
+        "stream" => serve_stream(&mut reader, &mut writer, &hello, wire),
         other => Err(format!("unknown mode '{other}'")),
     };
     match outcome {
         Ok(()) => Ok(()),
-        Err(e) => fail(&mut writer, e),
+        Err(e) => fail(&mut writer, wire, e),
     }
 }
 
@@ -75,31 +97,68 @@ pub fn serve_stdio() -> Result<(), String> {
     serve(stdin.lock(), stdout.lock())
 }
 
-fn fail(writer: &mut impl Write, detail: String) -> Result<(), String> {
-    let mut line = Frame::Error {
-        detail: detail.clone(),
+/// Bind `addr` (a Unix-domain socket path, or `host:port` TCP), accept
+/// one orchestrator connection, and serve it — the body of `pba-run
+/// shard-worker --listen ADDR`.
+pub fn serve_listen(addr: &str) -> Result<(), String> {
+    if is_unix_addr(addr) {
+        #[cfg(unix)]
+        {
+            let listener = UnixListener::bind(addr)
+                .map_err(|e| format!("bind unix socket {addr} failed: {e}"))?;
+            let (stream, _) = listener
+                .accept()
+                .map_err(|e| format!("accept on {addr} failed: {e}"))?;
+            // The connection outlives the name; unlink now so a crashed
+            // worker can't leave a stale socket behind.
+            let _ = std::fs::remove_file(addr);
+            let reader = BufReader::new(
+                stream
+                    .try_clone()
+                    .map_err(|e| format!("socket clone failed: {e}"))?,
+            );
+            serve(reader, stream)
+        }
+        #[cfg(not(unix))]
+        {
+            Err(format!(
+                "cannot listen on {addr}: unix-domain sockets are not available on this platform"
+            ))
+        }
+    } else {
+        let listener = std::net::TcpListener::bind(addr)
+            .map_err(|e| format!("bind tcp {addr} failed: {e}"))?;
+        let (stream, _) = listener
+            .accept()
+            .map_err(|e| format!("accept on {addr} failed: {e}"))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("socket clone failed: {e}"))?,
+        );
+        serve(reader, stream)
     }
-    .encode();
-    line.push('\n');
-    let _ = writer.write_all(line.as_bytes());
+}
+
+fn fail(writer: &mut impl Write, wire: WireFormat, detail: String) -> Result<(), String> {
+    let frame = Frame::Error {
+        detail: detail.clone(),
+    };
+    let _ = writer.write_all(&frame.encode_wire(wire));
     let _ = writer.flush();
     Err(detail)
 }
 
-fn read_frame(reader: &mut impl BufRead) -> Result<Frame, String> {
-    let mut line = String::new();
-    match reader.read_line(&mut line) {
-        Ok(0) => Err("orchestrator closed the pipe (EOF)".into()),
-        Ok(_) => Frame::decode(&line),
-        Err(e) => Err(format!("read failed: {e}")),
+fn read_frame(reader: &mut impl BufRead) -> Result<(Frame, WireFormat), String> {
+    match sniff_frame(reader)? {
+        Some((frame, _, format)) => Ok((frame, format)),
+        None => Err("orchestrator closed the pipe (EOF)".into()),
     }
 }
 
-fn send_frame(writer: &mut impl Write, frame: &Frame) -> Result<(), String> {
-    let mut line = frame.encode();
-    line.push('\n');
+fn send_frame(writer: &mut impl Write, frame: &Frame, wire: WireFormat) -> Result<(), String> {
     writer
-        .write_all(line.as_bytes())
+        .write_all(&frame.encode_wire(wire))
         .and_then(|()| writer.flush())
         .map_err(|e| format!("write failed: {e}"))
 }
@@ -129,6 +188,7 @@ struct EngineWorker<'a, R, W> {
     writer: &'a mut W,
     hello: &'a Hello,
     spec: ProblemSpec,
+    wire: WireFormat,
 }
 
 impl<R: BufRead, W: Write> ProtocolVisitor for EngineWorker<'_, R, W> {
@@ -140,6 +200,7 @@ impl<R: BufRead, W: Write> ProtocolVisitor for EngineWorker<'_, R, W> {
             writer,
             hello,
             spec,
+            wire,
         } = self;
         let len = (hello.hi - hello.lo) as usize;
         let lo = hello.lo;
@@ -149,9 +210,9 @@ impl<R: BufRead, W: Write> ProtocolVisitor for EngineWorker<'_, R, W> {
         // Context of the round whose grants we answered last; `commit`
         // replays `after_round` against it.
         let mut open_round: Option<RoundContext> = None;
-        send_frame(writer, &Frame::Ready { shard: hello.shard })?;
+        send_frame(writer, &Frame::Ready { shard: hello.shard }, wire)?;
         loop {
-            match read_frame(reader)? {
+            match read_frame(reader)?.0 {
                 Frame::Grants {
                     round,
                     active,
@@ -193,6 +254,7 @@ impl<R: BufRead, W: Write> ProtocolVisitor for EngineWorker<'_, R, W> {
                             underloaded,
                             unfilled,
                         },
+                        wire,
                     )?;
                 }
                 Frame::Commit {
@@ -221,14 +283,14 @@ impl<R: BufRead, W: Write> ProtocolVisitor for EngineWorker<'_, R, W> {
                     // decision to make.
                     let _ = protocol.after_round(&ctx, &record);
                     let sum: u64 = loads.iter().map(|&l| u64::from(l)).sum();
-                    send_frame(writer, &Frame::CommitOk { round, sum })?;
+                    send_frame(writer, &Frame::CommitOk { round, sum }, wire)?;
                 }
                 Frame::Drain => {
                     let dense: Vec<u64> = loads.iter().map(|&l| u64::from(l)).collect();
-                    send_frame(writer, &Frame::Loads { loads: dense })?;
+                    send_frame(writer, &Frame::Loads { loads: dense }, wire)?;
                 }
                 Frame::Shutdown => {
-                    send_frame(writer, &Frame::Bye { shard: hello.shard })?;
+                    send_frame(writer, &Frame::Bye { shard: hello.shard }, wire)?;
                     return Ok(());
                 }
                 other => {
@@ -245,13 +307,14 @@ fn serve_stream(
     reader: &mut impl BufRead,
     writer: &mut impl Write,
     hello: &Hello,
+    wire: WireFormat,
 ) -> Result<(), String> {
     let len = (hello.hi - hello.lo) as usize;
     let lo = hello.lo;
     let mut loads = vec![0u64; len];
-    send_frame(writer, &Frame::Ready { shard: hello.shard })?;
+    send_frame(writer, &Frame::Ready { shard: hello.shard }, wire)?;
     loop {
-        match read_frame(reader)? {
+        match read_frame(reader)?.0 {
             Frame::Delta {
                 batch,
                 loads: pairs,
@@ -265,7 +328,7 @@ fn serve_stream(
                 maybe_straggle(hello, batch);
                 let total: u64 = loads.iter().sum();
                 let max: u64 = loads.iter().copied().max().unwrap_or(0);
-                send_frame(writer, &Frame::DeltaOk { batch, total, max })?;
+                send_frame(writer, &Frame::DeltaOk { batch, total, max }, wire)?;
             }
             Frame::Drain => {
                 send_frame(
@@ -273,10 +336,11 @@ fn serve_stream(
                     &Frame::Loads {
                         loads: loads.clone(),
                     },
+                    wire,
                 )?;
             }
             Frame::Shutdown => {
-                send_frame(writer, &Frame::Bye { shard: hello.shard })?;
+                send_frame(writer, &Frame::Bye { shard: hello.shard }, wire)?;
                 return Ok(());
             }
             other => {

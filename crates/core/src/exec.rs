@@ -105,8 +105,7 @@ impl Default for ChunkPlan {
 
 /// The tuning surface of a run: how chunk geometry is chosen.
 ///
-/// This replaces the two bare integers `RunConfig::with_chunking` used
-/// to take. [`Tuning::Auto`] (the default) resolves a [`ChunkPlan`] per
+/// [`Tuning::Auto`] (the default) resolves a [`ChunkPlan`] per
 /// workload from the shipped measured tables (`pba-run tune` refreshes
 /// them); [`Tuning::fixed`] pins an exact plan for experiments that
 /// sweep the geometry. Either way results are identical — tuning is

@@ -12,10 +12,11 @@
 //!
 //! ## Number fidelity
 //!
-//! Parsed numbers are stored as `f64`, so integers round-trip exactly
-//! only up to 2^53. That is a deliberate wire limit: every count the
-//! protocols exchange (loads, ranks, message totals) is far below it,
-//! and a single numeric representation keeps the parser tiny.
+//! Unsigned integer tokens (all digits, no sign/fraction/exponent) are
+//! stored as [`Json::UInt`] and round-trip exactly across the full
+//! `u64` range — seeds ride the wire natively, with no decimal-string
+//! workaround. Every other numeric token falls back to `f64`
+//! ([`Json::Num`]), where integers are exact only up to 2^53.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -119,14 +120,16 @@ pub fn u64_array(values: &[u64]) -> String {
 
 /// A parsed JSON value.
 ///
-/// Numbers are `f64` (see the module docs for the 2^53 integer caveat);
-/// objects keep their keys in a `BTreeMap`, so iteration order is sorted,
-/// not insertion order.
+/// Plain unsigned integer tokens parse as [`UInt`](Json::UInt) (exact
+/// over all of `u64`); every other number is [`Num`](Json::Num) — an
+/// `f64` with the usual 2^53 integer caveat. Objects keep their keys in
+/// a `BTreeMap`, so iteration order is sorted, not insertion order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
     Null,
     Bool(bool),
     Num(f64),
+    UInt(u64),
     Str(String),
     Arr(Vec<Json>),
     Obj(BTreeMap<String, Json>),
@@ -166,18 +169,22 @@ impl Json {
         }
     }
 
-    /// The raw numeric value.
+    /// The numeric value as an `f64` (exact-integer tokens included,
+    /// with the usual loss of precision above 2^53).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(x) => Some(*x),
+            Json::UInt(v) => Some(*v as f64),
             _ => None,
         }
     }
 
-    /// The number as a `u64`, requiring it to be a non-negative integer
-    /// small enough to be exact (≤ 2^53).
+    /// The number as a `u64`. [`UInt`](Json::UInt) tokens are exact over
+    /// the full range; an `f64` qualifies only when it is a
+    /// non-negative integer small enough to be exact (≤ 2^53).
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            Json::UInt(v) => Some(*v),
             Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 9_007_199_254_740_992.0 => {
                 Some(*x as u64)
             }
@@ -345,6 +352,14 @@ fn parse_value(b: &[char], pos: &mut usize) -> Result<Json, ParseError> {
                 *pos += 1;
             }
             let text: String = b[start..*pos].iter().collect();
+            // All-digit tokens keep full u64 fidelity (seeds!); anything
+            // signed, fractional, exponential, or too large falls back
+            // to f64.
+            if !text.is_empty() && text.chars().all(|c| c.is_ascii_digit()) {
+                if let Ok(v) = text.parse::<u64>() {
+                    return Ok(Json::UInt(v));
+                }
+            }
             text.parse::<f64>()
                 .map(Json::Num)
                 .map_err(|_| err(format!("bad number '{text}'"), start))
@@ -425,10 +440,22 @@ mod tests {
         assert_eq!(parse("42").unwrap().as_u64(), Some(42));
         assert_eq!(parse("-1").unwrap().as_u64(), None);
         assert_eq!(parse("1.5").unwrap().as_u64(), None);
-        // 2^53 is the last exactly-representable integer.
         assert_eq!(
             parse("9007199254740992").unwrap().as_u64(),
             Some(9_007_199_254_740_992)
         );
+        // Above 2^53 an f64 would drift; the UInt variant keeps every
+        // bit, all the way to u64::MAX.
+        assert_eq!(
+            parse("9007199254740993").unwrap().as_u64(),
+            Some(9_007_199_254_740_993)
+        );
+        assert_eq!(
+            parse("18446744073709551615").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+        // But a float-shaped token stays a float even when integral.
+        assert_eq!(parse("4.0").unwrap(), Json::Num(4.0));
+        assert_eq!(parse("1e3").unwrap(), Json::Num(1000.0));
     }
 }

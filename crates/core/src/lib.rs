@@ -37,9 +37,12 @@
 //!   one-shot engine and the streaming allocator (`pba-stream`).
 //! * [`json`] — the zero-dependency JSON emitter + parser behind the
 //!   runner's JSONL traces and the cluster wire protocol.
-//! * [`snapshot`] — the hand-rolled binary snapshot codec (framed,
-//!   checksummed, little-endian) behind allocator checkpoint/restore in
-//!   the service facade; usable without the `serde` feature.
+//! * [`wire`] — the hand-rolled binary wire toolkit (little-endian
+//!   primitives, LEB128 varints, FNV-1a-checksummed frames) shared by
+//!   snapshots, the cluster shard protocol, and the socket ingest path;
+//!   usable without the `serde` feature.
+//! * [`snapshot`] — allocator checkpoint/restore framing for the
+//!   service facade, a thin façade over [`wire`].
 //! * [`load`], [`messages`], [`allocation`], [`trace`] — statistics and
 //!   run records.
 //! * `validate` — the in-engine invariant checker armed by
@@ -67,6 +70,7 @@ pub mod sim;
 pub mod snapshot;
 pub mod trace;
 pub(crate) mod validate;
+pub mod wire;
 
 pub use allocation::Allocation;
 pub use binstate::BinState;
@@ -88,3 +92,4 @@ pub use rng::{ball_stream, RoundStreams, SplitMix64, Xoshiro256pp};
 pub use sim::{ExecutorKind, RunConfig, RunOutcome, Simulator};
 pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use trace::{RoundRecord, RunTrace};
+pub use wire::{WireError, WireReader, WireWriter};

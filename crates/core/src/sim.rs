@@ -211,17 +211,6 @@ impl RunConfig {
         self.tuning = tuning;
         self
     }
-
-    /// **Deprecated**: use [`RunConfig::with_tuning`] with
-    /// [`Tuning::fixed`]. Kept as a thin redirect so existing callers
-    /// keep compiling and producing identical plans.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `with_tuning(Tuning::fixed(min_chunk, par_cutoff))` instead"
-    )]
-    pub fn with_chunking(self, min_chunk: usize, par_cutoff: usize) -> Self {
-        self.with_tuning(Tuning::fixed(min_chunk, par_cutoff))
-    }
 }
 
 impl std::fmt::Debug for RunConfig {

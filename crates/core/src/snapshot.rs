@@ -1,11 +1,11 @@
-//! Hand-rolled binary snapshot codec: [`SnapshotWriter`] /
-//! [`SnapshotReader`].
+//! Binary snapshot codec: [`SnapshotWriter`] / [`SnapshotReader`].
 //!
 //! The service facade (`pba-run serve`) checkpoints a live
 //! `StreamAllocator` to bytes and restores it later — possibly in a
 //! different process. The workspace builds with **zero** external
 //! dependencies by default (the vendored `serde` is a no-op stub behind a
-//! default-off feature), so the snapshot format is encoded by hand:
+//! default-off feature), so the snapshot format is encoded by hand on
+//! the shared [`wire`](crate::wire) toolkit:
 //!
 //! * little-endian fixed-width integers (`u8`/`u32`/`u64`) and `f64` as
 //!   its IEEE-754 bit pattern — bit-exact round-trips, which the
@@ -22,276 +22,17 @@
 //! an allocator snapshot) uses the *unframed* constructors: same
 //! primitives, no envelope, carried as one length-prefixed byte string of
 //! the outer frame.
+//!
+//! The codec itself lives in [`crate::wire`] — the cluster shard
+//! protocol and the streaming socket ingest frame their messages with
+//! the same primitives and checksum. These names are aliases kept for
+//! the snapshot call sites (and because a *snapshot* error is what a
+//! failed restore should talk about); the byte format is unchanged
+//! from when the codec lived here.
 
-use std::fmt;
-
-/// Errors surfaced while decoding a snapshot.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SnapshotError {
-    /// The buffer ended before a read completed.
-    Truncated {
-        /// Bytes the read needed.
-        wanted: usize,
-        /// Bytes left in the buffer.
-        left: usize,
-    },
-    /// The 4-byte magic did not match the expected format tag.
-    BadMagic {
-        /// Magic found in the buffer.
-        found: [u8; 4],
-        /// Magic the reader expected.
-        expected: [u8; 4],
-    },
-    /// The format version is not the one this build understands.
-    BadVersion {
-        /// Version found in the buffer.
-        found: u32,
-        /// Version the reader expected.
-        expected: u32,
-    },
-    /// The trailing FNV-1a checksum did not match the payload.
-    BadChecksum,
-    /// Bytes remained after [`SnapshotReader::finish`].
-    TrailingBytes(usize),
-    /// Structurally valid bytes with semantically invalid content.
-    Malformed(String),
-}
-
-impl fmt::Display for SnapshotError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SnapshotError::Truncated { wanted, left } => {
-                write!(f, "snapshot truncated: needed {wanted} bytes, {left} left")
-            }
-            SnapshotError::BadMagic { found, expected } => write!(
-                f,
-                "bad snapshot magic {found:?} (expected {expected:?}) — not a snapshot \
-                 of this kind"
-            ),
-            SnapshotError::BadVersion { found, expected } => write!(
-                f,
-                "unsupported snapshot version {found} (this build reads version {expected})"
-            ),
-            SnapshotError::BadChecksum => write!(f, "snapshot checksum mismatch: bytes corrupted"),
-            SnapshotError::TrailingBytes(n) => {
-                write!(f, "snapshot has {n} unread trailing byte(s)")
-            }
-            SnapshotError::Malformed(why) => write!(f, "malformed snapshot: {why}"),
-        }
-    }
-}
-
-impl std::error::Error for SnapshotError {}
-
-/// FNV-1a 64-bit over `bytes` — the frame checksum. Not cryptographic;
-/// it guards against truncation and bit rot, not adversaries.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Push-style binary encoder.
-///
-/// # Examples
-///
-/// ```
-/// use pba_core::snapshot::{SnapshotReader, SnapshotWriter};
-///
-/// let mut w = SnapshotWriter::framed(*b"DEMO", 1);
-/// w.u64(42);
-/// w.str("hello");
-/// let bytes = w.finish();
-///
-/// let mut r = SnapshotReader::framed(&bytes, *b"DEMO", 1).unwrap();
-/// assert_eq!(r.u64().unwrap(), 42);
-/// assert_eq!(r.str().unwrap(), "hello");
-/// r.finish().unwrap();
-/// ```
-#[derive(Debug)]
-pub struct SnapshotWriter {
-    buf: Vec<u8>,
-    framed: bool,
-}
-
-impl SnapshotWriter {
-    /// A framed snapshot: magic + version header now, checksum appended
-    /// by [`finish`](Self::finish).
-    pub fn framed(magic: [u8; 4], version: u32) -> Self {
-        let mut w = Self {
-            buf: Vec::with_capacity(64),
-            framed: true,
-        };
-        w.buf.extend_from_slice(&magic);
-        w.u32(version);
-        w
-    }
-
-    /// A bare byte string: no header, no checksum. For nested state
-    /// embedded in an outer frame via [`bytes`](Self::bytes).
-    pub fn unframed() -> Self {
-        Self {
-            buf: Vec::new(),
-            framed: false,
-        }
-    }
-
-    /// Append one byte.
-    pub fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-
-    /// Append a little-endian `u32`.
-    pub fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Append a little-endian `u64`.
-    pub fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Append an `f64` as its IEEE-754 bit pattern (bit-exact round-trip,
-    /// NaN payloads included).
-    pub fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-
-    /// Append a `u64`-length-prefixed byte string.
-    pub fn bytes(&mut self, v: &[u8]) {
-        self.u64(v.len() as u64);
-        self.buf.extend_from_slice(v);
-    }
-
-    /// Append a length-prefixed UTF-8 string.
-    pub fn str(&mut self, v: &str) {
-        self.bytes(v.as_bytes());
-    }
-
-    /// Seal the snapshot: framed writers append the FNV-1a checksum of
-    /// everything written so far (header included).
-    pub fn finish(mut self) -> Vec<u8> {
-        if self.framed {
-            let sum = fnv1a(&self.buf);
-            self.buf.extend_from_slice(&sum.to_le_bytes());
-        }
-        self.buf
-    }
-}
-
-/// Pull-style binary decoder over a borrowed buffer.
-#[derive(Debug)]
-pub struct SnapshotReader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> SnapshotReader<'a> {
-    /// Open a framed snapshot: verifies magic, version, and the trailing
-    /// checksum before any field is read.
-    pub fn framed(bytes: &'a [u8], magic: [u8; 4], version: u32) -> Result<Self, SnapshotError> {
-        const HEADER: usize = 8; // magic + version
-        const FOOTER: usize = 8; // checksum
-        if bytes.len() < HEADER + FOOTER {
-            return Err(SnapshotError::Truncated {
-                wanted: HEADER + FOOTER,
-                left: bytes.len(),
-            });
-        }
-        let (body, sum_bytes) = bytes.split_at(bytes.len() - FOOTER);
-        let sum = u64::from_le_bytes(sum_bytes.try_into().expect("footer is 8 bytes"));
-        if fnv1a(body) != sum {
-            return Err(SnapshotError::BadChecksum);
-        }
-        let found: [u8; 4] = body[..4].try_into().expect("magic is 4 bytes");
-        if found != magic {
-            return Err(SnapshotError::BadMagic {
-                found,
-                expected: magic,
-            });
-        }
-        let mut r = Self { buf: body, pos: 4 };
-        let got = r.u32()?;
-        if got != version {
-            return Err(SnapshotError::BadVersion {
-                found: got,
-                expected: version,
-            });
-        }
-        Ok(r)
-    }
-
-    /// Open a bare byte string written by [`SnapshotWriter::unframed`].
-    pub fn unframed(bytes: &'a [u8]) -> Self {
-        Self { buf: bytes, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
-        let left = self.buf.len() - self.pos;
-        if left < n {
-            return Err(SnapshotError::Truncated { wanted: n, left });
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(out)
-    }
-
-    /// Read one byte.
-    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
-        Ok(self.take(1)?[0])
-    }
-
-    /// Read a little-endian `u32`.
-    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
-    }
-
-    /// Read a little-endian `u64`.
-    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-
-    /// Read an `f64` from its bit pattern.
-    pub fn f64(&mut self) -> Result<f64, SnapshotError> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    /// Read a length-prefixed byte string.
-    pub fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
-        let len = self.u64()?;
-        let left = self.buf.len() - self.pos;
-        if len > left as u64 {
-            return Err(SnapshotError::Truncated {
-                wanted: len as usize,
-                left,
-            });
-        }
-        self.take(len as usize)
-    }
-
-    /// Read a length-prefixed UTF-8 string.
-    pub fn str(&mut self) -> Result<&'a str, SnapshotError> {
-        std::str::from_utf8(self.bytes()?)
-            .map_err(|e| SnapshotError::Malformed(format!("invalid UTF-8 string: {e}")))
-    }
-
-    /// Assert every byte was consumed — catches schema drift where a
-    /// writer appended fields an older reader silently ignores.
-    pub fn finish(self) -> Result<(), SnapshotError> {
-        let left = self.buf.len() - self.pos;
-        if left != 0 {
-            return Err(SnapshotError::TrailingBytes(left));
-        }
-        Ok(())
-    }
-}
+pub use crate::wire::{
+    WireError as SnapshotError, WireReader as SnapshotReader, WireWriter as SnapshotWriter,
+};
 
 #[cfg(test)]
 mod tests {

@@ -63,12 +63,19 @@ const USAGE: &str = "usage:
                  [--rate BALLS_PER_SEC] [--queue DEPTH] [--checkpoint-every K]
                  [--snapshot-at K] [--snapshot FILE] [--restore FILE]
                  [--faults SPEC] [--trace FILE.jsonl]
+  pba-run serve --listen ADDR [--policy P] [--n N] [--shards S] [--seed S]
+                 (accept framed batches from one `serve --send` client)
+  pba-run serve --send ADDR [--policy P] [--n N] [--batch B | Kn] [--batches K]
+                 [--workload W] [--churn F] [--seed S]
   pba-run cluster protocol <name> --m M --n N [--shards S] [--seed S]
-                 [--local] [--faults SPEC] [--trace FILE.jsonl]
+                 [--local | --socket | --connect A1,A2,…] [--wire binary|json]
+                 [--no-overlap] [--faults SPEC] [--trace FILE.jsonl]
   pba-run cluster stream [--policy P] [--n N] [--batch B | Kn] [--batches K]
                  [--workload W] [--churn F] [--shards S] [--seed S] [--kill S@B]
-                 [--local] [--faults SPEC] [--trace FILE.jsonl]
-  pba-run shard-worker          (internal: spawned per shard by `cluster`)
+                 [--local | --socket | --connect A1,A2,…] [--wire binary|json]
+                 [--no-overlap] [--faults SPEC] [--trace FILE.jsonl]
+  pba-run shard-worker [--listen ADDR]   (internal: spawned per shard by
+                 `cluster`; --listen serves one orchestrator over TCP/UDS)
   pba-run bench [--tier small|medium|large|xl | --scale smoke|default|full]
                 [--out DIR|FILE.json]
   pba-run tune [--tier small|medium|large|xl] [--out DIR|FILE.json]
@@ -109,13 +116,23 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "cluster" => run_cluster(&args[1..]).map(done),
         // The child mode `cluster` spawns per shard. Errors go to stderr
         // without the usage banner: the orchestrator is the audience.
-        "shard-worker" => match pba_cluster::worker::serve_stdio() {
-            Ok(()) => Ok(ExitCode::SUCCESS),
-            Err(detail) => {
-                eprintln!("shard-worker: {detail}");
-                Ok(ExitCode::FAILURE)
+        "shard-worker" => {
+            let served = match args.get(1).map(String::as_str) {
+                None => pba_cluster::worker::serve_stdio(),
+                Some("--listen") => match args.get(2) {
+                    Some(addr) => pba_cluster::worker::serve_listen(addr),
+                    None => Err("--listen needs an address".into()),
+                },
+                Some(other) => Err(format!("unknown flag '{other}' (--listen ADDR)")),
+            };
+            match served {
+                Ok(()) => Ok(ExitCode::SUCCESS),
+                Err(detail) => {
+                    eprintln!("shard-worker: {detail}");
+                    Ok(ExitCode::FAILURE)
+                }
             }
-        },
+        }
         "bench" => run_bench(&args[1..]).map(done),
         "tune" => run_tune(&args[1..]).map(done),
         // `verify` owns its exit code: a refuted claim is a nonzero exit
@@ -656,6 +673,12 @@ fn micros(nanos: u64) -> String {
 /// fast-forwarded past the already-ingested prefix, so the resumed replay
 /// continues bit-identically to an uninterrupted one.
 fn run_serve(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--listen") {
+        return run_serve_listen(args);
+    }
+    if args.iter().any(|a| a == "--send") {
+        return run_serve_send(args);
+    }
     let mut policy = PolicyKind::BatchedTwoChoice;
     let mut n: u32 = 1 << 10;
     let mut batch_spec = "4n".to_string();
@@ -950,12 +973,222 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The two halves of a connected ingest socket.
+type IngestHalves = (Box<dyn std::io::Read>, Box<dyn std::io::Write>);
+
+/// A connected ingest socket, split into its two halves.
+fn connect_ingest(addr: &str) -> Result<IngestHalves, String> {
+    if pba_cluster::transport::is_unix_addr(addr) {
+        #[cfg(unix)]
+        {
+            let stream = std::os::unix::net::UnixStream::connect(addr)
+                .map_err(|e| format!("connect {addr}: {e}"))?;
+            let r = stream.try_clone().map_err(|e| format!("{addr}: {e}"))?;
+            return Ok((Box::new(r), Box::new(stream)));
+        }
+        #[cfg(not(unix))]
+        return Err(format!(
+            "unix socket path '{addr}' unsupported on this platform"
+        ));
+    }
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let r = stream.try_clone().map_err(|e| format!("{addr}: {e}"))?;
+    Ok((Box::new(r), Box::new(stream)))
+}
+
+/// `pba-run serve --listen ADDR` — real traffic for the allocator: bind a
+/// TCP or Unix-domain socket, accept one `serve --send` client, ingest
+/// its framed batches (binary wire codec, checksummed), and report the
+/// final state. The allocator ends bit-identical to an in-process run
+/// that ingested the same batches.
+fn run_serve_listen(args: &[String]) -> Result<(), String> {
+    let mut addr = String::new();
+    let mut policy = PolicyKind::BatchedTwoChoice;
+    let mut n: u32 = 1 << 10;
+    let mut shards: usize = 1;
+    let mut seed = 0u64;
+    let mut parallel = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => addr = it.next().ok_or("--listen needs an address")?.clone(),
+            "--policy" => {
+                let v = it.next().ok_or("--policy needs a value")?;
+                policy = PolicyKind::parse(v).ok_or_else(|| format!("unknown policy '{v}'"))?;
+            }
+            "--n" => {
+                n = it
+                    .next()
+                    .ok_or("--n needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --n")?;
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --shards")?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --seed")?;
+            }
+            "--parallel" => parallel = true,
+            other => return Err(format!("unknown flag '{other}' for serve --listen")),
+        }
+    }
+    if n == 0 {
+        return Err("--n must be at least 1".into());
+    }
+    let mut alloc = StreamAllocator::new(n, seed, policy).with_shards(shards);
+    if parallel {
+        alloc = alloc.parallel();
+    }
+    let started = std::time::Instant::now();
+    let (mut reader, mut writer): (Box<dyn std::io::Read>, Box<dyn std::io::Write>) =
+        if pba_cluster::transport::is_unix_addr(&addr) {
+            #[cfg(unix)]
+            {
+                let _ = std::fs::remove_file(&addr);
+                let listener = std::os::unix::net::UnixListener::bind(&addr)
+                    .map_err(|e| format!("bind {addr}: {e}"))?;
+                println!("listening:  {addr} (unix)");
+                let (stream, _) = listener.accept().map_err(|e| format!("accept: {e}"))?;
+                let _ = std::fs::remove_file(&addr);
+                let r = stream.try_clone().map_err(|e| format!("{addr}: {e}"))?;
+                (Box::new(r), Box::new(stream))
+            }
+            #[cfg(not(unix))]
+            return Err(format!(
+                "unix socket path '{addr}' unsupported on this platform"
+            ));
+        } else {
+            let listener =
+                std::net::TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
+            println!("listening:  {addr} (tcp)");
+            let (stream, peer) = listener.accept().map_err(|e| format!("accept: {e}"))?;
+            println!("client:     {peer}");
+            let r = stream.try_clone().map_err(|e| format!("{addr}: {e}"))?;
+            (Box::new(r), Box::new(stream))
+        };
+    let summary = pba_stream::ingest::serve_ingest(&mut reader, &mut writer, &mut alloc)?;
+    let elapsed = started.elapsed();
+    println!("policy:     {} ({shards} shard(s))", policy.name());
+    println!(
+        "ingested:   {} batches, {} balls over the socket",
+        summary.batches, summary.balls
+    );
+    println!(
+        "resident:   {} balls in {n} bins (max load {}, gap {})",
+        summary.resident, summary.max_load, summary.gap
+    );
+    println!("wall time:  {elapsed:.2?}");
+    Ok(())
+}
+
+/// `pba-run serve --send ADDR` — the driver for `serve --listen`:
+/// generate the deterministic synthetic workload locally and ship it to
+/// the listening allocator as framed batches, verifying every ack.
+fn run_serve_send(args: &[String]) -> Result<(), String> {
+    let mut addr = String::new();
+    let mut policy = PolicyKind::BatchedTwoChoice;
+    let mut n: u32 = 1 << 10;
+    let mut batch_spec = "4n".to_string();
+    let mut batches: u64 = 32;
+    let mut workload = "uniform".to_string();
+    let mut churn = 0.0f64;
+    let mut seed = 0u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--send" => addr = it.next().ok_or("--send needs an address")?.clone(),
+            "--policy" => {
+                let v = it.next().ok_or("--policy needs a value")?;
+                policy = PolicyKind::parse(v).ok_or_else(|| format!("unknown policy '{v}'"))?;
+            }
+            "--n" => {
+                n = it
+                    .next()
+                    .ok_or("--n needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --n")?;
+            }
+            "--batch" => batch_spec = it.next().ok_or("--batch needs a value")?.clone(),
+            "--batches" => {
+                batches = it
+                    .next()
+                    .ok_or("--batches needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --batches")?;
+            }
+            "--workload" => workload = it.next().ok_or("--workload needs a value")?.clone(),
+            "--churn" => {
+                churn = it
+                    .next()
+                    .ok_or("--churn needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --churn")?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --seed")?;
+            }
+            other => return Err(format!("unknown flag '{other}' for serve --send")),
+        }
+    }
+    if n == 0 {
+        return Err("--n must be at least 1".into());
+    }
+    if !(0.0..=1.0).contains(&churn) {
+        return Err("--churn must be in [0, 1]".into());
+    }
+    let b = parse_batch_size(&batch_spec, n)?;
+    let kind = parse_workload_kind(&workload)?;
+    let cfg = WorkloadCfg {
+        kind,
+        batch: b,
+        churn,
+        weights: WeightDist::Constant(1),
+    };
+    // Same workload salt as `pba-run serve --replay`: a listen/send pair
+    // with these flags reproduces the local replay bit for bit.
+    let mut traffic = Workload::new(cfg, seed ^ 0x57AEA3);
+    let hello = pba_stream::IngestFrame::Hello {
+        n,
+        seed,
+        policy: policy.name().to_owned(),
+    };
+    let started = std::time::Instant::now();
+    let (mut reader, mut writer) = connect_ingest(&addr)?;
+    let summary =
+        pba_stream::ingest::drive_ingest(&mut reader, &mut writer, &hello, &mut traffic, batches)?;
+    let elapsed = started.elapsed();
+    println!("sent:       {batches} batches of b = {b} to {addr}");
+    println!(
+        "server:     {} balls ingested, resident {}, max load {}, gap {}",
+        summary.balls, summary.resident, summary.max_load, summary.gap
+    );
+    println!("wall time:  {elapsed:.2?}");
+    Ok(())
+}
+
 /// `pba-run cluster` — run an engine protocol or a streaming policy over
-/// real shard processes: one `pba-run shard-worker` child per bin range,
-/// framed JSON over stdin/stdout pipes (`--local` swaps in worker threads
-/// over in-memory pipes speaking the identical wire protocol). Runs are
-/// bit-identical to the single-process equivalent for the same seed; the
-/// orchestrator verifies per-wave checksums and a final drain.
+/// real shard processes: one `pba-run shard-worker` child per bin range
+/// (stdin/stdout pipes by default; `--socket` swaps in Unix-domain
+/// sockets, `--connect` targets already-listening workers, `--local`
+/// worker threads over in-memory pipes). All transports speak the same
+/// checksummed wire frames — binary by default, `--wire json` for the
+/// human-readable compat path. Runs are bit-identical to the
+/// single-process equivalent for the same seed regardless of transport,
+/// codec, or `--no-overlap`; the orchestrator verifies per-wave checksums
+/// and a final drain.
 fn run_cluster(args: &[String]) -> Result<(), String> {
     let Some(mode) = args.first() else {
         return Err("cluster: missing mode ('protocol' or 'stream')".into());
@@ -966,6 +1199,39 @@ fn run_cluster(args: &[String]) -> Result<(), String> {
         other => Err(format!(
             "cluster: unknown mode '{other}' (protocol or stream)"
         )),
+    }
+}
+
+/// Which transport carries the cluster's wire frames.
+enum ClusterTransport {
+    /// Child processes over stdin/stdout pipes (the default).
+    Process,
+    /// Worker threads over in-memory pipes.
+    Local,
+    /// Managed child processes over Unix-domain sockets.
+    Socket,
+    /// Unmanaged, already-listening workers (one address per shard).
+    Connect(Vec<String>),
+}
+
+impl ClusterTransport {
+    fn describe(&self) -> &'static str {
+        match self {
+            ClusterTransport::Process => "processes",
+            ClusterTransport::Local => "local threads",
+            ClusterTransport::Socket => "socket workers",
+            ClusterTransport::Connect(_) => "remote workers",
+        }
+    }
+
+    fn run(&self, cfg: pba_cluster::ClusterConfig) -> Result<pba_cluster::ClusterOutcome, String> {
+        match self {
+            ClusterTransport::Process => cfg.run_process(),
+            ClusterTransport::Local => cfg.run_local(),
+            ClusterTransport::Socket => cfg.run_socket(),
+            ClusterTransport::Connect(addrs) => cfg.run_connect(addrs),
+        }
+        .map_err(|e| e.to_string())
     }
 }
 
@@ -1027,7 +1293,9 @@ fn run_cluster_protocol(args: &[String]) -> Result<(), String> {
     let mut n = 1u32 << 10;
     let mut seed = 0u64;
     let mut shards = 2u32;
-    let mut local = false;
+    let mut transport = ClusterTransport::Process;
+    let mut wire = pba_cluster::WireFormat::Binary;
+    let mut overlap = true;
     let mut trace_path: Option<String> = None;
     let mut faults = None;
     let mut it = args[1..].iter();
@@ -1066,7 +1334,18 @@ fn run_cluster_protocol(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "bad --shards")?
             }
-            "--local" => local = true,
+            "--local" => transport = ClusterTransport::Local,
+            "--socket" => transport = ClusterTransport::Socket,
+            "--connect" => {
+                let addrs = it.next().ok_or("--connect needs addresses")?;
+                transport =
+                    ClusterTransport::Connect(addrs.split(',').map(str::to_owned).collect());
+            }
+            "--wire" => {
+                wire =
+                    pba_cluster::WireFormat::parse_flag(it.next().ok_or("--wire needs a value")?)?;
+            }
+            "--no-overlap" => overlap = false,
             "--trace" => {
                 trace_path = Some(it.next().ok_or("--trace needs a value")?.clone());
             }
@@ -1091,27 +1370,26 @@ fn run_cluster_protocol(args: &[String]) -> Result<(), String> {
     };
     let mut cfg = ClusterConfig::engine(name, spec, seed)
         .with_shards(shards)
+        .with_wire(wire)
+        .with_overlap(overlap)
         .with_metrics(cluster_sink(&metrics, &trace));
     if let Some(plan) = faults {
         cfg = cfg.with_faults(plan);
     }
     let started = std::time::Instant::now();
-    let out = if local {
-        cfg.run_local()
-    } else {
-        cfg.run_process()
-    }
-    .map_err(|e| e.to_string())?;
+    let out = transport.run(cfg)?;
     let elapsed = started.elapsed();
     if let Some(t) = &trace {
         t.flush().map_err(|e| format!("trace flush: {e}"))?;
     }
     let run = out.run.as_ref().expect("engine outcome");
     let stats = run.load_stats();
-    let transport = if local { "local threads" } else { "processes" };
     println!(
-        "protocol:   {} (cluster: {shards} shard(s) as {transport})",
-        run.protocol
+        "protocol:   {} (cluster: {shards} shard(s) as {}, {} wire{})",
+        run.protocol,
+        transport.describe(),
+        wire.name(),
+        if overlap { "" } else { ", no overlap" }
     );
     println!("spec:       {spec}");
     println!("rounds:     {}", run.rounds);
@@ -1148,7 +1426,9 @@ fn run_cluster_stream(args: &[String]) -> Result<(), String> {
     let mut shards = 2u32;
     let mut seed = 0u64;
     let mut kill: Option<(u32, u64)> = None;
-    let mut local = false;
+    let mut transport = ClusterTransport::Process;
+    let mut wire = pba_cluster::WireFormat::Binary;
+    let mut overlap = true;
     let mut trace_path: Option<String> = None;
     let mut faults = None;
     let mut it = args.iter();
@@ -1206,7 +1486,18 @@ fn run_cluster_stream(args: &[String]) -> Result<(), String> {
             "--kill" => {
                 kill = Some(parse_kill(it.next().ok_or("--kill needs a value")?)?);
             }
-            "--local" => local = true,
+            "--local" => transport = ClusterTransport::Local,
+            "--socket" => transport = ClusterTransport::Socket,
+            "--connect" => {
+                let addrs = it.next().ok_or("--connect needs addresses")?;
+                transport =
+                    ClusterTransport::Connect(addrs.split(',').map(str::to_owned).collect());
+            }
+            "--wire" => {
+                wire =
+                    pba_cluster::WireFormat::parse_flag(it.next().ok_or("--wire needs a value")?)?;
+            }
+            "--no-overlap" => overlap = false,
             "--trace" => {
                 trace_path = Some(it.next().ok_or("--trace needs a value")?.clone());
             }
@@ -1243,6 +1534,8 @@ fn run_cluster_stream(args: &[String]) -> Result<(), String> {
     let mut cluster = ClusterConfig::stream(policy, n, seed, batches, b)
         .with_workload(cfg)
         .with_shards(shards)
+        .with_wire(wire)
+        .with_overlap(overlap)
         .with_metrics(cluster_sink(&metrics, &trace));
     if let Some(plan) = faults {
         cluster = cluster.with_faults(plan);
@@ -1251,22 +1544,19 @@ fn run_cluster_stream(args: &[String]) -> Result<(), String> {
         cluster = cluster.with_kill(s, t);
     }
     let started = std::time::Instant::now();
-    let out = if local {
-        cluster.run_local()
-    } else {
-        cluster.run_process()
-    }
-    .map_err(|e| e.to_string())?;
+    let out = transport.run(cluster)?;
     let elapsed = started.elapsed();
     if let Some(t) = &trace {
         t.flush().map_err(|e| format!("trace flush: {e}"))?;
     }
-    let transport = if local { "local threads" } else { "processes" };
     let resident: u64 = out.loads.iter().sum();
     let max_load = out.loads.iter().copied().max().unwrap_or(0);
     println!(
-        "policy:     {} (cluster: {shards} shard(s) as {transport})",
-        out.workload
+        "policy:     {} (cluster: {shards} shard(s) as {}, {} wire{})",
+        out.workload,
+        transport.describe(),
+        wire.name(),
+        if overlap { "" } else { ", no overlap" }
     );
     println!("workload:   {workload}, b = {b}, churn {churn}, seed {seed}");
     if let Some((s, t)) = kill {
@@ -1609,42 +1899,124 @@ fn run_bench(args: &[String]) -> Result<(), String> {
     // matches on, so the section rides along outside the regression gate.
     let mut cluster_entries = Vec::new();
     if tier.stream {
-        eprintln!("benchmarking cluster mode at m = n = {n}, shards 1/2/4…");
+        eprintln!("benchmarking cluster mode at m = n = {n}, shards 1/2/4, both codecs…");
         println!();
         println!(
-            "{:<22} {:>7} {:>12} {:>12} {:>12}",
-            "cluster", "shards", "balls/s", "frames", "bytes"
+            "{:<22} {:>7} {:>7} {:>12} {:>12} {:>12} {:>12}",
+            "cluster", "shards", "wire", "balls/s", "frames", "bytes", "bytes/wave"
         );
         for shards in [1u32, 2, 4] {
+            for wire in [
+                pba_cluster::WireFormat::Binary,
+                pba_cluster::WireFormat::Json,
+            ] {
+                let started = std::time::Instant::now();
+                let out = ClusterConfig::engine("collision", spec, 93_000)
+                    .with_shards(shards)
+                    .with_wire(wire)
+                    .run_local()
+                    .map_err(|e| {
+                        format!("cluster bench ({shards} shards, {}): {e}", wire.name())
+                    })?;
+                let nanos = started.elapsed().as_nanos() as u64;
+                let run = out.run.as_ref().expect("engine outcome");
+                let bps = run.placed as f64 / (nanos as f64 / 1e9);
+                // Every shard crosses the same barriers; shard 0's count
+                // is the wave count of the whole run.
+                let waves = out.shard_records.first().map_or(0, |r| r.barriers);
+                let bytes_per_wave = out.total_bytes() / waves.max(1);
+                println!(
+                    "{:<22} {:>7} {:>7} {:>12.0} {:>12} {:>12} {:>12}",
+                    "engine/collision",
+                    shards,
+                    wire.name(),
+                    bps,
+                    out.total_frames(),
+                    out.total_bytes(),
+                    bytes_per_wave
+                );
+                cluster_entries.push(
+                    JsonObject::new()
+                        .str("mode", "engine")
+                        .str("workload", out.workload)
+                        .str("wire", wire.name())
+                        .u64("n", u64::from(n))
+                        .u64("shards", u64::from(shards))
+                        .u64("rounds", u64::from(run.rounds))
+                        .u64("placed", run.placed)
+                        .u64("messages", run.messages.total())
+                        .u64("frames", out.total_frames())
+                        .u64("bytes", out.total_bytes())
+                        .u64("waves", waves)
+                        .u64("wire_bytes_per_wave", bytes_per_wave)
+                        .u64("wall_nanos", nanos)
+                        .f64("balls_per_sec", bps)
+                        .finish(),
+                );
+            }
+        }
+
+        // The headline wire claim is measured at n = 2^20 regardless of
+        // the tier size: binary frames must cut bytes per wave by >= 3x
+        // against JSON lines on the identical run. Shards 4 keeps the
+        // run representative of a real fan-out without benchmarking the
+        // scheduler.
+        let wide_n = 1u32 << 20;
+        let wide_spec = ProblemSpec::new(u64::from(wide_n), wide_n).map_err(|e| e.to_string())?;
+        eprintln!("benchmarking wire codecs at m = n = 2^20, 4 shards…");
+        let mut per_wave = [0u64; 2];
+        for (slot, wire) in [
+            pba_cluster::WireFormat::Binary,
+            pba_cluster::WireFormat::Json,
+        ]
+        .into_iter()
+        .enumerate()
+        {
             let started = std::time::Instant::now();
-            let out = ClusterConfig::engine("collision", spec, 93_000)
-                .with_shards(shards)
+            let out = ClusterConfig::engine("collision", wide_spec, 93_000)
+                .with_shards(4)
+                .with_wire(wire)
                 .run_local()
-                .map_err(|e| format!("cluster bench ({shards} shards): {e}"))?;
+                .map_err(|e| format!("wire bench ({}): {e}", wire.name()))?;
             let nanos = started.elapsed().as_nanos() as u64;
             let run = out.run.as_ref().expect("engine outcome");
             let bps = run.placed as f64 / (nanos as f64 / 1e9);
+            let waves = out.shard_records.first().map_or(0, |r| r.barriers);
+            let bytes_per_wave = out.total_bytes() / waves.max(1);
+            per_wave[slot] = bytes_per_wave;
             println!(
-                "{:<22} {:>7} {:>12.0} {:>12} {:>12}",
-                "engine/collision",
-                shards,
+                "{:<22} {:>7} {:>7} {:>12.0} {:>12} {:>12} {:>12}",
+                "engine/collision 2^20",
+                4,
+                wire.name(),
                 bps,
                 out.total_frames(),
-                out.total_bytes()
+                out.total_bytes(),
+                bytes_per_wave
             );
             cluster_entries.push(
                 JsonObject::new()
                     .str("mode", "engine")
                     .str("workload", out.workload)
-                    .u64("shards", u64::from(shards))
+                    .str("wire", wire.name())
+                    .u64("n", u64::from(wide_n))
+                    .u64("shards", 4)
                     .u64("rounds", u64::from(run.rounds))
                     .u64("placed", run.placed)
                     .u64("messages", run.messages.total())
                     .u64("frames", out.total_frames())
                     .u64("bytes", out.total_bytes())
+                    .u64("waves", waves)
+                    .u64("wire_bytes_per_wave", bytes_per_wave)
                     .u64("wall_nanos", nanos)
                     .f64("balls_per_sec", bps)
                     .finish(),
+            );
+        }
+        if per_wave[0] > 0 {
+            println!(
+                "wire ratio at n = 2^20:  json/binary = {:.2}x bytes per wave",
+                per_wave[1] as f64 / per_wave[0] as f64
             );
         }
     }

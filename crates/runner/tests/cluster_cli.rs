@@ -83,6 +83,154 @@ fn cluster_processes_match_single_process_run_at_every_shard_count() {
 }
 
 #[test]
+fn transport_and_codec_matrix_is_bit_identical() {
+    // {pipe, unix socket, local threads} x {binary, json} x overlap
+    // on/off: every cell must print the same outcome lines. The pipe +
+    // binary + overlap cell is the baseline (the defaults).
+    let base = [
+        "cluster",
+        "protocol",
+        "collision",
+        "--m",
+        "2048",
+        "--n",
+        "128",
+        "--seed",
+        "7",
+        "--shards",
+        "2",
+    ];
+    let baseline = pba_run(&base);
+    assert!(
+        baseline.status.success(),
+        "baseline cluster run failed:\n{}",
+        String::from_utf8_lossy(&baseline.stderr)
+    );
+    let want = outcome_lines(&String::from_utf8_lossy(&baseline.stdout));
+    assert_eq!(want.len(), 4, "baseline must print all four outcome lines");
+
+    let cells: [&[&str]; 5] = [
+        &["--wire", "json"],
+        &["--socket"],
+        &["--socket", "--wire", "json"],
+        &["--local", "--no-overlap"],
+        &["--wire", "json", "--no-overlap"],
+    ];
+    for cell in cells {
+        let mut argv: Vec<&str> = base.to_vec();
+        argv.extend_from_slice(cell);
+        let out = pba_run(&argv);
+        assert!(
+            out.status.success(),
+            "cluster {cell:?} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            outcome_lines(&stdout),
+            want,
+            "{cell:?} diverged from the pipe/binary baseline:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn serve_listen_and_send_reproduce_the_local_replay() {
+    // Real traffic over a real unix socket: a listening allocator fed by
+    // `serve --send` must land on exactly the loads of the in-process
+    // `serve --replay` with the same seed and workload.
+    let sock = std::env::temp_dir().join(format!("pba-serve-cli-{}.sock", std::process::id()));
+    let sock = sock.to_str().expect("utf-8 temp path").to_owned();
+    let replay = pba_run(&[
+        "serve",
+        "--replay",
+        "--policy",
+        "batched-two-choice",
+        "--n",
+        "256",
+        "--batch",
+        "n",
+        "--batches",
+        "5",
+        "--seed",
+        "21",
+    ]);
+    assert!(
+        replay.status.success(),
+        "local replay failed:\n{}",
+        String::from_utf8_lossy(&replay.stderr)
+    );
+    let replay_out = String::from_utf8_lossy(&replay.stdout).to_string();
+    let resident_line = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("resident:"))
+            .map(str::to_owned)
+            .unwrap_or_default()
+    };
+    let want = resident_line(&replay_out);
+    assert!(
+        !want.is_empty(),
+        "replay must report residency:\n{replay_out}"
+    );
+
+    let server = Command::new(env!("CARGO_BIN_EXE_pba-run"))
+        .args([
+            "serve",
+            "--listen",
+            &sock,
+            "--policy",
+            "batched-two-choice",
+            "--n",
+            "256",
+            "--seed",
+            "21",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn listener");
+    // Wait for the socket file to exist before dialing.
+    for _ in 0..250 {
+        if std::path::Path::new(&sock).exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(4));
+    }
+    let client = pba_run(&[
+        "serve",
+        "--send",
+        &sock,
+        "--policy",
+        "batched-two-choice",
+        "--n",
+        "256",
+        "--batch",
+        "n",
+        "--batches",
+        "5",
+        "--seed",
+        "21",
+    ]);
+    let server_out = server.wait_with_output().expect("reap listener");
+    assert!(
+        client.status.success(),
+        "serve --send failed:\n{}",
+        String::from_utf8_lossy(&client.stderr)
+    );
+    assert!(
+        server_out.status.success(),
+        "serve --listen failed:\n{}",
+        String::from_utf8_lossy(&server_out.stderr)
+    );
+    let server_stdout = String::from_utf8_lossy(&server_out.stdout).to_string();
+    assert_eq!(
+        resident_line(&server_stdout),
+        want,
+        "socket ingestion diverged from local replay:\nserver:\n{server_stdout}\nreplay:\n{replay_out}"
+    );
+}
+
+#[test]
 fn cluster_stream_kill_chaos_reports_the_dead_shard() {
     let out = pba_run(&[
         "cluster",

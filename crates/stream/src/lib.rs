@@ -25,6 +25,9 @@
 //! * [`ReplayService`] — the production facade: a worker thread owning the
 //!   allocator behind a bounded backpressure queue, with per-checkpoint
 //!   latency percentiles ([`LatencyHistogram`]) and graceful drain.
+//! * [`ingest`] — socket ingestion: [`IngestFrame`]s carry real traffic
+//!   to a listening allocator over the binary wire codec
+//!   ([`pba_core::wire`]), bit-identical to in-process ingestion.
 //! * Snapshot/restore ([`StreamAllocator::snapshot`] /
 //!   [`StreamAllocator::restore`]) — the full allocator state to framed,
 //!   checksummed bytes; a restored session continues bit-identically.
@@ -56,6 +59,7 @@
 pub mod allocator;
 pub mod batch;
 pub mod hist;
+pub mod ingest;
 pub mod loads;
 pub mod policy;
 pub mod service;
@@ -65,6 +69,7 @@ pub mod workload;
 pub use allocator::StreamAllocator;
 pub use batch::{Ball, Batch, BatchOutcome};
 pub use hist::LatencyHistogram;
+pub use ingest::{IngestFrame, IngestSummary};
 pub use loads::ShardedLoads;
 pub use policy::{BatchedTwoChoice, OneChoice, PlacementPolicy, PolicyKind, Threshold, TwoChoice};
 pub use service::{replay, ReplayService, ServiceConfig, ServiceReport};

@@ -6,9 +6,12 @@
 #
 # Matches engine entries on (protocol, executor) and stream entries on
 # (policy, ingest), printing old/new balls-per-second and the relative
-# delta. Relies only on POSIX tools: the bench JSON is the compact
-# hand-rolled format written by the runner, so a sed split plus awk field
-# scraping is enough — no jq in the container.
+# delta. Cluster entries (keyed on mode/wire/shards/n) get a second,
+# never-gated table of wire bytes per wave, so codec work shows its
+# byte-volume delta without throughput noise tripping CI. Relies only
+# on POSIX tools: the bench JSON is the compact hand-rolled format
+# written by the runner, so a sed split plus awk field scraping is
+# enough — no jq in the container.
 #
 # In `--tier` mode the script runs a fresh `pba-run bench --tier TIER`
 # into a temp file and diffs it against the committed BENCH_TIER.json
@@ -70,6 +73,30 @@ rows() {
   '
 }
 
+# Emit "key<TAB>wire_bytes_per_wave" rows for cluster entries, keyed on
+# (mode, wire, shards, n) so binary and JSON codecs diff independently.
+wire_rows() {
+  sed 's/},{/}\n{/g' "$1" | awk '
+    function field(s, k,   m) {
+      m = match(s, "\"" k "\":\"[^\"]*\"")
+      if (m == 0) return ""
+      return substr(s, RSTART + length(k) + 4, RLENGTH - length(k) - 5)
+    }
+    function num(s, k,   m) {
+      m = match(s, "\"" k "\":[-0-9.eE+]+")
+      if (m == 0) return ""
+      return substr(s, RSTART + length(k) + 3, RLENGTH - length(k) - 3)
+    }
+    {
+      mode = field($0, "mode"); wire = field($0, "wire")
+      bpw = num($0, "wire_bytes_per_wave")
+      if (mode != "" && wire != "" && bpw != "")
+        printf "cluster:%s/%s/s%s/n%s\t%s\n", \
+          mode, wire, num($0, "shards"), num($0, "n"), bpw
+    }
+  '
+}
+
 tmp_old=$(mktemp)
 tmp_new=$(mktemp)
 trap 'rm -f "$tmp_old" "$tmp_new" ${fresh:+"$fresh"}' EXIT
@@ -103,3 +130,36 @@ awk -F'\t' -v gate="${gate:-}" '
     exit bad
   }
 ' "$tmp_old" "$tmp_new"
+
+# Byte-volume table: informational only (wire bytes are deterministic,
+# so deltas here mean the codec or the conversation changed, not noise —
+# but they are not a throughput regression, hence never gated).
+wire_rows "$old" >"$tmp_old"
+wire_rows "$new" >"$tmp_new"
+if [ -s "$tmp_old" ] || [ -s "$tmp_new" ]; then
+  echo
+  printf '%-44s %14s %14s %10s\n' "entry (wire bytes/wave)" "old" "new" "delta"
+  # FILENAME (not NR == FNR): either side may be empty when the
+  # baseline predates the wire keys.
+  awk -F'\t' '
+    FILENAME == ARGV[1] { ob[$1] = $2; next }
+    {
+      key = $1; nb = $2
+      if (!(key in ob)) {
+        printf "%-44s %14s %14.0f %10s\n", key, "-", nb, "new"
+        next
+      }
+      seen[key] = 1
+      if (ob[key] + 0 > 0)
+        printf "%-44s %14.0f %14.0f %+9.1f%%\n", key, ob[key], nb, \
+          100 * (nb - ob[key]) / ob[key]
+      else
+        printf "%-44s %14.0f %14.0f %10s\n", key, ob[key], nb, "-"
+    }
+    END {
+      for (k in ob)
+        if (!(k in seen))
+          printf "%-44s %14.0f %14s %10s\n", k, ob[k], "-", "gone"
+    }
+  ' "$tmp_old" "$tmp_new"
+fi

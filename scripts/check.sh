@@ -39,16 +39,19 @@ run scripts/bench_diff.sh --tier small --gate 60
 # this exercises the shipping binary spawning itself as `shard-worker`.
 PBA=target/release/pba-run
 outcome() { "$@" | grep -E '^(rounds|placed|max load|messages):'; }
-echo "==> cluster smoke: shard-count bit-identity (seed 11)"
+echo "==> cluster smoke: transport x codec bit-identity matrix (seed 11)"
 want=$(outcome "$PBA" protocol collision --m 65536 --n 4096 --seed 11)
 for shards in 2 4; do
-    got=$(outcome "$PBA" cluster protocol collision \
-        --m 65536 --n 4096 --seed 11 --shards "$shards")
-    if [ "$got" != "$want" ]; then
-        echo "cluster --shards $shards diverged from the single-process run:" >&2
-        diff <(echo "$want") <(echo "$got") >&2 || true
-        exit 1
-    fi
+    for cell in "" "--wire json" "--socket" "--socket --wire json"; do
+        # shellcheck disable=SC2086  # $cell is a flag list, splitting wanted
+        got=$(outcome "$PBA" cluster protocol collision \
+            --m 65536 --n 4096 --seed 11 --shards "$shards" $cell)
+        if [ "$got" != "$want" ]; then
+            echo "cluster --shards $shards ${cell:-(pipe/binary)} diverged from the single-process run:" >&2
+            diff <(echo "$want") <(echo "$got") >&2 || true
+            exit 1
+        fi
+    done
 done
 echo "==> cluster smoke: kill-a-shard chaos"
 "$PBA" cluster stream --n 256 --batch n --batches 6 --shards 4 \
@@ -80,6 +83,27 @@ if [ "$services" -ne 4 ]; then
     exit 1
 fi
 rm -f "$snap" "$serve_trace"
+# Socket ingestion smoke: real traffic through `serve --listen` over a
+# unix socket must land on exactly the local replay's resident line.
+echo "==> serve smoke: socket listen/send bit-identity (seed 11)"
+sock=$(mktemp -u /tmp/pba_serve_sock.XXXXXX)
+want=$("$PBA" serve --replay --n 256 --batch n --batches 5 --seed 11 \
+    | grep '^resident:')
+"$PBA" serve --listen "$sock" --n 256 --seed 11 >/tmp/pba_serve_listen.$$ &
+listen_pid=$!
+for _ in $(seq 1 250); do
+    [ -S "$sock" ] && break
+    sleep 0.02
+done
+"$PBA" serve --send "$sock" --n 256 --batch n --batches 5 --seed 11 >/dev/null
+wait "$listen_pid"
+got=$(grep '^resident:' /tmp/pba_serve_listen.$$)
+rm -f /tmp/pba_serve_listen.$$
+if [ "$got" != "$want" ]; then
+    echo "socket ingestion diverged from the local replay:" >&2
+    diff <(echo "$want") <(echo "$got") >&2 || true
+    exit 1
+fi
 run cargo build --no-default-features
 run cargo build --workspace --features serde
 

@@ -18,9 +18,9 @@ fn obj(v: &Json) -> &std::collections::BTreeMap<String, Json> {
 }
 
 fn expect_num(m: &std::collections::BTreeMap<String, Json>, key: &str) -> f64 {
-    match m.get(key) {
-        Some(Json::Num(x)) => *x,
-        other => panic!("key '{key}' should be a number, got {other:?}"),
+    match m.get(key).and_then(Json::as_f64) {
+        Some(x) => x,
+        None => panic!("key '{key}' should be a number, got {:?}", m.get(key)),
     }
 }
 
@@ -35,9 +35,9 @@ fn expect_num_array(m: &std::collections::BTreeMap<String, Json>, key: &str) -> 
     match m.get(key) {
         Some(Json::Arr(items)) => items
             .iter()
-            .map(|v| match v {
-                Json::Num(x) => *x,
-                other => panic!("'{key}' element should be a number, got {other:?}"),
+            .map(|v| match v.as_f64() {
+                Some(x) => x,
+                None => panic!("'{key}' element should be a number, got {v:?}"),
             })
             .collect(),
         other => panic!("key '{key}' should be an array, got {other:?}"),

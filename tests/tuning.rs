@@ -1,7 +1,6 @@
-//! The [`Tuning`] API contract: auto plans are never degenerate, the
-//! tuning mode is a pure performance knob (bit-identical allocations
-//! across auto / fixed / legacy on every executor), and the deprecated
-//! `with_chunking` shim is exactly `with_tuning(Tuning::fixed(..))`.
+//! The [`Tuning`] API contract: auto plans are never degenerate, and
+//! the tuning mode is a pure performance knob (bit-identical
+//! allocations across auto / fixed / legacy on every executor).
 
 use pba::core::exec::{
     ChunkPlan, AUTO_INGEST_MIN_CHUNK, AUTO_INGEST_PAR_CUTOFF, AUTO_MIN_CHUNK_FLOOR,
@@ -108,10 +107,11 @@ fn tuning_matrix_is_bit_identical() {
     }
 }
 
-/// The deprecated `with_chunking(mc, pc)` shim must behave exactly like
-/// `with_tuning(Tuning::fixed(mc, pc))` — same allocation, same rounds.
+/// A fixed tuning is honoured verbatim by a real run: the same
+/// allocation as any other tuning (pure performance knob), with the
+/// pinned geometry surfaced by the plan it resolves.
 #[test]
-fn with_chunking_is_with_tuning_fixed() {
+fn fixed_tuning_runs_match_auto() {
     let spec = ProblemSpec::new(1 << 12, 1 << 10).unwrap();
     let run = |cfg: RunConfig| {
         Simulator::new(spec, cfg)
@@ -119,16 +119,17 @@ fn with_chunking_is_with_tuning_fixed() {
             .unwrap()
             .loads
     };
-    #[allow(deprecated)]
-    let legacy = run(RunConfig::seeded(9)
-        .with_executor(ExecutorKind::ParallelWith(3))
-        .with_chunking(128, 256)
-        .with_trace(false));
-    let tuned = run(RunConfig::seeded(9)
+    let fixed = run(RunConfig::seeded(9)
         .with_executor(ExecutorKind::ParallelWith(3))
         .with_tuning(Tuning::fixed(128, 256))
         .with_trace(false));
-    assert_eq!(legacy, tuned);
+    let auto = run(RunConfig::seeded(9)
+        .with_executor(ExecutorKind::ParallelWith(3))
+        .with_tuning(Tuning::Auto)
+        .with_trace(false));
+    assert_eq!(fixed, auto);
+    let plan = Tuning::fixed(128, 256).plan(1 << 12, 3);
+    assert_eq!((plan.min_chunk, plan.par_cutoff), (128, 256));
 }
 
 /// Streaming ingest: the allocator's tuning mode must not change a
