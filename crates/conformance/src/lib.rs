@@ -171,6 +171,8 @@ pub fn all_claims() -> Vec<Box<dyn Claim>> {
         Box::new(oracles::E09GreedyRounds),
         Box::new(oracles::E10MessageBudget),
         Box::new(oracles::E15StreamGap),
+        Box::new(oracles::E24KdLoad),
+        Box::new(oracles::E25Retries),
     ]
 }
 
@@ -192,7 +194,9 @@ mod tests {
     #[test]
     fn registry_is_populated_and_ids_are_unique() {
         let ids = claim_ids();
-        assert!(ids.len() >= 6, "need ≥ 6 oracles, have {}", ids.len());
+        assert!(ids.len() >= 10, "need ≥ 10 oracles, have {}", ids.len());
+        assert!(ids.contains(&"e24-kd-load"), "new-family oracle missing");
+        assert!(ids.contains(&"e25-retries"), "new-family oracle missing");
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         sorted.dedup();

@@ -13,7 +13,10 @@ use pba_core::mathutil::log_log2;
 use pba_core::{
     MessageTracking, ProblemSpec, Result, RoundProtocol, RunConfig, RunOutcome, Simulator,
 };
-use pba_protocols::{AdlerGreedy, Collision, SingleChoice, StemannHeavy, ThresholdHeavy};
+use pba_protocols::par::kd_choice::park_window;
+use pba_protocols::{
+    AdlerGreedy, Collision, EstimatedAverage, KdChoice, SingleChoice, StemannHeavy, ThresholdHeavy,
+};
 use pba_stream::{PolicyKind, StreamAllocator, Workload, WorkloadCfg};
 
 use crate::{Claim, ClaimReport, Verdict, VerifyOptions, VerifyScale};
@@ -671,6 +674,225 @@ impl Claim for E15StreamGap {
             self,
             format!("gap(b=n) ≤ {small_cap:.1}; mean gap non-decreasing in b"),
             "final gap (b = n)",
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E24: (k,d)-choice max load sits inside the Park window.
+// ---------------------------------------------------------------------------
+
+/// Park's (k,d)-choice: every ball lands `k` replicas, loads conserve to
+/// `k·m`, and the max load stays within `k·m/n + ln ln n / ln(d/k) + O(1)`
+/// while the run terminates in `O(log log n)`-style round counts.
+pub(crate) struct E24KdLoad;
+
+/// Rounds any clean (k,d)-choice run may take at oracle sizes. Clean runs
+/// finish well before probe escalation saturates; a faulted engine (the
+/// miswire negative control) blows through this long before the round
+/// budget errors out.
+const KD_ROUNDS_CAP: u32 = 48;
+
+impl Claim for E24KdLoad {
+    fn id(&self) -> &'static str {
+        "e24-kd-load"
+    }
+    fn experiment(&self) -> &'static str {
+        "e24"
+    }
+    fn title(&self) -> &'static str {
+        "(k,d)-choice: k·m conservation, max load within the Park window k·m/n + lnln n/ln(d/k)"
+    }
+
+    fn check(&self, opts: &VerifyOptions) -> ClaimReport {
+        let n: u32 = match opts.scale {
+            VerifyScale::Ci => 1 << 10,
+            VerifyScale::Full => 1 << 12,
+        };
+        let grid: &[(u32, u32)] = match opts.scale {
+            VerifyScale::Ci => &[(2, 4), (3, 6)],
+            VerifyScale::Full => &[(2, 4), (2, 6), (3, 6), (4, 8)],
+        };
+        let m = 4 * n as u64;
+        let s = spec(m, n);
+        let mut meas = Measurement::new();
+        for (i, &(k, d)) in grid.iter().enumerate() {
+            let window = park_window(n, k, d);
+            let target = (k as u64 * m).div_ceil(n as u64);
+            let mut gaps = Vec::new();
+            for rep in 0..opts.scale.reps() {
+                let seed = SEED_SALT + 2400 + (i * 64 + rep) as u64;
+                match run_one(
+                    KdChoice::with_params(s, k, d),
+                    s,
+                    seed,
+                    opts,
+                    MessageTracking::Totals,
+                ) {
+                    Ok(out) => {
+                        let total: u64 = out.loads.iter().map(|&l| l as u64).sum();
+                        if total != k as u64 * m {
+                            meas.fail(format!(
+                                "(k,d)=({k},{d}) rep {rep}: loads sum to {total}, want k·m = {}",
+                                k as u64 * m
+                            ));
+                        }
+                        if !out.is_complete() {
+                            meas.fail(format!(
+                                "(k,d)=({k},{d}) rep {rep}: {} balls unallocated",
+                                out.unallocated
+                            ));
+                        }
+                        let gap = out.gap();
+                        gaps.push(gap as f64);
+                        if gap > window + 2 {
+                            meas.fail(format!(
+                                "(k,d)=({k},{d}) rep {rep}: gap {gap} > window {window} + 2"
+                            ));
+                        }
+                        if out.rounds > KD_ROUNDS_CAP {
+                            meas.fail(format!(
+                                "(k,d)=({k},{d}) rep {rep}: {} rounds > {KD_ROUNDS_CAP}",
+                                out.rounds
+                            ));
+                        }
+                        if (k, d) == *grid.last().unwrap() {
+                            meas.stats.push(gap as f64);
+                        }
+                    }
+                    Err(e) => meas.fail(format!("(k,d)=({k},{d}) rep {rep}: run failed: {e}")),
+                }
+            }
+            if !gaps.is_empty() {
+                meas.notes.push(format!(
+                    "(k,d)=({k},{d}): target ⌈k·m/n⌉ = {target}, window {window}, mean gap {:.2}",
+                    Summary::from_values(gaps).mean()
+                ));
+            }
+        }
+        meas.finish(
+            self,
+            format!("Σ loads = k·m; gap ≤ ⌈lnln n/ln(d/k)⌉ + 2; rounds ≤ {KD_ROUNDS_CAP}"),
+            "gap (last grid point)",
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E25: estimated-average retries are expected-constant.
+// ---------------------------------------------------------------------------
+
+/// Like [`run_one`] but with the per-round trace recorded — the retry
+/// statistic is `Σ_r active_before / m − 1`, which needs round records.
+fn run_traced<P: RoundProtocol>(
+    protocol: P,
+    spec: ProblemSpec,
+    seed: u64,
+    opts: &VerifyOptions,
+) -> Result<RunOutcome> {
+    let mut cfg = RunConfig::seeded(seed)
+        .with_validation(true)
+        .with_trace(true)
+        .with_tracking(MessageTracking::Totals);
+    if let Some(plan) = opts.miswire {
+        cfg = cfg.with_faults(plan);
+    }
+    Simulator::new(spec, cfg).run(protocol)
+}
+
+/// Estimated-average retry loop: completed runs are perfectly balanced
+/// (`max = ⌈m/n⌉` exactly) and the mean retry count per ball is a small
+/// constant that does not grow with `n`.
+pub(crate) struct E25Retries;
+
+/// Mean retries per ball any clean run may incur. The sample-mean gate
+/// rejects roughly half of above-average candidates, so the clean mean
+/// sits near 1; growth past this cap means the retry loop degenerated.
+const RETRY_MEAN_CAP: f64 = 3.0;
+
+/// Allowed drift of mean retries from the smallest to the largest `n` —
+/// the "expected-constant, flat in n" part of the claim.
+const RETRY_FLATNESS_SLACK: f64 = 1.0;
+
+impl Claim for E25Retries {
+    fn id(&self) -> &'static str {
+        "e25-retries"
+    }
+    fn experiment(&self) -> &'static str {
+        "e25"
+    }
+    fn title(&self) -> &'static str {
+        "estimated-average: perfect ⌈m/n⌉ balance with expected-constant retries, flat in n"
+    }
+
+    fn check(&self, opts: &VerifyOptions) -> ClaimReport {
+        let ns: &[u32] = match opts.scale {
+            VerifyScale::Ci => &[1 << 9, 1 << 11],
+            VerifyScale::Full => &[1 << 9, 1 << 11, 1 << 13],
+        };
+        let mut meas = Measurement::new();
+        let mut mean_by_n = Vec::new();
+        for (i, &n) in ns.iter().enumerate() {
+            let m = 4 * n as u64;
+            let s = spec(m, n);
+            let mut retries_seen = Vec::new();
+            for rep in 0..opts.scale.reps() {
+                let seed = SEED_SALT + 2500 + (i * 64 + rep) as u64;
+                match run_traced(EstimatedAverage::new(s), s, seed, opts) {
+                    Ok(out) => {
+                        if !out.is_complete() {
+                            meas.fail(format!(
+                                "n = {n} rep {rep}: {} balls unallocated",
+                                out.unallocated
+                            ));
+                            continue;
+                        }
+                        if out.max_load() != s.ceil_avg() {
+                            meas.fail(format!(
+                                "n = {n} rep {rep}: max load {} ≠ ⌈m/n⌉ = {}",
+                                out.max_load(),
+                                s.ceil_avg()
+                            ));
+                        }
+                        let trace = out.trace.as_ref().expect("trace requested");
+                        let probed: u64 = trace.records().iter().map(|r| r.active_before).sum();
+                        let retries = probed as f64 / m as f64 - 1.0;
+                        retries_seen.push(retries);
+                        if retries > RETRY_MEAN_CAP {
+                            meas.fail(format!(
+                                "n = {n} rep {rep}: mean retries {retries:.2} > {RETRY_MEAN_CAP}"
+                            ));
+                        }
+                        if n == *ns.last().unwrap() {
+                            meas.stats.push(retries);
+                        }
+                    }
+                    Err(e) => meas.fail(format!("n = {n} rep {rep}: run failed: {e}")),
+                }
+            }
+            if !retries_seen.is_empty() {
+                let mean = Summary::from_values(retries_seen).mean();
+                mean_by_n.push(mean);
+                meas.notes
+                    .push(format!("n = {n}: mean retries/ball {mean:.3}"));
+            }
+        }
+        // Flatness: the retry constant must not grow with n.
+        if let (Some(first), Some(last)) = (mean_by_n.first(), mean_by_n.last()) {
+            if *last > *first + RETRY_FLATNESS_SLACK {
+                meas.fail(format!(
+                    "mean retries grew with n: {first:.3} -> {last:.3} (slack {RETRY_FLATNESS_SLACK})"
+                ));
+            }
+        } else {
+            meas.fail("no retry measurements collected".to_string());
+        }
+        meas.finish(
+            self,
+            format!(
+                "max = ⌈m/n⌉ exactly; mean retries ≤ {RETRY_MEAN_CAP}, drift ≤ {RETRY_FLATNESS_SLACK}"
+            ),
+            "retries/ball (largest n)",
         )
     }
 }

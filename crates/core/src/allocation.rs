@@ -14,6 +14,9 @@ pub struct Allocation {
     spec: ProblemSpec,
     loads: Vec<u32>,
     assignment: Option<Vec<u32>>,
+    /// Load units one ball contributes (see
+    /// [`crate::protocol::RoundProtocol::replicas`]); 1 for unit balls.
+    replicas: u32,
 }
 
 /// A structural defect found by [`Allocation::verify`].
@@ -43,7 +46,23 @@ impl Allocation {
             spec,
             loads,
             assignment,
+            replicas: 1,
         }
+    }
+
+    /// Declare that each ball contributes `replicas` load units (k-slot
+    /// requests): loads must sum to `replicas × m`, and the per-ball
+    /// assignment records only the *primary* bin, so the per-bin
+    /// consistency check relaxes to "primaries never exceed the load".
+    /// Clamped to at least 1.
+    pub fn with_replicas(mut self, replicas: u32) -> Self {
+        self.replicas = replicas.max(1);
+        self
+    }
+
+    /// Load units one ball contributes (1 for unit balls).
+    pub fn replicas(&self) -> u32 {
+        self.replicas
     }
 
     /// The problem instance this allocation solves.
@@ -75,9 +94,12 @@ impl Allocation {
 
     /// Check every structural invariant, returning all defects found.
     ///
-    /// A well-formed allocation has: `n` loads summing to `m`; if the
-    /// assignment is present, `m` entries, all in range, and recomputing
-    /// loads from it reproduces the load vector exactly.
+    /// A well-formed allocation has: `n` loads summing to `replicas × m`;
+    /// if the assignment is present, `m` entries, all in range, and
+    /// recomputing loads from it reproduces the load vector exactly for
+    /// unit balls — for k-slot requests (`replicas > 1`) the assignment
+    /// records only each ball's primary bin, so the per-bin check relaxes
+    /// to "primaries never exceed the recorded load".
     pub fn verify(&self) -> Vec<AllocationDefect> {
         let mut defects = Vec::new();
         let n = self.spec.bins();
@@ -90,10 +112,11 @@ impl Allocation {
             });
             return defects; // everything below indexes by bin
         }
+        let expected_total = m * self.replicas as u64;
         let total: u64 = self.loads.iter().map(|&l| l as u64).sum();
-        if total != m {
+        if total != expected_total {
             defects.push(AllocationDefect::WrongTotal {
-                expected: m,
+                expected: expected_total,
                 found: total,
             });
         }
@@ -116,7 +139,7 @@ impl Allocation {
                 }
             }
             for (bin, (&d, &r)) in derived.iter().zip(&self.loads).enumerate() {
-                if d != r {
+                if (self.replicas == 1 && d != r) || d > r {
                     defects.push(AllocationDefect::InconsistentLoads {
                         bin: bin as u32,
                         from_assignment: d,
@@ -186,6 +209,31 @@ mod tests {
         assert!(d
             .iter()
             .any(|x| matches!(x, AllocationDefect::InconsistentLoads { .. })));
+    }
+
+    #[test]
+    fn k_replica_allocation_expects_k_times_m_units() {
+        // m = 3 balls × k = 2 replicas = 6 load units; the assignment
+        // records primaries only, which never exceed the bin's load.
+        let a = Allocation::new(spec(3, 3), vec![3, 2, 1], Some(vec![0, 0, 1])).with_replicas(2);
+        assert_eq!(a.replicas(), 2);
+        assert!(a.is_well_formed(), "{:?}", a.verify());
+        // Unit total (= m) is a defect once replicas = 2 is declared.
+        let short = Allocation::new(spec(3, 3), vec![1, 1, 1], None).with_replicas(2);
+        assert!(short.verify().contains(&AllocationDefect::WrongTotal {
+            expected: 6,
+            found: 3
+        }));
+    }
+
+    #[test]
+    fn k_replica_primaries_exceeding_load_detected() {
+        // Both balls claim bin 0 as primary but bin 0 holds one unit.
+        let a = Allocation::new(spec(2, 2), vec![1, 3], Some(vec![0, 0])).with_replicas(2);
+        assert!(a
+            .verify()
+            .iter()
+            .any(|x| matches!(x, AllocationDefect::InconsistentLoads { bin: 0, .. })));
     }
 
     #[test]

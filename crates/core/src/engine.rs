@@ -392,6 +392,7 @@ impl<P: RoundProtocol> SimState<P> {
             v.check_round(
                 &record,
                 P::MAY_REDIRECT,
+                protocol.replicas(),
                 &self.loads,
                 self.assignment.as_deref(),
                 &self.active,

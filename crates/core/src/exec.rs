@@ -344,6 +344,9 @@ pub(crate) struct LaneScratch {
     raw: Vec<u32>,
     /// Commit options for `NEEDS_COMMIT_CHOICE` protocols.
     options: Vec<CommitOption>,
+    /// Selected option indices for `NEEDS_COMMIT_CHOICE` protocols (one
+    /// entry per replica the ball commits; empty = the ball declines).
+    picks: Vec<u32>,
     /// Balls of this chunk that did not commit this round.
     pub(crate) still_active: Vec<u32>,
     /// First out-of-range bin a protocol emitted in this chunk, if any.
@@ -367,6 +370,7 @@ impl LaneScratch {
             touched: Vec::new(),
             raw: Vec::new(),
             options: Vec::new(),
+            picks: Vec::new(),
             still_active: Vec::new(),
             out_of_range: None,
             faults: FaultRecord::default(),
@@ -616,6 +620,7 @@ pub(crate) fn resolve_chunk<P: RoundProtocol>(
         degrees,
         counts,
         options,
+        picks,
         still_active,
         committed,
         wasted,
@@ -656,17 +661,26 @@ pub(crate) fn resolve_chunk<P: RoundProtocol>(
             }
         }
         if P::NEEDS_COMMIT_CHOICE && !options.is_empty() {
-            let pick = shared
+            picks.clear();
+            shared
                 .protocol
-                .pick_commit(shared.ctx, BallContext { ball }, options)
-                .min(options.len() - 1);
-            let chosen = options[pick];
-            commit = Some(
-                shared
+                .select_commits(shared.ctx, BallContext { ball }, options, picks);
+            // The first pick is the ball's primary commit (recorded in the
+            // assignment and counted below); replicas beyond it land their
+            // load unit here. An empty pick set declines the round: every
+            // acceptance is wasted and the ball stays active.
+            for (i, &p) in picks.iter().enumerate() {
+                let chosen = options[(p as usize).min(options.len() - 1)];
+                let target = shared
                     .protocol
-                    .redirect(shared.ctx, chosen.bin, chosen.slot),
-            );
-            *wasted += (options.len() - 1) as u64;
+                    .redirect(shared.ctx, chosen.bin, chosen.slot);
+                if i == 0 {
+                    commit = Some(target);
+                } else {
+                    shared.loads[target as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            *wasted += (options.len() - picks.len().min(options.len())) as u64;
         }
         *commit_msgs += accepts as u64;
         if let Some(sent) = &shared.sent {

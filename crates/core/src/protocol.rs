@@ -230,6 +230,21 @@ pub trait RoundProtocol: Send + Sync {
         bin
     }
 
+    /// How many load units (replicas) one committed ball contributes.
+    ///
+    /// `1` (the default) is the classic unit-ball model. (k,d)-choice
+    /// protocols return `k`: each committed ball occupies one slot in `k`
+    /// distinct accepting bins, chosen by
+    /// [`RoundProtocol::select_commits`]. The engine, the invariant
+    /// checker, and [`crate::Allocation::verify`] all account loads in
+    /// units of `replicas() × committed balls`. Protocols with
+    /// `replicas() > 1` must set [`RoundProtocol::NEEDS_COMMIT_CHOICE`]
+    /// (the fast unit-commit path places exactly one replica).
+    #[inline]
+    fn replicas(&self) -> u32 {
+        1
+    }
+
     /// Choose which accepting bin the ball commits to, as an index into
     /// `options` (nonempty). Called only when
     /// [`RoundProtocol::NEEDS_COMMIT_CHOICE`] is `true`; the default
@@ -242,6 +257,34 @@ pub trait RoundProtocol: Send + Sync {
         _options: &[CommitOption],
     ) -> usize {
         0
+    }
+
+    /// Choose the full commit set for a ball, as indices into `options`
+    /// (nonempty). Called only when
+    /// [`RoundProtocol::NEEDS_COMMIT_CHOICE`] is `true`.
+    ///
+    /// The default delegates to [`RoundProtocol::pick_commit`] — one
+    /// replica, classic behaviour. Protocols may override to:
+    ///
+    /// * push `k == replicas()` indices on **distinct bins** (k-slot
+    ///   requests: the ball commits everywhere at once, its assignment
+    ///   records the first pick as the primary bin);
+    /// * push *nothing* to **decline** the round entirely — the ball
+    ///   stays active and retries (the estimated-average rejection loop).
+    ///
+    /// Pushing any other number of indices than `0` or `replicas()`
+    /// breaks the load-conservation invariant and is caught by the
+    /// in-engine checker. Indices must be in-range and on pairwise
+    /// distinct bins.
+    #[inline]
+    fn select_commits(
+        &self,
+        ctx: &RoundContext,
+        ball: BallContext,
+        options: &[CommitOption],
+        picks: &mut Vec<u32>,
+    ) {
+        picks.push(self.pick_commit(ctx, ball, options).min(options.len() - 1) as u32);
     }
 
     /// Observe the finished round; decide whether to continue.

@@ -260,6 +260,10 @@ pub struct RunOutcome {
     pub placed: u64,
     /// Balls left unallocated (0 unless the protocol stopped early).
     pub unallocated: u64,
+    /// Load units each committed ball contributes (the protocol's
+    /// [`RoundProtocol::replicas`]); 1 for classic unit-ball protocols,
+    /// `k` for (k,d)-choice. Loads sum to `replicas × placed`.
+    pub replicas: u32,
     /// Message totals.
     pub messages: MessageStats,
     /// Per-bin received message counts, if tracked.
@@ -290,15 +294,28 @@ impl RunOutcome {
         self.bin_state().max_load() as u32
     }
 
-    /// Gap above `⌈m/n⌉` (see [`LoadStats::gap`]); meaningful when
-    /// `unallocated == 0`.
+    /// The perfectly balanced per-bin target `⌈replicas·m/n⌉` — plain
+    /// `⌈m/n⌉` for unit balls.
+    pub fn ceil_target(&self) -> u32 {
+        if self.replicas <= 1 {
+            self.spec.ceil_avg()
+        } else {
+            let m = self.spec.balls();
+            let n = self.spec.bins() as u64;
+            ((self.replicas as u64 * m).div_ceil(n)).min(u32::MAX as u64) as u32
+        }
+    }
+
+    /// Gap above `⌈replicas·m/n⌉` (see [`LoadStats::gap`]); meaningful
+    /// when `unallocated == 0`.
     pub fn gap(&self) -> u32 {
-        self.max_load().saturating_sub(self.spec.ceil_avg())
+        self.max_load().saturating_sub(self.ceil_target())
     }
 
     /// Package loads (and assignment, if tracked) as an [`Allocation`].
     pub fn allocation(&self) -> Allocation {
         Allocation::new(self.spec, self.loads.clone(), self.assignment.clone())
+            .with_replicas(self.replicas)
     }
 
     /// True when every ball was placed.
@@ -524,6 +541,7 @@ impl Simulator {
             rounds: round,
             placed: state.placed,
             unallocated,
+            replicas: protocol.replicas(),
             messages: totals,
             per_bin_received: state.ledger.per_bin_received,
             max_ball_sent: state

@@ -7,14 +7,19 @@
 //! * **Ball conservation** — `committed` balls move from the active set
 //!   to `placed`, and `placed + |active| == m` at every round boundary.
 //! * **Load accounting** — loads never decrease, and the total load
-//!   delta of the round equals the number of committed balls.
+//!   delta of the round equals `committed × replicas`: a unit ball
+//!   contributes exactly one load unit once committed, a k-slot request
+//!   ([`crate::protocol::RoundProtocol::replicas`] returning `k`)
+//!   contributes exactly `k`.
 //! * **Bin-capacity respect** — no bin gains more balls than the grant
 //!   phase accepted for it (`taken = min(accept, arrivals)`). Relaxed
 //!   for protocols with [`crate::protocol::RoundProtocol::MAY_REDIRECT`],
 //!   whose commits legally land on member bins of the granting leader.
 //! * **Monotone commitment** — a ball's assignment, once written, never
 //!   changes; every still-active ball is unassigned; and the per-bin
-//!   count of newly assigned balls matches the bin's load delta exactly.
+//!   count of newly assigned balls matches the bin's load delta exactly
+//!   (for `replicas > 1` the assignment records only the primary bin, so
+//!   the check relaxes to "no bin gained fewer units than primaries").
 //! * **Fault-redirect legality** — crashed bins gain no balls: the
 //!   admission layer must have redrawn or dropped every request
 //!   addressed to them. Also relaxed under `MAY_REDIRECT`: the crash
@@ -94,12 +99,15 @@ impl ValidatorState {
     /// `taken[i]` is the number of requests bin `i` accepted this round
     /// (`min(accept, arrivals)`); `crashed` is the run-level crashed-bin
     /// list (empty without faults); `may_redirect` relaxes the per-bin
-    /// capacity check for superbin protocols.
+    /// capacity check for superbin protocols; `replicas` is the number of
+    /// load units one committed ball contributes
+    /// ([`crate::protocol::RoundProtocol::replicas`]).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn check_round(
         &mut self,
         record: &RoundRecord,
         may_redirect: bool,
+        replicas: u32,
         loads: &[u32],
         assignment: Option<&[u32]>,
         active: &[u32],
@@ -163,11 +171,13 @@ impl ValidatorState {
                 ));
             }
         }
-        if delta_total != committed {
+        if delta_total != committed * replicas as u64 {
             return Err(violation(
                 round,
                 "load-accounting",
-                format!("total load delta {delta_total} != committed {committed}"),
+                format!(
+                    "total load delta {delta_total} != committed {committed} × replicas {replicas}"
+                ),
             ));
         }
         if !may_redirect {
@@ -220,13 +230,18 @@ impl ValidatorState {
                 .zip(loads.iter().zip(&self.loads_before))
                 .enumerate()
             {
-                if fresh != after - before {
+                let delta = after - before;
+                // With unit balls the primary bin is the only bin: every
+                // delta unit is a fresh assignment. A k-slot request puts
+                // one replica in its primary bin and the rest elsewhere,
+                // so a bin's delta may exceed its primary count — but a
+                // primary always carries at least its own unit.
+                if (replicas == 1 && fresh != delta) || fresh > delta {
                     return Err(violation(
                         round,
                         "monotone-commitment",
                         format!(
-                            "bin {bin}: {fresh} balls newly assigned but load delta is {}",
-                            after - before
+                            "bin {bin}: {fresh} balls newly assigned but load delta is {delta}"
                         ),
                     ));
                 }
@@ -279,6 +294,7 @@ mod tests {
         v.check_round(
             &record(0, 2),
             false,
+            1,
             &[1, 1],
             Some(&[0, u32::MAX, 1, u32::MAX]),
             &[1, 3],
@@ -296,6 +312,7 @@ mod tests {
             .check_round(
                 &record(0, 2),
                 false,
+                1,
                 &[2, 0],
                 Some(&[0, u32::MAX, 0, u32::MAX]),
                 &[1, 3],
@@ -321,6 +338,7 @@ mod tests {
         v.check_round(
             &record(0, 2),
             true,
+            1,
             &[2, 0],
             Some(&[0, u32::MAX, 0, u32::MAX]),
             &[1, 3],
@@ -338,6 +356,7 @@ mod tests {
             .check_round(
                 &record(3, 1),
                 false,
+                1,
                 &[1, 1],
                 Some(&[1, 1]), // ball 0 moved from bin 0 to bin 1
                 &[],
@@ -363,6 +382,7 @@ mod tests {
             .check_round(
                 &record(1, 1),
                 false,
+                1,
                 &[1, 0],
                 Some(&[0, u32::MAX]),
                 &[1],
@@ -388,6 +408,7 @@ mod tests {
         v.check_round(
             &record(1, 1),
             true,
+            1,
             &[1, 0],
             Some(&[0, u32::MAX]),
             &[1],
@@ -399,12 +420,86 @@ mod tests {
     }
 
     #[test]
+    fn k_slot_round_conserves_k_units_per_ball() {
+        // One ball commits k = 2 replicas into bins 0 and 2 (primary 0);
+        // ball 1 stays active. Total delta is 2 = 1 committed × 2 replicas,
+        // and bin 2 legally gains a unit without a fresh primary.
+        let mut v = armed(2, &[0, 1, 0], &[u32::MAX; 2], 0, 2);
+        v.check_round(
+            &record(0, 1),
+            false,
+            2,
+            &[1, 1, 1],
+            Some(&[0, u32::MAX]),
+            &[1],
+            &[1, 0, 1],
+            &[],
+            1,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn k_slot_missing_replica_is_caught() {
+        // The ball claims k = 2 but only one load unit landed.
+        let mut v = armed(2, &[0, 0], &[u32::MAX; 2], 0, 2);
+        let err = v
+            .check_round(
+                &record(0, 1),
+                false,
+                2,
+                &[1, 0],
+                Some(&[0, u32::MAX]),
+                &[1],
+                &[1, 0],
+                &[],
+                1,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InvariantViolation {
+                invariant: "load-accounting",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn k_slot_primary_without_a_unit_is_caught() {
+        // Bin 1 holds the primary assignment but gained no load unit:
+        // even the relaxed k-slot per-bin check must reject that.
+        let mut v = armed(2, &[0, 0, 0], &[u32::MAX; 2], 0, 2);
+        let err = v
+            .check_round(
+                &record(0, 1),
+                false,
+                2,
+                &[1, 0, 1],
+                Some(&[1, u32::MAX]),
+                &[1],
+                &[1, 0, 1],
+                &[],
+                1,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InvariantViolation {
+                invariant: "monotone-commitment",
+                ..
+            }
+        ));
+    }
+
+    #[test]
     fn lost_ball_is_caught() {
         let mut v = armed(4, &[0, 0], &[u32::MAX; 4], 0, 4);
         let err = v
             .check_round(
                 &record(0, 2),
                 false,
+                1,
                 &[1, 1],
                 Some(&[0, u32::MAX, 1, u32::MAX]),
                 &[1], // ball 3 vanished: neither assigned nor active

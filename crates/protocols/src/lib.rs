@@ -26,6 +26,15 @@
 //!   the papers' introduction (`Ω(log n)` rounds; also the object of the
 //!   Theorem 2 lower bound).
 //! * [`SingleChoice`] — one round of uniform placement, no rejection.
+//! * [`KdChoice`] — Park's (k,d)-choice generalization
+//!   (arXiv:1201.3310): each ball samples `d` bins and commits `k`
+//!   replicas to the `k` least loaded, for a max load of
+//!   `k·m/n + ln ln n / ln(d/k) + O(1)` w.h.p. The first k-slot-request
+//!   protocol on the engine (`replicas() = k`).
+//! * [`EstimatedAverage`] — probe–estimate–retry loop
+//!   (arXiv:1111.0801): balls reject placements above the sample-mean
+//!   load estimate and retry; a hard `⌈m/n⌉` bin cap makes completed
+//!   runs perfectly balanced, with expected-constant retries per ball.
 //!
 //! ## Parallel, asymmetric
 //!
@@ -55,7 +64,9 @@ pub use par::adler_greedy::AdlerGreedy;
 pub use par::asymmetric::Asymmetric;
 pub use par::batched::BatchedTwoChoice;
 pub use par::collision::Collision;
+pub use par::estimated_average::EstimatedAverage;
 pub use par::fixed_threshold::FixedThreshold;
+pub use par::kd_choice::KdChoice;
 pub use par::parallel_two_choice::ParallelTwoChoice;
 pub use par::single_choice::SingleChoice;
 pub use par::stemann_heavy::StemannHeavy;

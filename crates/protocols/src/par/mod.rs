@@ -6,7 +6,9 @@ pub mod adler_greedy;
 pub mod asymmetric;
 pub mod batched;
 pub mod collision;
+pub mod estimated_average;
 pub mod fixed_threshold;
+pub mod kd_choice;
 pub mod parallel_two_choice;
 pub mod single_choice;
 pub mod stemann_heavy;

@@ -3,8 +3,8 @@
 use pba_core::{ProblemSpec, Result, RoundProtocol, RunConfig, RunOutcome, Simulator};
 
 use crate::{
-    ALight, AdlerGreedy, Asymmetric, BatchedTwoChoice, Collision, FixedThreshold,
-    ParallelTwoChoice, SingleChoice, StemannHeavy, ThresholdHeavy, TrivialRoundRobin,
+    ALight, AdlerGreedy, Asymmetric, BatchedTwoChoice, Collision, EstimatedAverage, FixedThreshold,
+    KdChoice, ParallelTwoChoice, SingleChoice, StemannHeavy, ThresholdHeavy, TrivialRoundRobin,
 };
 
 /// All parallel protocol names accepted by [`run_by_name`].
@@ -21,6 +21,9 @@ pub fn protocol_names() -> &'static [&'static str] {
         "asymmetric",
         "trivial-round-robin",
         "batched-two-choice",
+        "kd-choice",
+        "kd-choice-36",
+        "estimated-average",
     ]
 }
 
@@ -75,6 +78,9 @@ pub fn visit_protocol<V: ProtocolVisitor>(
         "batched-two-choice" => {
             visitor.visit(BatchedTwoChoice::new(spec, (spec.bins() as u64).max(1)))
         }
+        "kd-choice" => visitor.visit(KdChoice::with_params(spec, 2, 4)),
+        "kd-choice-36" => visitor.visit(KdChoice::with_params(spec, 3, 6)),
+        "estimated-average" => visitor.visit(EstimatedAverage::new(spec)),
         _ => return None,
     })
 }

@@ -50,7 +50,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   pba-run list
   pba-run all [--scale smoke|default|full] [--out DIR] [--trace FILE.jsonl]
-  pba-run <experiment-id e01..e19> [--scale ...] [--out DIR] [--trace FILE.jsonl]
+  pba-run <experiment-id e01..e25> [--scale ...] [--out DIR] [--trace FILE.jsonl]
   pba-run protocol <name> --m M --n N [--seed S] [--parallel] [--trace FILE.jsonl]
                  [--faults SPEC]
   pba-run protocols
@@ -177,7 +177,7 @@ fn unknown_command_message(id: &str) -> String {
     };
     format!(
         "unknown experiment or command '{id}': {hint}valid experiment ids are \
-         e01..e19 (see `pba-run list`)"
+         e01..e25 (see `pba-run list`)"
     )
 }
 

@@ -298,6 +298,8 @@ pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
         Box::new(experiments::e17_weighted::E17),
         Box::new(experiments::e18_message_loss::E18),
         Box::new(experiments::e19_shard_failures::E19),
+        Box::new(experiments::e24_kd_choice::E24),
+        Box::new(experiments::e25_estimated_average::E25),
     ]
 }
 
@@ -314,11 +316,22 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ordered() {
         let all = all_experiments();
-        assert_eq!(all.len(), 19);
-        for (i, e) in all.iter().enumerate() {
-            assert_eq!(e.id(), format!("e{:02}", i + 1));
+        assert_eq!(all.len(), 21);
+        // E1–E19 are dense; E24/E25 (the protocol-family studies) follow
+        // the EXPERIMENTS.md numbering, where E20–E23 are the
+        // cluster/wire/replay studies reported outside this registry.
+        let ids: Vec<&str> = all.iter().map(|e| e.id()).collect();
+        for (i, id) in ids.iter().take(19).enumerate() {
+            assert_eq!(*id, format!("e{:02}", i + 1));
+        }
+        assert_eq!(&ids[19..], &["e24", "e25"]);
+        for e in &all {
             assert!(!e.title().is_empty());
         }
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "duplicate experiment ids");
     }
 
     #[test]

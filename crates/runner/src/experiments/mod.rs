@@ -1,4 +1,6 @@
-//! The reproduced experiments E1–E19 (see `DESIGN.md` §5 for the index).
+//! The reproduced experiments E1–E19 and E24–E25 (see `DESIGN.md` §5 for
+//! the index; E20–E23 are the cluster/wire/replay studies reported
+//! directly in `EXPERIMENTS.md`).
 
 pub mod e01_naive;
 pub mod e02_two_choice;
@@ -19,6 +21,8 @@ pub mod e16_churn;
 pub mod e17_weighted;
 pub mod e18_message_loss;
 pub mod e19_shard_failures;
+pub mod e24_kd_choice;
+pub mod e25_estimated_average;
 
 use pba_analysis::Summary;
 use pba_core::{BatchRecord, FaultPlan, ProblemSpec};

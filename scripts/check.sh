@@ -22,11 +22,18 @@ run cargo build --release
 run cargo test -q --workspace
 run cargo test -q --test chaos --test golden_loads
 # Differential fuzzer: fixed-seed corpus + explorer, serial vs pool
-# bit-identity with the in-engine invariant checker armed.
+# bit-identity with the in-engine invariant checker armed. The corpus
+# replay covers the (k,d)-grid and retry-cap axes of the protocol
+# families alongside the legacy registry axis.
 run cargo test -q --test fuzz_differential
 # Statistical conformance oracles at CI scale: exits nonzero if any
 # paper claim flips to REFUTED (see EXPERIMENTS.md "Oracle" column).
 run cargo run --release -q -p pba-runner --bin pba-run -- verify --scale ci
+# The two protocol-family oracles once more through the claim-subset
+# path (distinct argument-parsing surface from the run-everything call
+# above; their negative controls live in verify_cli.rs).
+run cargo run --release -q -p pba-runner --bin pba-run -- \
+    verify e24-kd-load e25-retries --scale ci
 # Throughput gate: fresh small-tier bench vs the committed baseline.
 # The 60% allowance is deliberately loose — shared single-core runners
 # are noisy — so only order-of-magnitude regressions trip it. Medium+
@@ -54,8 +61,14 @@ for shards in 2 4; do
     done
 done
 echo "==> cluster smoke: kill-a-shard chaos"
+# Capture to a file instead of piping into grep -q: quitting grep closes
+# the pipe while pba-run is still printing, and the EPIPE panic (exit
+# 101) made this gate fail at random under pipefail.
+kill_smoke=$(mktemp /tmp/pba_kill_smoke.XXXXXX)
 "$PBA" cluster stream --n 256 --batch n --batches 6 --shards 4 \
-    --kill 1@2 --seed 11 | grep -q 'shard 1 killed before batch 2'
+    --kill 1@2 --seed 11 >"$kill_smoke"
+grep -q 'shard 1 killed before batch 2' "$kill_smoke"
+rm -f "$kill_smoke"
 # Service smoke gate: a replay interrupted by a snapshot and finished
 # from the restored state must land on exactly the final allocator
 # state of the uninterrupted replay (the pinned guarantee of

@@ -47,9 +47,9 @@ pub mod prelude {
         RoundProtocol, RunConfig, RunOutcome, Simulator, StragglerSpec, Tuning,
     };
     pub use pba_protocols::{
-        ALight, AdlerGreedy, Asymmetric, BatchedTwoChoice, Collision, FixedThreshold, GreedyD,
-        ParallelTwoChoice, SingleChoice, StemannHeavy, ThresholdHeavy, TrivialRoundRobin,
-        WithMemory,
+        ALight, AdlerGreedy, Asymmetric, BatchedTwoChoice, Collision, EstimatedAverage,
+        FixedThreshold, GreedyD, KdChoice, ParallelTwoChoice, SingleChoice, StemannHeavy,
+        ThresholdHeavy, TrivialRoundRobin, WithMemory,
     };
     pub use pba_stream::{
         replay, Batch, LatencyHistogram, PolicyKind, ReplayService, ServiceConfig, ServiceReport,

@@ -44,15 +44,28 @@ fn faulted_run(
     // the protocols' capacity slack can absorb a 5% crashed-bin loss
     // (collision's bound c·n > m is tight in the heavily loaded regime).
     let spec = ProblemSpec::new(1 << 17, 1 << 17).unwrap();
+    faulted_run_at(name, executor, plan, spec, None)
+}
+
+fn faulted_run_at(
+    name: &str,
+    executor: ExecutorKind,
+    plan: FaultPlan,
+    spec: ProblemSpec,
+    tuning: Option<Tuning>,
+) -> (RunOutcome, Vec<FaultRecord>) {
     let rec = Arc::new(FaultRecorder::default());
     // Validation armed: every chaos run doubles as an invariant audit
     // (conservation, capacity, fault legality) at zero cost to the
     // assertions below — outcomes are bit-identical either way.
-    let cfg = RunConfig::seeded(23)
+    let mut cfg = RunConfig::seeded(23)
         .with_executor(executor)
         .with_faults(plan)
         .with_validation(true)
         .with_metrics(rec.clone());
+    if let Some(t) = tuning {
+        cfg = cfg.with_tuning(t);
+    }
     let out = pba::protocols::run_by_name(name, spec, cfg)
         .expect("known protocol")
         .expect("run ok");
@@ -78,6 +91,62 @@ fn chaos_is_bit_identical_across_executors_and_lanes() {
             ExecutorKind::ParallelWith(8),
         ] {
             let (par, par_events) = faulted_run(name, lanes, rich_plan());
+            assert_eq!(seq.loads, par.loads, "{name} {lanes:?}: loads diverge");
+            assert_eq!(seq.rounds, par.rounds, "{name} {lanes:?}: rounds diverge");
+            assert_eq!(
+                seq.faults, par.faults,
+                "{name} {lanes:?}: fault totals diverge"
+            );
+            assert_eq!(
+                seq_events, par_events,
+                "{name} {lanes:?}: fault-event streams diverge"
+            );
+        }
+    }
+}
+
+/// The new protocol families ride the same chaos contract. `kd-choice`
+/// takes the full rich plan — its one-window capacity slack absorbs the
+/// 5% crashed-bin loss at m = n, k = 2. `estimated-average` caps every
+/// bin at exactly ⌈m/n⌉ with zero slack, so crashing bins makes the
+/// instance structurally infeasible; its plan keeps the drop and
+/// straggler axes only. Both must place everyone, stay bit-identical
+/// across executors and lane counts, and pass the armed validator
+/// (which now audits k-slot conservation for the replicated family).
+///
+/// The estimated-average leg runs at n = 2^14 with lowered chunk
+/// geometry (so the pool still genuinely fans out): its zero-slack
+/// endgame is a coupon-collector on the last below-cap bin, and at
+/// n = 2^17 the probe-degree ceiling would make that tail crawl under
+/// a 15% drop plan.
+#[test]
+fn new_families_chaos_is_bit_identical_and_validated() {
+    let drop_straggler_plan = FaultPlan::new(0xEA05)
+        .with_drop_prob(0.15)
+        .with_stragglers(8, 0.2);
+    let big = ProblemSpec::new(1 << 17, 1 << 17).unwrap();
+    let mid = ProblemSpec::new(1 << 14, 1 << 14).unwrap();
+    for (name, plan, spec, tuning) in [
+        ("kd-choice", rich_plan(), big, None),
+        (
+            "estimated-average",
+            drop_straggler_plan,
+            mid,
+            Some(Tuning::fixed(1024, 2048)),
+        ),
+    ] {
+        let (seq, seq_events) = faulted_run_at(name, ExecutorKind::Sequential, plan, spec, tuning);
+        assert!(
+            !seq_events.is_empty(),
+            "{name}: a 15% drop plan must inject something"
+        );
+        assert_eq!(seq.unallocated, 0, "{name}: chaos must not strand balls");
+        for lanes in [
+            ExecutorKind::Parallel,
+            ExecutorKind::ParallelWith(2),
+            ExecutorKind::ParallelWith(8),
+        ] {
+            let (par, par_events) = faulted_run_at(name, lanes, plan, spec, tuning);
             assert_eq!(seq.loads, par.loads, "{name} {lanes:?}: loads diverge");
             assert_eq!(seq.rounds, par.rounds, "{name} {lanes:?}: rounds diverge");
             assert_eq!(

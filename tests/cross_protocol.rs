@@ -111,6 +111,53 @@ fn all_protocols_produce_well_formed_allocations() {
     }
 }
 
+/// The (k,d)-choice comparative claim: committing k = 2 replicas through
+/// d = 4 informed choices keeps the gap within a double-log window,
+/// while placing the same 2m replica units by naive single choice pays
+/// the √((k·m/n)·ln n)-scale binomial deviation.
+#[test]
+fn kd_choice_window_beats_naive_replication() {
+    let n = 1u32 << 10;
+    let spec = ProblemSpec::new(4 * n as u64, n).unwrap();
+    let kd = pba::protocols::run_by_name("kd-choice", spec, RunConfig::seeded(7))
+        .unwrap()
+        .unwrap();
+    assert!(kd.is_complete());
+    assert_eq!(kd.replicas, 2);
+    // Same 2m load units, placed one uniform choice at a time.
+    let naive_spec = ProblemSpec::new(8 * n as u64, n).unwrap();
+    let naive = gap_of("single-choice", naive_spec, 7);
+    assert!(kd.gap() <= 5, "kd-choice gap {}", kd.gap());
+    assert!(
+        naive >= 2 * kd.gap().max(1),
+        "naive replication gap {naive} vs kd-choice {}",
+        kd.gap()
+    );
+}
+
+/// The estimated-average comparative claim: the retry loop reaches the
+/// *optimal* max load ⌈m/n⌉ (gap 0) where even parallel two-choice — let
+/// alone single choice — leaves a nonzero gap, and it pays only a
+/// handful of rounds for it.
+#[test]
+fn estimated_average_reaches_perfect_balance() {
+    let n = 1u32 << 10;
+    let spec = ProblemSpec::new(16 * n as u64, n).unwrap();
+    let ea = pba::protocols::run_by_name("estimated-average", spec, RunConfig::seeded(8))
+        .unwrap()
+        .unwrap();
+    assert!(ea.is_complete());
+    assert_eq!(ea.gap(), 0, "hard cap guarantees the optimum");
+    assert!(ea.rounds <= 40, "retry loop took {} rounds", ea.rounds);
+    let two_choice = gap_of("parallel-two-choice", spec, 8);
+    let naive = gap_of("single-choice", spec, 8);
+    assert!(two_choice >= 1, "two-choice gap {two_choice}");
+    assert!(
+        naive > two_choice,
+        "naive {naive} vs two-choice {two_choice}"
+    );
+}
+
 /// The gap hierarchy of the sequential family: 1-choice ≫ (1+β) > 2-choice
 /// ≥ always-go-left (up to noise).
 #[test]

@@ -22,7 +22,10 @@ fn identical_seeds_identical_outcomes() {
     }
 }
 
-/// Different seeds ⇒ different load vectors for randomized protocols.
+/// Different seeds ⇒ different allocations for randomized protocols.
+/// Estimated-average converges to the all-⌈m/n⌉ load vector on *every*
+/// seed (that is its theorem), so seed sensitivity is asserted on the
+/// per-ball assignment instead of the loads there.
 #[test]
 fn different_seeds_differ_for_randomized_protocols() {
     let spec = ProblemSpec::new(1 << 14, 1 << 7).unwrap();
@@ -30,9 +33,14 @@ fn different_seeds_differ_for_randomized_protocols() {
         if name == "trivial-round-robin" {
             continue; // deterministic by design
         }
-        let a = run(name, spec, RunConfig::seeded(1));
-        let b = run(name, spec, RunConfig::seeded(2));
-        assert_ne!(a.loads, b.loads, "{name} ignored its seed");
+        let a = run(name, spec, RunConfig::seeded(1).with_assignment(true));
+        let b = run(name, spec, RunConfig::seeded(2).with_assignment(true));
+        if name == "estimated-average" {
+            assert_eq!(a.loads, b.loads, "{name}: perfect balance on any seed");
+            assert_ne!(a.assignment, b.assignment, "{name} ignored its seed");
+        } else {
+            assert_ne!(a.loads, b.loads, "{name} ignored its seed");
+        }
     }
 }
 

@@ -15,6 +15,19 @@
 use pba::core::rng::{Rand64, SplitMix64};
 use pba::prelude::*;
 
+/// Protocol parameters beyond the registry defaults: the new-family
+/// axes. `Registry` replays the named default; the others construct the
+/// protocol directly so the fuzzer sweeps the whole parameter grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Params {
+    /// Registry-default construction via `run_by_name`.
+    Registry,
+    /// `KdChoice::with_params(spec, k, d)` — the (k,d) grid axis.
+    Kd(u32, u32),
+    /// `EstimatedAverage::with_params(spec, probes, retry_cap)`.
+    Ea(u32, u32),
+}
+
 /// One sampled differential configuration. Everything needed to replay
 /// is in this struct, and all of it derives from one seed.
 #[derive(Debug, Clone)]
@@ -27,6 +40,7 @@ struct FuzzCase {
     min_chunk: usize,
     par_cutoff: usize,
     faults: Option<FaultPlan>,
+    params: Params,
 }
 
 impl FuzzCase {
@@ -60,15 +74,34 @@ impl FuzzCase {
         } else {
             None
         };
+        let seed = rng.next_u64();
+        // Parameter axes for the k-slot / retry families, drawn *after*
+        // every legacy field so pre-existing corpus seeds still derive
+        // the exact same cases. Half the draws keep registry defaults so
+        // the name-based path stays covered too.
+        let params = match protocol {
+            "kd-choice" | "kd-choice-36" if rng.below(2) == 1 => {
+                let (k, d) =
+                    [(1, 2), (2, 3), (2, 4), (2, 6), (3, 6), (4, 8)][rng.below(6) as usize];
+                Params::Kd(k, d)
+            }
+            "estimated-average" if rng.below(2) == 1 => {
+                let probes = 1 + rng.below(4);
+                let retry_cap = [2u32, 4, 8, 16, 32][rng.below(5) as usize];
+                Params::Ea(probes, retry_cap)
+            }
+            _ => Params::Registry,
+        };
         FuzzCase {
             protocol,
             m,
             n,
-            seed: rng.next_u64(),
+            seed,
             lanes,
             min_chunk,
             par_cutoff,
             faults,
+            params,
         }
     }
 
@@ -86,9 +119,27 @@ impl FuzzCase {
 
     fn run(&self, executor: ExecutorKind) -> Result<RunOutcome, String> {
         let spec = ProblemSpec::new(self.m, self.n).expect("sampled sizes are positive");
-        pba::protocols::run_by_name(self.protocol, spec, self.config(executor))
-            .expect("registry name")
-            .map_err(|e| e.to_string())
+        let cfg = self.config(executor);
+        match self.params {
+            Params::Registry => pba::protocols::run_by_name(self.protocol, spec, cfg)
+                .expect("registry name")
+                .map_err(|e| e.to_string()),
+            Params::Kd(k, d) => Simulator::new(spec, cfg)
+                .run(pba::protocols::KdChoice::with_params(spec, k, d))
+                .map_err(|e| e.to_string()),
+            Params::Ea(probes, retry_cap) => Simulator::new(spec, cfg)
+                .run(pba::protocols::EstimatedAverage::with_params(
+                    spec, probes, retry_cap,
+                ))
+                .map_err(|e| e.to_string()),
+        }
+    }
+
+    /// The same case with registry-default parameters — for axes (like
+    /// the cluster wire protocol) that only dispatch by name.
+    fn with_registry_params(mut self) -> Self {
+        self.params = Params::Registry;
+        self
     }
 }
 
@@ -259,6 +310,49 @@ fn explorer_finds_no_divergence() {
     }
 }
 
+/// Deterministic sweep of the new-family parameter axes: every (k,d)
+/// grid point and every retry cap runs the full differential check
+/// (Serial vs Pool, validation armed), with and without a fault plan —
+/// coverage that does not depend on the name sampler's luck.
+#[test]
+fn new_family_axes_are_bit_identical() {
+    let mut master = SplitMix64::new(0x00AD_0CE2_4C25);
+    let kd_grid = [(1u32, 2u32), (2, 3), (2, 4), (2, 6), (3, 6), (4, 8)];
+    let retry_caps = [2u32, 4, 8, 16, 32];
+    let mut cases: Vec<(&'static str, Params)> = Vec::new();
+    for &(k, d) in &kd_grid {
+        cases.push(("kd-choice", Params::Kd(k, d)));
+    }
+    for &cap in &retry_caps {
+        cases.push(("estimated-average", Params::Ea(1 + cap % 4, cap)));
+    }
+    for (idx, &(protocol, params)) in cases.iter().enumerate() {
+        for faulted in [false, true] {
+            let case = FuzzCase {
+                protocol,
+                m: 64 + master.next_u64() % 4096,
+                n: 1 + master.below(255),
+                seed: master.next_u64(),
+                lanes: 2 + master.below(3) as usize,
+                min_chunk: 32,
+                par_cutoff: 1,
+                // Drop/straggler plans only: both families run bins at
+                // (or near) exact capacity, so crashed bins make small
+                // instances infeasible rather than interesting.
+                faults: faulted.then(|| {
+                    FaultPlan::new(master.next_u64())
+                        .with_drop_prob(master.below(20) as f64 / 100.0)
+                        .with_stragglers(2 + master.below(7), master.below(30) as f64 / 100.0)
+                }),
+                params,
+            };
+            if let Some(why) = divergence(&case) {
+                panic!("axis case {idx} (faulted={faulted}) {case:?}: {why}");
+            }
+        }
+    }
+}
+
 /// The shrinker's reductions preserve replayability: a shrunk case's
 /// fields still produce a deterministic run (both executors agree run
 /// over run), so a printed repro can be pasted into a unit test.
@@ -288,7 +382,9 @@ fn cluster_axis_is_bit_identical() {
     let mut master = SplitMix64::new(0x00C1_0573_ED01);
     let mut compared = 0u32;
     for case_idx in 0..8u64 {
-        let case = FuzzCase::sample(master.next_u64());
+        // The wire protocol dispatches by registry name only, so the
+        // custom-parameter axes collapse to their named defaults here.
+        let case = FuzzCase::sample(master.next_u64()).with_registry_params();
         let spec = ProblemSpec::new(case.m, case.n).expect("sampled sizes are positive");
         let single = case.run(ExecutorKind::Sequential);
         for shards in [2u32, 5] {

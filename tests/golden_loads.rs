@@ -71,6 +71,56 @@ fn golden_stream_max_loads() {
     }
 }
 
+/// E24-style workload: (k,d)-choice (k = 2, d = 4), m = 4096 balls as
+/// two replicas each into n = 256 bins. The max sits exactly at the
+/// structural capacity ⌈k·m/n⌉ + window + 2 = 37 at this size; the
+/// pinned rounds are the interesting half (commit order and the k-slot
+/// grant path both feed them).
+#[test]
+fn golden_kd_choice_max_loads_and_rounds() {
+    const GOLDEN: [(u32, u32); 3] = [(37, 4), (37, 4), (37, 4)];
+    let spec = ProblemSpec::new(1 << 12, 1 << 8).unwrap();
+    for (seed, (want_max, want_rounds)) in SEEDS.into_iter().zip(GOLDEN) {
+        let out = Simulator::new(spec, RunConfig::seeded(seed).with_validation(true))
+            .run(KdChoice::with_params(spec, 2, 4))
+            .unwrap();
+        let total: u64 = out.loads.iter().map(|&l| l as u64).sum();
+        assert_eq!(total, 2 << 12, "seed {seed}: k-slot conservation drifted");
+        assert_eq!(
+            out.load_stats().max(),
+            want_max,
+            "seed {seed}: kd-choice max load drifted"
+        );
+        assert_eq!(
+            out.rounds, want_rounds,
+            "seed {seed}: kd-choice round count drifted"
+        );
+    }
+}
+
+/// E25-style workload: estimated-average, m = 4096 into n = 256. Max
+/// load is structurally ⌈m/n⌉ = 16 on completion, so the retry loop's
+/// fingerprint is the round count.
+#[test]
+fn golden_estimated_average_rounds() {
+    const GOLDEN_ROUNDS: [u32; 3] = [19, 17, 19];
+    let spec = ProblemSpec::new(1 << 12, 1 << 8).unwrap();
+    for (seed, want_rounds) in SEEDS.into_iter().zip(GOLDEN_ROUNDS) {
+        let out = Simulator::new(spec, RunConfig::seeded(seed).with_validation(true))
+            .run(EstimatedAverage::new(spec))
+            .unwrap();
+        assert_eq!(
+            out.load_stats().max(),
+            16,
+            "seed {seed}: perfect-balance cap drifted"
+        );
+        assert_eq!(
+            out.rounds, want_rounds,
+            "seed {seed}: estimated-average round count drifted"
+        );
+    }
+}
+
 /// Executor-matrix regression: every registry protocol, run on the
 /// sequential executor and on 2- and 8-lane pools, with faults off and
 /// with a 10% message-drop plan, must produce the **bit-identical**

@@ -30,7 +30,7 @@ fn small_spec(rng: &mut SplitMix64) -> ProblemSpec {
 #[test]
 fn protocols_always_complete_and_conserve_balls() {
     let names = pba::protocols::protocol_names();
-    assert_eq!(names.len(), 11);
+    assert_eq!(names.len(), 14);
     for case in 0..CASES {
         let mut rng = case_rng(1, case);
         let spec = small_spec(&mut rng);
